@@ -1,0 +1,87 @@
+//! Scaling-trend tests for the baselines across cluster sizes.
+
+use dpipe_baselines::{ddp, gpipe, spp, zero3};
+use dpipe_cluster::ClusterSpec;
+use dpipe_model::zoo;
+use dpipe_partition::SearchSpace;
+use dpipe_profile::{DeviceModel, ProfileDb, Profiler};
+
+fn db(model: &dpipe_model::ModelSpec, world: usize, batch: u32) -> ProfileDb {
+    Profiler::new(DeviceModel::a100_like())
+        .with_world_size(world)
+        .profile(model, batch)
+        .0
+}
+
+/// Weak scaling (fixed local batch): every system's throughput grows with
+/// cluster size, but data parallelism grows sub-linearly (sync overhead)
+/// while pipeline systems scale closer to linearly.
+#[test]
+fn weak_scaling_trends() {
+    let mut model = zoo::stable_diffusion_v2_1();
+    model.self_conditioning = None;
+    let mut ddp_throughputs = Vec::new();
+    let mut spp_throughputs = Vec::new();
+    for machines in [1usize, 4] {
+        let cluster = ClusterSpec::p4de(machines);
+        let world = cluster.world_size();
+        let batch = 32 * world as u32;
+        let d = db(&model, world, batch);
+        ddp_throughputs.push(ddp(&d, &cluster, batch).throughput);
+        let bb = model.backbones().next().unwrap().0;
+        spp_throughputs.push(
+            spp(&d, &cluster, bb, batch, &SearchSpace::default())
+                .unwrap()
+                .throughput,
+        );
+    }
+    // Both grow with the cluster.
+    assert!(ddp_throughputs[1] > ddp_throughputs[0]);
+    assert!(spp_throughputs[1] > spp_throughputs[0]);
+    // DDP's scaling efficiency (throughput ratio / 4) is worse than SPP's.
+    let ddp_eff = ddp_throughputs[1] / (4.0 * ddp_throughputs[0]);
+    let spp_eff = spp_throughputs[1] / (4.0 * spp_throughputs[0]);
+    assert!(
+        spp_eff > ddp_eff,
+        "spp eff {spp_eff:.2} should beat ddp eff {ddp_eff:.2}"
+    );
+}
+
+/// GPipe's bubble ratio is roughly scale-invariant (it depends on S and M,
+/// not the cluster), while DDP's sync fraction grows.
+#[test]
+fn bubble_vs_sync_scaling() {
+    let mut model = zoo::controlnet_v1_0();
+    model.self_conditioning = None;
+    let bb = model.backbones().next().unwrap().0;
+    let mut gpipe_bubbles = Vec::new();
+    let mut ddp_sync = Vec::new();
+    for machines in [1usize, 4] {
+        let cluster = ClusterSpec::p4de(machines);
+        let world = cluster.world_size();
+        let batch = 32 * world as u32;
+        let d = db(&model, world, batch);
+        gpipe_bubbles.push(gpipe(&d, &cluster, bb, batch, 2, 4).unwrap().bubble_ratio);
+        ddp_sync.push(ddp(&d, &cluster, batch).sync_fraction);
+    }
+    let drift = (gpipe_bubbles[1] - gpipe_bubbles[0]).abs();
+    assert!(drift < 0.08, "gpipe bubbles drifted {gpipe_bubbles:?}");
+    assert!(ddp_sync[1] > 2.0 * ddp_sync[0], "{ddp_sync:?}");
+}
+
+/// ZeRO-3's gap to DDP widens with scale (more exposed gather traffic).
+#[test]
+fn zero3_gap_grows_with_scale() {
+    let model = zoo::stable_diffusion_v2_1();
+    let mut gaps = Vec::new();
+    for machines in [1usize, 8] {
+        let cluster = ClusterSpec::p4de(machines);
+        let world = cluster.world_size();
+        let batch = 16 * world as u32;
+        let d = db(&model, world, batch);
+        let r_ddp = ddp(&d, &cluster, batch);
+        let r_z3 = zero3(&d, &cluster, batch);
+        gaps.push(r_ddp.throughput / r_z3.throughput);
+    }
+    assert!(gaps[1] > gaps[0], "{gaps:?}");
+}

@@ -1,0 +1,108 @@
+//! Criterion benches for the algorithmic kernels: the partitioning DP
+//! (§4), FFC candidate enumeration and bubble filling (§5), and schedule
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use dpipe_fill::{FillConfig, Filler};
+use dpipe_model::zoo;
+use dpipe_partition::{PartitionConfig, Partitioner};
+use dpipe_profile::{DeviceModel, ProfileDb, Profiler};
+use dpipe_schedule::{ScheduleBuilder, ScheduleKind};
+
+fn db(model: dpipe_model::ModelSpec, batch: u32) -> ProfileDb {
+    Profiler::new(DeviceModel::a100_like()).profile(&model, batch).0
+}
+
+fn bench_partition_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_dp");
+    let database = db(zoo::stable_diffusion_v2_1(), 64);
+    let cluster = ClusterSpec::single_node(8);
+    let bb = database.model().backbones().next().unwrap().0;
+    for stages in [2usize, 4, 8] {
+        let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+        group.bench_with_input(BenchmarkId::new("uniform", stages), &stages, |b, &s| {
+            let part = Partitioner::new(&database, &cluster, &layout);
+            b.iter(|| {
+                part.partition_single(bb, &PartitionConfig::new(s, 4, 64.0))
+                    .unwrap()
+            })
+        });
+    }
+    // Non-uniform replication explores the full (l, s, d) state space.
+    let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+    group.bench_function("nonuniform_s4_d8", |b| {
+        let part = Partitioner::new(&database, &cluster, &layout);
+        b.iter(|| {
+            part.partition_single(bb, &PartitionConfig::new(4, 4, 64.0).with_nonuniform())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_bidirectional_dp(c: &mut Criterion) {
+    let database = db(zoo::cdm_lsun(), 128);
+    let cluster = ClusterSpec::single_node(8);
+    let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+    let mut bbs = database.model().backbones().map(|(id, _)| id);
+    let b0 = bbs.next().unwrap();
+    let b1 = bbs.next().unwrap();
+    c.bench_function("bidirectional_dp_s4", |b| {
+        let part = Partitioner::new(&database, &cluster, &layout);
+        b.iter(|| {
+            part.partition_bidirectional(b0, b1, &PartitionConfig::new(4, 4, 128.0))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_schedule_sim(c: &mut Criterion) {
+    let database = db(zoo::stable_diffusion_v2_1(), 64);
+    let cluster = ClusterSpec::single_node(8);
+    let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+    let bb = database.model().backbones().next().unwrap().0;
+    let part = Partitioner::new(&database, &cluster, &layout);
+    let plan = part
+        .partition_single(bb, &PartitionConfig::new(4, 8, 64.0))
+        .unwrap();
+    c.bench_function("schedule_1f1b_s4_m8", |b| {
+        let builder = ScheduleBuilder::new(&database, &cluster, &layout);
+        b.iter(|| builder.build_single(&plan, ScheduleKind::Fifo1F1B).unwrap())
+    });
+}
+
+fn bench_bubble_filling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bubble_filling");
+    for (model, name) in [
+        (zoo::stable_diffusion_v2_1(), "sd"),
+        (zoo::controlnet_v1_0(), "controlnet"),
+    ] {
+        let database = db(model, 256);
+        let cluster = ClusterSpec::single_node(8);
+        let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+        let bb = database.model().backbones().next().unwrap().0;
+        let part = Partitioner::new(&database, &cluster, &layout);
+        let plan = part
+            .partition_single(bb, &PartitionConfig::new(2, 2, 256.0))
+            .unwrap();
+        let sched = ScheduleBuilder::new(&database, &cluster, &layout)
+            .build_single(&plan, ScheduleKind::Fifo1F1B)
+            .unwrap();
+        let bubbles = sched.bubbles(0.010);
+        group.bench_function(name, |b| {
+            let filler = Filler::new(&database, FillConfig::default());
+            b.iter(|| filler.fill(&bubbles, sched.group_batch, 8).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition_dp,
+    bench_bidirectional_dp,
+    bench_schedule_sim,
+    bench_bubble_filling
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for the back-end substrate: tensor kernels and the
+//! threaded pipeline engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpipe_engine::{EngineConfig, PipelineEngine, SyntheticTask};
+use dpipe_tensor::{Layer, Linear, Matrix};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let a = Matrix::randn(n, n, 1);
+        let b = Matrix::randn(n, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_linear_fwd_bwd(c: &mut Criterion) {
+    let mut layer = Linear::new(128, 128, 3);
+    let x = Matrix::randn(32, 128, 4);
+    c.bench_function("linear_fwd_bwd_32x128", |b| {
+        b.iter(|| {
+            let y = layer.forward(&x);
+            layer.backward(&y)
+        })
+    });
+}
+
+fn bench_pipeline_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_iteration");
+    group.sample_size(10);
+    for (stages, groups) in [(2usize, 1usize), (4, 1), (2, 2)] {
+        let task = SyntheticTask::new(1, 32, 32, 7);
+        let cfg = EngineConfig {
+            stage_layers: vec![1; stages],
+            micro_batches: 4,
+            dp_groups: groups,
+            lr: 0.01,
+            optimizer: None,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("train_3_iters", format!("s{stages}g{groups}")),
+            &cfg,
+            |b, cfg| b.iter(|| PipelineEngine::train(&task, cfg, 3).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_linear_fwd_bwd, bench_pipeline_engine);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for the end-to-end planner (§6.4 pre-processing
+//! overhead: the paper reports partitioning ~0.5 s and filling < 1 s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffusionpipe_core::Planner;
+use dpipe_cluster::ClusterSpec;
+use dpipe_model::zoo;
+use dpipe_profile::{DeviceModel, Profiler};
+
+fn bench_end_to_end_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan");
+    group.sample_size(10);
+    for machines in [1usize, 4] {
+        let cluster = ClusterSpec::p4de(machines);
+        let batch = 32 * cluster.world_size() as u32;
+        group.bench_with_input(
+            BenchmarkId::new("sd", machines * 8),
+            &machines,
+            |b, &_m| {
+                let planner = Planner::new(zoo::stable_diffusion_v2_1(), cluster.clone());
+                b.iter(|| planner.plan(batch).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profiling_pass(c: &mut Criterion) {
+    c.bench_function("profile_sd_batch64", |b| {
+        let model = zoo::stable_diffusion_v2_1();
+        b.iter(|| {
+            Profiler::new(DeviceModel::a100_like())
+                .with_world_size(8)
+                .profile(&model, 64)
+        })
+    });
+}
+
+criterion_group!(benches, bench_end_to_end_plan, bench_profiling_pass);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! α–β communication cost model.
+
+use crate::device::DeviceId;
+use crate::topology::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth/latency pair for one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Achievable bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// One-way latency in seconds.
+    pub latency: f64,
+}
+
+impl LinkParams {
+    /// Time to move `bytes` over this link once: `latency + bytes/bandwidth`.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Communication cost model over a [`ClusterSpec`].
+///
+/// Provides the `R_x` / `L_x` quantities of the paper's Table 4 for
+/// point-to-point (`p2p`) transfers between pipeline stages and ring /
+/// hierarchical all-reduce (`ar`) for gradient synchronisation.
+#[derive(Debug, Clone)]
+pub struct CommModel {
+    cluster: ClusterSpec,
+}
+
+impl CommModel {
+    /// Creates a model for the given cluster.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        CommModel { cluster }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Link parameters between two specific devices.
+    pub fn p2p_link(&self, a: DeviceId, b: DeviceId) -> LinkParams {
+        if self.cluster.same_machine(a, b) {
+            self.cluster.intra_link
+        } else {
+            self.cluster.inter_link
+        }
+    }
+
+    /// Point-to-point transfer time of `bytes` between two devices.
+    pub fn p2p_time(&self, bytes: u64, a: DeviceId, b: DeviceId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.p2p_link(a, b).transfer_time(bytes)
+    }
+
+    /// Effective inter-node collective bandwidth for a collective spanning
+    /// `nodes` machines: the full EFA bandwidth within a rack pair, divided
+    /// by the spine oversubscription beyond that.
+    pub fn inter_collective_bandwidth(&self, nodes: usize) -> f64 {
+        if nodes <= 2 {
+            self.cluster.inter_link.bandwidth
+        } else {
+            self.cluster.inter_link.bandwidth / self.cluster.spine_oversubscription
+        }
+    }
+
+    /// All-reduce time of `bytes` across the given devices, using a
+    /// hierarchical (intra-node ring, then inter-node ring) schedule.
+    ///
+    /// Degenerates to a plain intra-node ring when all devices share a
+    /// machine and to zero for groups of one.
+    pub fn allreduce_time(&self, bytes: u64, devices: &[DeviceId]) -> f64 {
+        let g = devices.len();
+        if g <= 1 {
+            return 0.0;
+        }
+        let nodes = self.cluster.machines_spanned(devices);
+        let bytes_f = bytes as f64;
+        // Intra-node ring over the local group.
+        let local = (g + nodes - 1) / nodes; // devices per node (ceil)
+        let intra = if local > 1 {
+            2.0 * (local as f64 - 1.0) / local as f64 * bytes_f / self.cluster.intra_link.bandwidth
+                + 2.0 * (local as f64 - 1.0) * self.cluster.intra_link.latency
+        } else {
+            0.0
+        };
+        // Inter-node ring over node leaders.
+        let inter = if nodes > 1 {
+            let bw = self.inter_collective_bandwidth(nodes);
+            2.0 * (nodes as f64 - 1.0) / nodes as f64 * bytes_f / bw
+                + 2.0 * (nodes as f64 - 1.0) * self.cluster.inter_link.latency
+        } else {
+            0.0
+        };
+        intra + inter
+    }
+
+    /// Bandwidth/latency summary used by the partitioner for a *stage*
+    /// replicated on `devices`: the all-reduce is timed via
+    /// [`CommModel::allreduce_time`]; this helper exposes the equivalent
+    /// effective rate for Eqn. (4)'s `R_ar`/`L_ar` form.
+    pub fn allreduce_effective(&self, devices: &[DeviceId]) -> LinkParams {
+        let g = devices.len();
+        if g <= 1 {
+            return LinkParams {
+                bandwidth: f64::INFINITY,
+                latency: 0.0,
+            };
+        }
+        // Derive from a reference 1 GiB transfer.
+        let reference: u64 = 1 << 30;
+        let t = self.allreduce_time(reference, devices);
+        let lat = self.allreduce_time(0, devices);
+        LinkParams {
+            bandwidth: reference as f64 / (t - lat).max(1e-12),
+            latency: lat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(machines: usize) -> CommModel {
+        ClusterSpec::p4de(machines).comm_model()
+    }
+
+    #[test]
+    fn p2p_zero_for_self() {
+        let m = model(1);
+        assert_eq!(m.p2p_time(1 << 20, DeviceId(0), DeviceId(0)), 0.0);
+    }
+
+    #[test]
+    fn p2p_inter_node_slower() {
+        let m = model(2);
+        let intra = m.p2p_time(1 << 30, DeviceId(0), DeviceId(1));
+        let inter = m.p2p_time(1 << 30, DeviceId(0), DeviceId(8));
+        assert!(inter > 3.0 * intra);
+    }
+
+    #[test]
+    fn allreduce_single_device_is_free() {
+        let m = model(1);
+        assert_eq!(m.allreduce_time(1 << 30, &[DeviceId(0)]), 0.0);
+    }
+
+    #[test]
+    fn allreduce_grows_with_group_size() {
+        let m = model(8);
+        let bytes = 3_550_000_000u64; // SD v2.1 gradient volume
+        let g8: Vec<DeviceId> = (0..8).map(DeviceId).collect();
+        let g16: Vec<DeviceId> = (0..16).map(DeviceId).collect();
+        let g64: Vec<DeviceId> = (0..64).map(DeviceId).collect();
+        let t8 = m.allreduce_time(bytes, &g8);
+        let t16 = m.allreduce_time(bytes, &g16);
+        let t64 = m.allreduce_time(bytes, &g64);
+        assert!(t8 < t16 && t16 < t64);
+        // Table 2 calibration: ~45 ms intra-node, ~500 ms at 64 GPUs.
+        assert!((0.030..0.070).contains(&t8), "t8={t8}");
+        assert!((0.40..0.65).contains(&t64), "t64={t64}");
+    }
+
+    #[test]
+    fn spine_oversubscription_kicks_in_past_two_nodes() {
+        let m = model(8);
+        assert_eq!(m.inter_collective_bandwidth(2), 24.0e9);
+        assert!(m.inter_collective_bandwidth(4) < 15.0e9);
+    }
+
+    #[test]
+    fn allreduce_effective_rates_are_sane() {
+        let m = model(2);
+        let devs: Vec<DeviceId> = (0..16).map(DeviceId).collect();
+        let eff = m.allreduce_effective(&devs);
+        assert!(eff.bandwidth > 1e9 && eff.bandwidth < 300e9);
+        assert!(eff.latency >= 0.0);
+        let single = m.allreduce_effective(&[DeviceId(0)]);
+        assert!(single.bandwidth.is_infinite());
+    }
+
+    #[test]
+    fn transfer_time_is_alpha_beta() {
+        let l = LinkParams {
+            bandwidth: 1e9,
+            latency: 1e-6,
+        };
+        let t = l.transfer_time(1_000_000_000);
+        assert!((t - 1.000001).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+//! Cluster topology and communication cost models.
+//!
+//! Substitutes the paper's physical testbed (8× AWS p4de.24xlarge: 8× A100
+//! per machine, NVSwitch intra-node, EFA inter-node) with an explicit
+//! topology description and an α–β (latency–bandwidth) communication model.
+//! The planner's partitioning equations (Eqns. 3–8 of the paper) consume only
+//! bandwidths `R_x` and latencies `L_x` for point-to-point and all-reduce
+//! operations, which this crate provides.
+//!
+//! # Example
+//!
+//! ```
+//! use dpipe_cluster::{ClusterSpec, DeviceId};
+//!
+//! let cluster = ClusterSpec::p4de(2); // 2 machines x 8 GPUs
+//! assert_eq!(cluster.world_size(), 16);
+//! let comm = cluster.comm_model();
+//! // Intra-node p2p is far faster than inter-node.
+//! let intra = comm.p2p_time(1 << 30, DeviceId(0), DeviceId(1));
+//! let inter = comm.p2p_time(1 << 30, DeviceId(0), DeviceId(8));
+//! assert!(inter > intra);
+//! ```
+
+mod comm;
+mod device;
+mod groups;
+mod topology;
+
+pub use comm::{CommModel, LinkParams};
+pub use device::{DeviceId, MachineId};
+pub use groups::{DataParallelLayout, PipelineGroup};
+pub use topology::ClusterSpec;

@@ -1,0 +1,141 @@
+//! Cluster shape and hardware parameters.
+
+use crate::comm::{CommModel, LinkParams};
+use crate::device::{DeviceId, MachineId};
+use serde::{Deserialize, Serialize};
+
+/// Description of a homogeneous GPU cluster.
+///
+/// Calibrated defaults model the paper's testbed: AWS p4de.24xlarge machines
+/// with 8× A100-80GB, 600 GB/s NVSwitch intra-node and 400 Gb/s EFA
+/// inter-node. Effective (achievable) bandwidths are lower than the marketing
+/// peaks; the defaults are fit so the DDP synchronisation shares of Table 2
+/// (≈5% at 8 GPUs growing to ≈40% at 64 GPUs) are reproduced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of machines (nodes).
+    pub machines: usize,
+    /// Devices (GPUs) per machine.
+    pub devices_per_machine: usize,
+    /// Intra-node link (NVSwitch-class).
+    pub intra_link: LinkParams,
+    /// Inter-node link (EFA-class), full bandwidth within a rack pair.
+    pub inter_link: LinkParams,
+    /// Bandwidth divisor applied to inter-node collectives spanning more
+    /// than two machines (spine oversubscription).
+    pub spine_oversubscription: f64,
+    /// Device memory in bytes (A100-80GB default).
+    pub device_memory_bytes: u64,
+}
+
+impl ClusterSpec {
+    /// A p4de.24xlarge-like cluster with `machines` nodes of 8 GPUs.
+    pub fn p4de(machines: usize) -> Self {
+        ClusterSpec {
+            machines,
+            devices_per_machine: 8,
+            intra_link: LinkParams {
+                bandwidth: 140.0e9, // effective NVSwitch collective bandwidth
+                latency: 8.0e-6,
+            },
+            inter_link: LinkParams {
+                bandwidth: 24.0e9, // 400 Gb/s EFA, effective collective rate
+                latency: 30.0e-6,
+            },
+            spine_oversubscription: 1.84,
+            device_memory_bytes: 80 * (1 << 30),
+        }
+    }
+
+    /// A single-machine cluster with `devices` GPUs (useful for tests).
+    pub fn single_node(devices: usize) -> Self {
+        ClusterSpec {
+            devices_per_machine: devices,
+            ..ClusterSpec::p4de(1)
+        }
+    }
+
+    /// Total number of devices.
+    pub fn world_size(&self) -> usize {
+        self.machines * self.devices_per_machine
+    }
+
+    /// All device ids in rank order.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> {
+        (0..self.world_size()).map(DeviceId)
+    }
+
+    /// Machine hosting a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device rank is out of range.
+    pub fn machine_of(&self, d: DeviceId) -> MachineId {
+        assert!(d.rank() < self.world_size(), "device {d} out of range");
+        MachineId(d.rank() / self.devices_per_machine)
+    }
+
+    /// True if both devices are on the same machine.
+    pub fn same_machine(&self, a: DeviceId, b: DeviceId) -> bool {
+        self.machine_of(a) == self.machine_of(b)
+    }
+
+    /// Number of distinct machines spanned by the given devices.
+    pub fn machines_spanned(&self, devices: &[DeviceId]) -> usize {
+        let mut machines: Vec<usize> = devices
+            .iter()
+            .map(|&d| self.machine_of(d).index())
+            .collect();
+        machines.sort_unstable();
+        machines.dedup();
+        machines.len()
+    }
+
+    /// The communication cost model for this topology.
+    pub fn comm_model(&self) -> CommModel {
+        CommModel::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p4de_shape() {
+        let c = ClusterSpec::p4de(8);
+        assert_eq!(c.world_size(), 64);
+        assert_eq!(c.machine_of(DeviceId(0)), MachineId(0));
+        assert_eq!(c.machine_of(DeviceId(63)), MachineId(7));
+        assert!(c.same_machine(DeviceId(0), DeviceId(7)));
+        assert!(!c.same_machine(DeviceId(7), DeviceId(8)));
+    }
+
+    #[test]
+    fn machines_spanned_counts_unique() {
+        let c = ClusterSpec::p4de(4);
+        let devs: Vec<DeviceId> = vec![DeviceId(0), DeviceId(1), DeviceId(8), DeviceId(9)];
+        assert_eq!(c.machines_spanned(&devs), 2);
+        assert_eq!(c.machines_spanned(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn machine_of_panics_out_of_range() {
+        ClusterSpec::p4de(1).machine_of(DeviceId(8));
+    }
+
+    #[test]
+    fn single_node_helper() {
+        let c = ClusterSpec::single_node(4);
+        assert_eq!(c.world_size(), 4);
+        assert_eq!(c.machines, 1);
+    }
+
+    #[test]
+    fn devices_iterates_in_rank_order() {
+        let c = ClusterSpec::single_node(3);
+        let ranks: Vec<usize> = c.devices().map(|d| d.rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2]);
+    }
+}

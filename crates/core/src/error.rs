@@ -1,0 +1,45 @@
+//! Planning errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the end-to-end planner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The model failed validation.
+    InvalidModel(String),
+    /// No (S, M, D) configuration fits in device memory.
+    NoFeasibleConfig,
+    /// Models with more than two backbones are not supported by the
+    /// bidirectional scheduler (the paper groups >2 backbones into two
+    /// direction groups; this reproduction covers the evaluated 1–2
+    /// backbone cases).
+    TooManyBackbones(usize),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::InvalidModel(m) => write!(f, "invalid model: {m}"),
+            PlanError::NoFeasibleConfig => {
+                f.write_str("no pipeline configuration fits in device memory")
+            }
+            PlanError::TooManyBackbones(n) => {
+                write!(f, "{n} backbones unsupported (max 2)")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(PlanError::TooManyBackbones(3).to_string().contains('3'));
+        assert!(PlanError::NoFeasibleConfig.to_string().contains("memory"));
+    }
+}

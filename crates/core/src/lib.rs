@@ -1,0 +1,40 @@
+//! DiffusionPipe front-end: the planning workflow of Fig. 7.
+//!
+//! [`Planner`] wires the whole system together:
+//!
+//! 1. **Profile** the model on the cluster ([`dpipe_profile::Profiler`],
+//!    step 1);
+//! 2. **Enumerate** pipeline hyper-parameters (S, M, D) (Table 3);
+//! 3. **Partition** the backbone(s) with the §4 dynamic program
+//!    ([`dpipe_partition::Partitioner`], step 2) — single-backbone,
+//!    bidirectional for cascaded models, self-conditioning-aware;
+//! 4. **Schedule** FIFO-1F1B / bidirectional pipelines
+//!    ([`dpipe_schedule::ScheduleBuilder`], step 3) and extract bubbles;
+//! 5. **Fill** bubbles with the frozen part ([`dpipe_fill::Filler`], §5,
+//!    step 4) under cross-iteration pipelining (§3.2);
+//! 6. **Select** the configuration with the best simulated throughput
+//!    (step 5) subject to device memory.
+//!
+//! # Example
+//!
+//! ```
+//! use diffusionpipe_core::Planner;
+//! use dpipe_cluster::ClusterSpec;
+//! use dpipe_model::zoo;
+//!
+//! let plan = Planner::new(zoo::stable_diffusion_v2_1(), ClusterSpec::single_node(8))
+//!     .plan(256)
+//!     .unwrap();
+//! assert!(plan.throughput > 0.0);
+//! assert!(plan.bubble_ratio < 0.25);
+//! ```
+
+mod error;
+mod instructions;
+mod plan;
+mod planner;
+
+pub use error::PlanError;
+pub use instructions::generate_instructions;
+pub use plan::{BackbonePartition, Plan, PreprocessingReport};
+pub use planner::{Planner, PlannerOptions};

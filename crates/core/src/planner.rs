@@ -1,0 +1,335 @@
+//! The end-to-end planning workflow.
+
+use crate::error::PlanError;
+use crate::plan::{BackbonePartition, Plan, PreprocessingReport};
+use dpipe_baselines::MemoryModel;
+use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use dpipe_fill::{FillConfig, Filler};
+use dpipe_model::ModelSpec;
+use dpipe_partition::{
+    enumerate_configs, PartitionConfig, Partitioner, SearchSpace,
+};
+use dpipe_profile::{DeviceModel, ProfileDb, Profiler};
+use dpipe_schedule::{PipelineSchedule, ScheduleBuilder, ScheduleKind};
+use dpipe_sim::CombinedIteration;
+use std::time::Instant;
+
+/// Feature toggles, used for the paper's Fig. 15 ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerOptions {
+    /// Fill bubbles with the frozen part (the core contribution).
+    pub bubble_filling: bool,
+    /// Allow partial-batch layers inside bubbles.
+    pub partial_batch: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            bubble_filling: true,
+            partial_batch: true,
+        }
+    }
+}
+
+/// The DiffusionPipe planner. See the crate docs for the workflow.
+#[derive(Debug)]
+pub struct Planner {
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    device: DeviceModel,
+    search: SearchSpace,
+    options: PlannerOptions,
+    fill_cfg: FillConfig,
+}
+
+impl Planner {
+    /// Creates a planner with default device model, search space and
+    /// options.
+    pub fn new(model: ModelSpec, cluster: ClusterSpec) -> Self {
+        Planner {
+            model,
+            cluster,
+            device: DeviceModel::a100_like(),
+            search: SearchSpace::default(),
+            options: PlannerOptions::default(),
+            fill_cfg: FillConfig::default(),
+        }
+    }
+
+    /// Overrides the device model.
+    pub fn with_device(mut self, device: DeviceModel) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Overrides the hyper-parameter search space.
+    pub fn with_search_space(mut self, search: SearchSpace) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Sets ablation options (Fig. 15).
+    pub fn with_options(mut self, options: PlannerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the bubble-filling configuration.
+    pub fn with_fill_config(mut self, cfg: FillConfig) -> Self {
+        self.fill_cfg = cfg;
+        self
+    }
+
+    /// Runs the full workflow for a global batch size, returning the best
+    /// plan by simulated cluster throughput.
+    ///
+    /// For cascaded models, `global_batch` is the per-backbone batch (the
+    /// paper trains all backbones of a CDM at the same batch size).
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanError`].
+    pub fn plan(&self, global_batch: u32) -> Result<Plan, PlanError> {
+        self.model
+            .validate()
+            .map_err(|e| PlanError::InvalidModel(e.to_string()))?;
+        let backbones: Vec<_> = self.model.backbones().map(|(id, _)| id).collect();
+        if backbones.len() > 2 {
+            return Err(PlanError::TooManyBackbones(backbones.len()));
+        }
+
+        // Step 1: profile (simulated wall time reported).
+        let profiler = Profiler::new(self.device.clone()).with_world_size(self.cluster.world_size());
+        let (db, profile_report) = profiler.profile(&self.model, global_batch);
+
+        let min_layers = backbones
+            .iter()
+            .map(|&b| self.model.component(b).num_layers())
+            .min()
+            .expect("validated model has a backbone");
+        let configs = enumerate_configs(&self.cluster, global_batch, min_layers, &self.search);
+
+        let mut fill_cfg = self.fill_cfg.clone();
+        fill_cfg.partial_batch = self.options.partial_batch;
+
+        let mut best: Option<Plan> = None;
+        let mut partition_seconds = 0.0;
+        let mut fill_seconds = 0.0;
+        let world = self.cluster.world_size();
+        let mm = MemoryModel::new(&self.model);
+
+        for hp in configs {
+            let Some(layout) = DataParallelLayout::new(&self.cluster, hp.group_size) else {
+                continue;
+            };
+            let cfg = PartitionConfig::new(
+                hp.num_stages,
+                hp.num_micro_batches,
+                hp.group_batch(global_batch, world),
+            );
+            let part = Partitioner::new(&db, &self.cluster, &layout);
+
+            let t0 = Instant::now();
+            let partition = if backbones.len() == 1 {
+                match part.partition_single(backbones[0], &cfg) {
+                    Ok(p) => BackbonePartition::Single(p),
+                    Err(_) => continue,
+                }
+            } else {
+                match part.partition_bidirectional(backbones[0], backbones[1], &cfg) {
+                    Ok(p) => BackbonePartition::Bidirectional(p),
+                    Err(_) => continue,
+                }
+            };
+            partition_seconds += t0.elapsed().as_secs_f64();
+
+            let t1 = Instant::now();
+            let builder = ScheduleBuilder::new(&db, &self.cluster, &layout);
+            let schedule = match &partition {
+                BackbonePartition::Single(p) => builder.build_single(p, ScheduleKind::Fifo1F1B),
+                BackbonePartition::Bidirectional(p) => builder.build_bidirectional(p),
+            };
+            let Ok(schedule) = schedule else { continue };
+
+            let bubbles = schedule.bubbles(fill_cfg.min_bubble_seconds);
+            let filler = Filler::new(&db, fill_cfg.clone());
+            let fill = if self.options.bubble_filling {
+                match filler.fill(&bubbles, schedule.group_batch, hp.group_size) {
+                    Ok(f) => f,
+                    Err(_) => continue,
+                }
+            } else {
+                // Ablation: nothing filled; the frozen part is a pure tail.
+                match filler.fill(&[], schedule.group_batch, hp.group_size) {
+                    Ok(f) => f,
+                    Err(_) => continue,
+                }
+            };
+            let combined = CombinedIteration::new(&schedule, &bubbles, &fill);
+            fill_seconds += t1.elapsed().as_secs_f64();
+
+            let peak = self.peak_memory(&mm, &partition, &schedule);
+            if peak > self.cluster.device_memory_bytes {
+                continue;
+            }
+            let dp_groups = world / hp.group_size;
+            let throughput = combined.cluster_throughput(dp_groups);
+            let plan = Plan {
+                hyper: hp,
+                partition,
+                schedule,
+                bubbles,
+                fill,
+                iteration_time: combined.iteration_time(),
+                throughput,
+                bubble_ratio: combined.bubble_ratio(),
+                peak_memory_bytes: peak,
+                preprocessing: PreprocessingReport::default(),
+            };
+            let better = best
+                .as_ref()
+                .map_or(true, |b| plan.throughput > b.throughput);
+            if better {
+                best = Some(plan);
+            }
+        }
+
+        let mut plan = best.ok_or(PlanError::NoFeasibleConfig)?;
+        plan.preprocessing = PreprocessingReport {
+            profiling_seconds: profile_report.wall_time_seconds,
+            partition_seconds,
+            fill_seconds,
+        };
+        Ok(plan)
+    }
+
+    /// Convenience accessor for the profile database used during planning,
+    /// for callers that want to inspect layer times afterwards.
+    pub fn profile(&self, global_batch: u32) -> ProfileDb {
+        Profiler::new(self.device.clone())
+            .with_world_size(self.cluster.world_size())
+            .profile(&self.model, global_batch)
+            .0
+    }
+
+    fn peak_memory(
+        &self,
+        mm: &MemoryModel<'_>,
+        partition: &BackbonePartition,
+        schedule: &PipelineSchedule,
+    ) -> u64 {
+        let stage_peaks = |p: &dpipe_partition::PartitionPlan| -> u64 {
+            let s_count = p.stages.len();
+            p.stages
+                .iter()
+                .enumerate()
+                .map(|(s, st)| {
+                    let in_flight = p.num_micro_batches.min(s_count - s).max(1);
+                    mm.pipeline_stage_peak(
+                        st.component,
+                        st.layers.clone(),
+                        st.local_batch(p.micro_batch),
+                        in_flight,
+                    )
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let _ = schedule;
+        match partition {
+            BackbonePartition::Single(p) => stage_peaks(p),
+            // Bidirectional: each device holds one stage of each backbone.
+            BackbonePartition::Bidirectional(p) => stage_peaks(&p.down) + stage_peaks(&p.up),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpipe_model::zoo;
+
+    #[test]
+    fn sd_plan_beats_no_fill_ablation() {
+        let model = zoo::stable_diffusion_v2_1();
+        let cluster = ClusterSpec::single_node(8);
+        let full = Planner::new(model.clone(), cluster.clone()).plan(256).unwrap();
+        let no_fill = Planner::new(model, cluster)
+            .with_options(PlannerOptions {
+                bubble_filling: false,
+                partial_batch: false,
+            })
+            .plan(256)
+            .unwrap();
+        assert!(
+            full.throughput > no_fill.throughput,
+            "full {} !> no_fill {}",
+            full.throughput,
+            no_fill.throughput
+        );
+    }
+
+    #[test]
+    fn partial_batch_ablation_is_between() {
+        let model = zoo::stable_diffusion_v2_1();
+        let cluster = ClusterSpec::single_node(8);
+        let full = Planner::new(model.clone(), cluster.clone()).plan(384).unwrap();
+        let no_partial = Planner::new(model.clone(), cluster.clone())
+            .with_options(PlannerOptions {
+                bubble_filling: true,
+                partial_batch: false,
+            })
+            .plan(384)
+            .unwrap();
+        let no_fill = Planner::new(model, cluster)
+            .with_options(PlannerOptions {
+                bubble_filling: false,
+                partial_batch: false,
+            })
+            .plan(384)
+            .unwrap();
+        assert!(full.throughput >= no_partial.throughput);
+        assert!(no_partial.throughput >= 0.98 * no_fill.throughput);
+    }
+
+    #[test]
+    fn cdm_uses_bidirectional_partition() {
+        let model = zoo::cdm_lsun();
+        let cluster = ClusterSpec::single_node(8);
+        let plan = Planner::new(model, cluster).plan(256).unwrap();
+        assert!(matches!(plan.partition, BackbonePartition::Bidirectional(_)));
+        assert!(plan.throughput > 0.0);
+    }
+
+    #[test]
+    fn plan_reports_preprocessing_costs() {
+        let model = zoo::stable_diffusion_v2_1();
+        let cluster = ClusterSpec::single_node(8);
+        let plan = Planner::new(model, cluster).plan(64).unwrap();
+        // §6.4: partitioning ~0.5 s, filling < 1 s, profiling tens of
+        // seconds (simulated). Wall times here just need to be sane.
+        assert!(plan.preprocessing.profiling_seconds > 0.0);
+        assert!(plan.preprocessing.partition_seconds < 30.0);
+        assert!(plan.preprocessing.fill_seconds < 30.0);
+    }
+
+    #[test]
+    fn residual_bubbles_are_small() {
+        // Fig. 14: DiffusionPipe's bubble ratio < 5%.
+        let model = zoo::stable_diffusion_v2_1();
+        let cluster = ClusterSpec::single_node(8);
+        let plan = Planner::new(model, cluster).plan(256).unwrap();
+        assert!(plan.bubble_ratio < 0.08, "ratio {}", plan.bubble_ratio);
+    }
+
+    #[test]
+    fn invalid_model_rejected() {
+        let mut model = zoo::stable_diffusion_v2_1();
+        model.components.retain(|c| !c.is_trainable());
+        let err = Planner::new(model, ClusterSpec::single_node(8))
+            .plan(64)
+            .unwrap_err();
+        assert!(matches!(err, PlanError::InvalidModel(_)));
+    }
+}

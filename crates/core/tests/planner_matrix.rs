@@ -1,0 +1,79 @@
+//! Planner behaviour across the full model zoo and cluster matrix.
+
+use diffusionpipe_core::{BackbonePartition, Planner};
+use dpipe_cluster::ClusterSpec;
+use dpipe_model::zoo;
+
+/// Every zoo model plans successfully at every cluster scale, with memory
+/// within budget and a finite positive throughput.
+#[test]
+fn every_model_plans_at_every_scale() {
+    let models = [
+        zoo::stable_diffusion_v2_1(),
+        zoo::controlnet_v1_0(),
+        zoo::cdm_lsun(),
+        zoo::cdm_imagenet(),
+        zoo::dit_xl_2(),
+        zoo::sdxl_base(),
+        zoo::imagen_base(),
+    ];
+    for machines in [1usize, 2] {
+        let cluster = ClusterSpec::p4de(machines);
+        let world = cluster.world_size();
+        for model in &models {
+            let batch = 16 * world as u32;
+            let plan = Planner::new(model.clone(), cluster.clone())
+                .plan(batch)
+                .unwrap_or_else(|e| panic!("{} at {world} GPUs: {e}", model.name));
+            assert!(plan.throughput.is_finite() && plan.throughput > 0.0);
+            assert!(plan.peak_memory_bytes <= cluster.device_memory_bytes);
+            assert!(plan.iteration_time > 0.0);
+            match (&plan.partition, model.backbones().count()) {
+                (BackbonePartition::Single(_), 1) => {}
+                (BackbonePartition::Bidirectional(_), 2) => {}
+                (p, n) => panic!("{}: {n} backbones but partition {p:?}", model.name),
+            }
+        }
+    }
+}
+
+/// Throughput grows with the global batch (larger local batches amortise
+/// overheads) and with the cluster size.
+#[test]
+fn throughput_monotonic_in_batch_and_scale() {
+    let model = zoo::stable_diffusion_v2_1();
+    let cluster = ClusterSpec::single_node(8);
+    let t64 = Planner::new(model.clone(), cluster.clone()).plan(64).unwrap().throughput;
+    let t256 = Planner::new(model.clone(), cluster.clone()).plan(256).unwrap().throughput;
+    assert!(t256 > t64, "{t256} !> {t64}");
+
+    let big = ClusterSpec::p4de(2);
+    let t_big = Planner::new(model, big).plan(512).unwrap().throughput;
+    let t_small = Planner::new(zoo::stable_diffusion_v2_1(), cluster).plan(256).unwrap().throughput;
+    assert!(t_big > t_small, "{t_big} !> {t_small}");
+}
+
+/// The planner is deterministic: same inputs, identical plan.
+#[test]
+fn planning_is_deterministic() {
+    let model = zoo::controlnet_v1_0();
+    let cluster = ClusterSpec::single_node(8);
+    let a = Planner::new(model.clone(), cluster.clone()).plan(256).unwrap();
+    let b = Planner::new(model, cluster).plan(256).unwrap();
+    assert_eq!(a.hyper, b.hyper);
+    assert_eq!(a.throughput, b.throughput);
+    assert_eq!(a.fill.bubbles.len(), b.fill.bubbles.len());
+}
+
+/// Imagen's giant frozen encoder gets almost entirely absorbed into
+/// bubbles at multi-node scale.
+#[test]
+fn imagen_frozen_part_is_absorbed_at_scale() {
+    let model = zoo::imagen_base();
+    let cluster = ClusterSpec::p4de(4);
+    let plan = Planner::new(model, cluster).plan(2048).unwrap();
+    assert!(plan.hyper.num_stages >= 2, "{}", plan.summary());
+    let absorbed = plan.fill.filled_time()
+        / (plan.fill.filled_time() + plan.fill.leftover_time).max(1e-12);
+    assert!(absorbed > 0.9, "only {:.0}% absorbed", absorbed * 100.0);
+}

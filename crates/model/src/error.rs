@@ -1,0 +1,71 @@
+//! Model validation errors.
+
+use crate::ComponentId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when validating a [`crate::ModelSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A component references a dependency that does not exist.
+    DanglingDependency {
+        /// The component holding the bad reference.
+        component: ComponentId,
+        /// The missing dependency.
+        dep: ComponentId,
+    },
+    /// The component dependency graph contains a cycle.
+    CyclicDependency,
+    /// The model has no trainable backbone.
+    NoBackbone,
+    /// A component has no layers.
+    EmptyComponent(ComponentId),
+    /// A layer has invalid cost metadata (NaN / negative values).
+    InvalidLayer {
+        /// Owning component.
+        component: ComponentId,
+        /// Layer index within the component.
+        layer: usize,
+    },
+    /// Self-conditioning probability outside `[0, 1]`.
+    InvalidSelfCondProbability(f64),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DanglingDependency { component, dep } => {
+                write!(f, "component {component} depends on missing component {dep}")
+            }
+            ModelError::CyclicDependency => f.write_str("component dependency graph has a cycle"),
+            ModelError::NoBackbone => f.write_str("model has no trainable backbone"),
+            ModelError::EmptyComponent(c) => write!(f, "component {c} has no layers"),
+            ModelError::InvalidLayer { component, layer } => {
+                write!(f, "layer {layer} of component {component} has invalid cost metadata")
+            }
+            ModelError::InvalidSelfCondProbability(p) => {
+                write!(f, "self-conditioning probability {p} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = ModelError::DanglingDependency {
+            component: ComponentId(1),
+            dep: ComponentId(9),
+        };
+        assert_eq!(e.to_string(), "component c1 depends on missing component c9");
+        assert!(ModelError::NoBackbone.to_string().contains("backbone"));
+        assert!(ModelError::InvalidSelfCondProbability(1.5)
+            .to_string()
+            .contains("1.5"));
+    }
+}

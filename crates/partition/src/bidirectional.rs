@@ -1,0 +1,336 @@
+//! Bidirectional (two-backbone) partitioning DP (paper §4.2, Eqns. 10–16).
+
+use crate::config::PartitionConfig;
+use crate::error::PartitionError;
+use crate::pareto::ParetoFront;
+use crate::plan::{PartitionPlan, StagePlan};
+use crate::single::Partitioner;
+use dpipe_model::ComponentId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of bidirectional partitioning: one plan per backbone sharing the
+/// same device chain. The *down* backbone pipelines from chain offset 0 to
+/// the end; the *up* backbone pipelines in the reverse direction, so up's
+/// stage 0 occupies the chain's last devices (paper Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BidirectionalPlan {
+    /// Partition of the down-pipelined backbone (stage 0 at chain start).
+    pub down: PartitionPlan,
+    /// Partition of the up-pipelined backbone (stage 0 at chain end; its
+    /// `device_offsets` are chain offsets, so stage 0's offsets are the
+    /// largest).
+    pub up: PartitionPlan,
+    /// Combined bound `T^max_CDM` (Eqn. 12), seconds.
+    pub t_max: f64,
+}
+
+/// Bandwidth-contention factor for two pipelines sharing links (paper §4.2
+/// "we reasonably enlarge the communication time by a factor of 2").
+const BIDIR_COMM_SCALE: f64 = 2.0;
+
+#[derive(Debug, Clone)]
+struct BiChoice {
+    prev_i: usize,
+    prev_j: usize,
+    prev_point: usize,
+    down_layers: std::ops::Range<usize>,
+    up_layers: std::ops::Range<usize>,
+}
+
+impl<'a> Partitioner<'a> {
+    /// Partitions two backbones for bidirectional pipelining over the same
+    /// device chain, minimising the Eqn. (12) bound with `M_CDM = 2M`
+    /// (both pipelines contribute `M` paired forward/backward slots in the
+    /// stable phase).
+    ///
+    /// Only uniform replication (`r = D / S`) is supported, matching the
+    /// paper's evaluation setting.
+    ///
+    /// # Errors
+    ///
+    /// See [`PartitionError`].
+    pub fn partition_bidirectional(
+        &self,
+        down: ComponentId,
+        up: ComponentId,
+        cfg: &PartitionConfig,
+    ) -> Result<BidirectionalPlan, PartitionError> {
+        let model = self.cost().db().model();
+        for &c in &[down, up] {
+            let comp = model
+                .components
+                .get(c.index())
+                .ok_or(PartitionError::NotABackbone(c.index()))?;
+            if !comp.is_trainable() {
+                return Err(PartitionError::NotABackbone(c.index()));
+            }
+        }
+        let l_down = model.component(down).num_layers();
+        let l_up = model.component(up).num_layers();
+        let s_total = cfg.num_stages;
+        let devices = self.cost().layout().group_size;
+        if cfg.num_micro_batches == 0 || cfg.group_batch <= 0.0 || s_total == 0 {
+            return Err(PartitionError::DegenerateConfig);
+        }
+        if s_total > l_down.min(l_up) {
+            return Err(PartitionError::TooManyStages {
+                stages: s_total,
+                layers: l_down.min(l_up),
+            });
+        }
+        if s_total > devices {
+            return Err(PartitionError::TooFewDevices {
+                stages: s_total,
+                devices,
+            });
+        }
+        if devices % s_total != 0 {
+            return Err(PartitionError::NonUniformGroup {
+                stages: s_total,
+                devices,
+            });
+        }
+        let r = devices / s_total;
+        let micro = cfg.micro_batch();
+        let sc_prob = model.self_conditioning.map_or(0.0, |sc| sc.probability);
+
+        // State (i, j) after s stages: down layers 0..i assigned to the
+        // chain prefix, up layers (l_up - j)..l_up assigned to the same
+        // prefix (up runs in reverse, so its *last* layers sit at the chain
+        // start).
+        let mut levels: Vec<HashMap<(usize, usize), ParetoFront<BiChoice>>> =
+            Vec::with_capacity(s_total + 1);
+        let mut seed_level = HashMap::new();
+        let mut seed = ParetoFront::new();
+        seed.insert(
+            0.0,
+            0.0,
+            BiChoice {
+                prev_i: 0,
+                prev_j: 0,
+                prev_point: 0,
+                down_layers: 0..0,
+                up_layers: 0..0,
+            },
+        );
+        seed_level.insert((0usize, 0usize), seed);
+        levels.push(seed_level);
+
+        for s in 1..=s_total {
+            let left = s_total - s;
+            let mut cur: HashMap<(usize, usize), ParetoFront<BiChoice>> = HashMap::new();
+            let prev = &levels[s - 1];
+            let offsets: Vec<usize> = ((s - 1) * r..s * r).collect();
+            for (&(i, j), front) in prev {
+                // Down stage: layers i..i2 pipelining toward higher offsets.
+                for i2 in (i + 1)..=(l_down - left) {
+                    let down_layers = i..i2;
+                    let down_terms = self.cost().stage_terms(
+                        down,
+                        down_layers.clone(),
+                        r,
+                        &offsets,
+                        micro,
+                        sc_prob,
+                        BIDIR_COMM_SCALE,
+                    );
+                    for j2 in (j + 1)..=(l_up - left) {
+                        // Up stage occupying the same devices holds up's
+                        // layers (l_up - j2)..(l_up - j).
+                        let up_layers = (l_up - j2)..(l_up - j);
+                        let up_terms = self.cost().stage_terms(
+                            up,
+                            up_layers.clone(),
+                            r,
+                            &offsets,
+                            micro,
+                            sc_prob,
+                            BIDIR_COMM_SCALE,
+                        );
+                        let t0 = down_terms.t0.max(up_terms.t0);
+                        let gap = down_terms.sync_gap.max(up_terms.sync_gap);
+                        for (pi, &(w, y, _)) in front.points().iter().enumerate() {
+                            cur.entry((i2, j2)).or_default().insert(
+                                w.max(t0),
+                                y.max(gap),
+                                BiChoice {
+                                    prev_i: i,
+                                    prev_j: j,
+                                    prev_point: pi,
+                                    down_layers: down_layers.clone(),
+                                    up_layers: up_layers.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            levels.push(cur);
+        }
+
+        let final_front = levels[s_total]
+            .get(&(l_down, l_up))
+            .filter(|f| !f.is_empty())
+            .ok_or(PartitionError::TooManyStages {
+                stages: s_total,
+                layers: l_down.min(l_up),
+            })?;
+        // M_CDM: paired forward/backward slots from both pipelines.
+        let m_cdm = (2 * cfg.num_micro_batches) as f64;
+        let coeff = m_cdm + 2.0 * s_total as f64 - 2.0;
+        let &(w, y, _) = final_front.best(coeff).expect("front non-empty");
+        let best_idx = final_front
+            .points()
+            .iter()
+            .position(|&(pw, py, _)| pw == w && py == y)
+            .expect("best point present");
+
+        // Backtrack.
+        let mut down_stages: Vec<StagePlan> = Vec::new();
+        let mut up_stages_chain: Vec<StagePlan> = Vec::new();
+        let mut key = (l_down, l_up);
+        let mut point = best_idx;
+        for s in (1..=s_total).rev() {
+            let front = &levels[s][&key];
+            let (_, _, choice) = &front.points()[point];
+            let offsets: Vec<usize> = ((s - 1) * r..s * r).collect();
+            down_stages.push(StagePlan {
+                component: down,
+                layers: choice.down_layers.clone(),
+                replication: r,
+                device_offsets: offsets.clone(),
+            });
+            up_stages_chain.push(StagePlan {
+                component: up,
+                layers: choice.up_layers.clone(),
+                replication: r,
+                device_offsets: offsets,
+            });
+            key = (choice.prev_i, choice.prev_j);
+            point = choice.prev_point;
+        }
+        down_stages.reverse();
+        // up_stages_chain is currently in chain order from the deep end to
+        // the front; in chain order from front it is reversed — but the up
+        // *pipeline* order is from the chain end toward the front, which is
+        // exactly the order we already have.
+        let up_stages = up_stages_chain;
+
+        let t_max = coeff * w + y;
+        let mk_plan = |stages: Vec<StagePlan>| PartitionPlan {
+            stages,
+            num_micro_batches: cfg.num_micro_batches,
+            micro_batch: micro,
+            t0: w,
+            t_sync_gap: y,
+            t_max,
+        };
+        Ok(BidirectionalPlan {
+            down: mk_plan(down_stages),
+            up: mk_plan(up_stages),
+            t_max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+    use dpipe_model::zoo;
+    use dpipe_profile::{DeviceModel, Profiler};
+
+    fn setup() -> (dpipe_profile::ProfileDb, ClusterSpec) {
+        let model = zoo::cdm_lsun();
+        let (db, _) = Profiler::new(DeviceModel::a100_like()).profile(&model, 128);
+        (db, ClusterSpec::single_node(8))
+    }
+
+    #[test]
+    fn bidirectional_covers_both_backbones() {
+        let (db, cluster) = setup();
+        let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+        let p = Partitioner::new(&db, &cluster, &layout);
+        let mut backbones = db.model().backbones().map(|(id, _)| id);
+        let b0 = backbones.next().unwrap();
+        let b1 = backbones.next().unwrap();
+        let plan = p
+            .partition_bidirectional(b0, b1, &PartitionConfig::new(4, 4, 128.0))
+            .unwrap();
+        assert_eq!(plan.down.num_stages(), 4);
+        assert_eq!(plan.up.num_stages(), 4);
+        assert!(plan.down.covers(db.model().component(b0).num_layers()));
+        // Up plan covers all layers too, but stage 0 holds the *last* chain
+        // offsets. Verify coverage by sorting ranges.
+        let mut ranges: Vec<_> = plan.up.stages.iter().map(|s| s.layers.clone()).collect();
+        ranges.sort_by_key(|r| r.start);
+        let mut next = 0;
+        for r in ranges {
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, db.model().component(b1).num_layers());
+    }
+
+    #[test]
+    fn up_pipeline_stage0_sits_at_chain_start_offsets() {
+        let (db, cluster) = setup();
+        let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+        let p = Partitioner::new(&db, &cluster, &layout);
+        let mut bbs = db.model().backbones().map(|(id, _)| id);
+        let b0 = bbs.next().unwrap();
+        let b1 = bbs.next().unwrap();
+        let plan = p
+            .partition_bidirectional(b0, b1, &PartitionConfig::new(2, 2, 64.0))
+            .unwrap();
+        // Down stage 0 at offsets [0..r); up stage 0 (its first pipeline
+        // stage) holds up's FIRST layers and sits at the chain *end*.
+        assert_eq!(plan.down.stages[0].device_offsets[0], 0);
+        let up_first_layers = plan
+            .up
+            .stages
+            .iter()
+            .find(|s| s.layers.start == 0)
+            .expect("some stage holds up layer 0");
+        let max_offset = plan
+            .up
+            .stages
+            .iter()
+            .map(|s| s.device_offsets[0])
+            .max()
+            .unwrap();
+        assert_eq!(up_first_layers.device_offsets[0], max_offset);
+    }
+
+    #[test]
+    fn rejects_non_dividing_stages() {
+        let (db, cluster) = setup();
+        let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+        let p = Partitioner::new(&db, &cluster, &layout);
+        let mut bbs = db.model().backbones().map(|(id, _)| id);
+        let b0 = bbs.next().unwrap();
+        let b1 = bbs.next().unwrap();
+        assert!(matches!(
+            p.partition_bidirectional(b0, b1, &PartitionConfig::new(3, 2, 64.0)),
+            Err(PartitionError::NonUniformGroup { .. })
+        ));
+    }
+
+    #[test]
+    fn bound_beats_or_matches_sequential_estimate() {
+        // Bidirectional shares devices; its bound should be far below the
+        // sum of two standalone pipelines' bounds on half the devices each.
+        let (db, cluster) = setup();
+        let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+        let p = Partitioner::new(&db, &cluster, &layout);
+        let mut bbs = db.model().backbones().map(|(id, _)| id);
+        let b0 = bbs.next().unwrap();
+        let b1 = bbs.next().unwrap();
+        let cfg = PartitionConfig::new(4, 4, 128.0);
+        let bi = p.partition_bidirectional(b0, b1, &cfg).unwrap();
+        let solo0 = p.partition_single(b0, &cfg).unwrap();
+        let solo1 = p.partition_single(b1, &cfg).unwrap();
+        assert!(bi.t_max < solo0.t_max + solo1.t_max);
+    }
+}

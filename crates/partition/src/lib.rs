@@ -1,0 +1,57 @@
+//! Backbone partitioning via dynamic programming (paper §4).
+//!
+//! Implements the unified partitioning algorithm of DiffusionPipe:
+//!
+//! * **Single backbone** (§4.1): minimises the critical-path upper bound
+//!   `T_max = T0 (M + 2S − 2) + T0^{S−C}` (Eqn. 1) over all ways of cutting
+//!   the backbone's layer chain into `S` stages and replicating each stage
+//!   over devices (Eqns. 2–9).
+//! * **Multiple backbones** (§4.2): bidirectional (Chimera-style) pipelining
+//!   of two backbones over the same device chain (Eqns. 10–16).
+//! * **Self-conditioning** (§4.3): the extra forward pass inflates the
+//!   per-stage bound (Eqn. 17) and adds the feedback transfer `T_F`
+//!   (Eqn. 18); the optimiser scores the expectation over the
+//!   self-conditioning probability.
+//!
+//! Because `T_max` is a weighted sum of two maxima (`W` and `Y`) that cannot
+//! be minimised independently, the DP keeps a small *Pareto front* of
+//! `(W, Y)` pairs per state instead of a single scalar, guaranteeing the
+//! optimum of Eqn. (2) is never pruned.
+//!
+//! # Example
+//!
+//! ```
+//! use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+//! use dpipe_model::zoo;
+//! use dpipe_partition::{PartitionConfig, Partitioner};
+//! use dpipe_profile::{DeviceModel, Profiler};
+//!
+//! let model = zoo::stable_diffusion_v2_1();
+//! let cluster = ClusterSpec::single_node(8);
+//! let (db, _) = Profiler::new(DeviceModel::a100_like()).profile(&model, 64);
+//! let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+//! let part = Partitioner::new(&db, &cluster, &layout);
+//! let backbone = model.backbones().next().unwrap().0;
+//! let plan = part
+//!     .partition_single(backbone, &PartitionConfig::new(4, 4, 64.0))
+//!     .unwrap();
+//! assert_eq!(plan.stages.len(), 4);
+//! ```
+
+mod bidirectional;
+mod config;
+mod error;
+mod pareto;
+mod plan;
+mod search;
+mod single;
+mod stage_cost;
+
+pub use bidirectional::BidirectionalPlan;
+pub use config::PartitionConfig;
+pub use error::PartitionError;
+pub use pareto::ParetoFront;
+pub use plan::{PartitionPlan, StagePlan};
+pub use search::{enumerate_configs, HyperParams, SearchSpace};
+pub use single::Partitioner;
+pub use stage_cost::StageCost;

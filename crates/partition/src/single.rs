@@ -1,0 +1,413 @@
+//! Single-backbone partitioning DP (paper §4.1, Eqns. 2–9).
+
+use crate::config::PartitionConfig;
+use crate::error::PartitionError;
+use crate::pareto::ParetoFront;
+use crate::plan::{PartitionPlan, StagePlan};
+use crate::stage_cost::StageCost;
+use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use dpipe_model::ComponentId;
+use dpipe_profile::ProfileDb;
+use std::collections::HashMap;
+
+/// A DP back-pointer: which stage was appended and which predecessor state
+/// (and Pareto point) it extended.
+#[derive(Debug, Clone)]
+struct Choice {
+    prev_l: usize,
+    prev_d: usize,
+    prev_point: usize,
+    layers: std::ops::Range<usize>,
+    replication: usize,
+}
+
+/// The unified backbone partitioner.
+///
+/// Holds references to the profile database, cluster topology and
+/// data/pipeline layout; see the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Partitioner<'a> {
+    cost: StageCost<'a>,
+}
+
+impl<'a> Partitioner<'a> {
+    /// Creates a partitioner.
+    pub fn new(
+        db: &'a ProfileDb,
+        cluster: &'a ClusterSpec,
+        layout: &'a DataParallelLayout,
+    ) -> Self {
+        Partitioner {
+            cost: StageCost::new(db, cluster, layout),
+        }
+    }
+
+    /// The stage-cost evaluator (exposed for baselines that reuse the cost
+    /// terms, e.g. SPP).
+    pub fn cost(&self) -> &StageCost<'a> {
+        &self.cost
+    }
+
+    fn self_cond_prob(&self) -> f64 {
+        self.cost
+            .db()
+            .model()
+            .self_conditioning
+            .map_or(0.0, |sc| sc.probability)
+    }
+
+    /// Validates a request, returning `(L, D)`.
+    fn validate(
+        &self,
+        backbone: ComponentId,
+        cfg: &PartitionConfig,
+    ) -> Result<(usize, usize), PartitionError> {
+        let model = self.cost.db().model();
+        let comp = model
+            .components
+            .get(backbone.index())
+            .ok_or(PartitionError::NotABackbone(backbone.index()))?;
+        if !comp.is_trainable() {
+            return Err(PartitionError::NotABackbone(backbone.index()));
+        }
+        let layers = comp.num_layers();
+        let devices = self.cost.layout().group_size;
+        if cfg.num_micro_batches == 0 || cfg.group_batch <= 0.0 || cfg.num_stages == 0 {
+            return Err(PartitionError::DegenerateConfig);
+        }
+        if cfg.num_stages > layers {
+            return Err(PartitionError::TooManyStages {
+                stages: cfg.num_stages,
+                layers,
+            });
+        }
+        if cfg.num_stages > devices {
+            return Err(PartitionError::TooFewDevices {
+                stages: cfg.num_stages,
+                devices,
+            });
+        }
+        if cfg.force_uniform && devices % cfg.num_stages != 0 {
+            return Err(PartitionError::NonUniformGroup {
+                stages: cfg.num_stages,
+                devices,
+            });
+        }
+        Ok((layers, devices))
+    }
+
+    /// Optimally partitions `backbone` into `cfg.num_stages` stages over the
+    /// pipeline group, minimising the Eqn. (1) upper bound (with the
+    /// self-conditioning expectation of §4.3 when the model enables it).
+    ///
+    /// # Errors
+    ///
+    /// See [`PartitionError`].
+    pub fn partition_single(
+        &self,
+        backbone: ComponentId,
+        cfg: &PartitionConfig,
+    ) -> Result<PartitionPlan, PartitionError> {
+        let (num_layers, num_devices) = self.validate(backbone, cfg)?;
+        let s_total = cfg.num_stages;
+        let micro = cfg.micro_batch();
+        let sc_prob = self.self_cond_prob();
+
+        // levels[s] maps (layers_used, devices_used) -> Pareto front.
+        let mut levels: Vec<HashMap<(usize, usize), ParetoFront<Choice>>> =
+            Vec::with_capacity(s_total + 1);
+        let mut level0 = HashMap::new();
+        let mut seed = ParetoFront::new();
+        seed.insert(
+            0.0,
+            0.0,
+            Choice {
+                prev_l: 0,
+                prev_d: 0,
+                prev_point: 0,
+                layers: 0..0,
+                replication: 0,
+            },
+        );
+        level0.insert((0usize, 0usize), seed);
+        levels.push(level0);
+
+        for s in 1..=s_total {
+            let stages_left_after = s_total - s;
+            let mut cur: HashMap<(usize, usize), ParetoFront<Choice>> = HashMap::new();
+            let prev = &levels[s - 1];
+            for (&(l, d), front) in prev {
+                let reps: Vec<usize> = if cfg.force_uniform {
+                    vec![num_devices / s_total]
+                } else {
+                    (1..=num_devices - d).collect()
+                };
+                for r in reps {
+                    let d2 = d + r;
+                    if d2 > num_devices {
+                        continue;
+                    }
+                    // Remaining stages each need >= 1 device (uniform:
+                    // exactly r each), and the final stage must land on
+                    // exactly num_devices.
+                    let dev_ok = if cfg.force_uniform {
+                        d2 + stages_left_after * r == num_devices
+                    } else {
+                        num_devices - d2 >= stages_left_after
+                            && (stages_left_after > 0 || d2 == num_devices)
+                    };
+                    if !dev_ok {
+                        continue;
+                    }
+                    // Layer split: leave >= 1 layer per remaining stage.
+                    let max_l2 = num_layers - stages_left_after;
+                    for l2 in (l + 1)..=max_l2 {
+                        let layers = l..l2;
+                        let offsets: Vec<usize> = (d..d2).collect();
+                        let terms = self.cost.stage_terms(
+                            backbone,
+                            layers.clone(),
+                            r,
+                            &offsets,
+                            micro,
+                            sc_prob,
+                            1.0,
+                        );
+                        for (pi, &(w, y, _)) in front.points().iter().enumerate() {
+                            let nw = w.max(terms.t0);
+                            let ny = y.max(terms.sync_gap);
+                            cur.entry((l2, d2)).or_default().insert(
+                                nw,
+                                ny,
+                                Choice {
+                                    prev_l: l,
+                                    prev_d: d,
+                                    prev_point: pi,
+                                    layers: layers.clone(),
+                                    replication: r,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            levels.push(cur);
+        }
+
+        let final_front = levels[s_total]
+            .get(&(num_layers, num_devices))
+            .filter(|f| !f.is_empty())
+            .ok_or(PartitionError::TooManyStages {
+                stages: s_total,
+                layers: num_layers,
+            })?;
+        let coeff = cfg.critical_path_factor();
+        let &(w, y, _) = final_front.best(coeff).expect("front non-empty");
+        let best_idx = final_front
+            .points()
+            .iter()
+            .position(|&(pw, py, _)| pw == w && py == y)
+            .expect("best point present");
+
+        // Backtrack.
+        let mut stages_rev: Vec<StagePlan> = Vec::with_capacity(s_total);
+        let mut key = (num_layers, num_devices);
+        let mut point = best_idx;
+        for s in (1..=s_total).rev() {
+            let front = &levels[s][&key];
+            let (_, _, choice) = &front.points()[point];
+            stages_rev.push(StagePlan {
+                component: backbone,
+                layers: choice.layers.clone(),
+                replication: choice.replication,
+                device_offsets: (choice.prev_d..choice.prev_d + choice.replication).collect(),
+            });
+            key = (choice.prev_l, choice.prev_d);
+            point = choice.prev_point;
+        }
+        stages_rev.reverse();
+
+        let r_last = stages_rev.last().expect("at least one stage").replication;
+        let feedback = if sc_prob > 0.0 {
+            sc_prob * self.cost.feedback_time(backbone, micro / r_last as f64)
+        } else {
+            0.0
+        };
+        let t_max = coeff * w + y + feedback;
+        Ok(PartitionPlan {
+            stages: stages_rev,
+            num_micro_batches: cfg.num_micro_batches,
+            micro_batch: micro,
+            t0: w,
+            t_sync_gap: y,
+            t_max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpipe_cluster::ClusterSpec;
+    use dpipe_model::zoo;
+    use dpipe_profile::{DeviceModel, Profiler};
+
+    struct Fixture {
+        db: ProfileDb,
+        cluster: ClusterSpec,
+    }
+
+    fn fixture(model: dpipe_model::ModelSpec, devices: usize, batch: u32) -> Fixture {
+        let (db, _) = Profiler::new(DeviceModel::a100_like()).profile(&model, batch);
+        Fixture {
+            db,
+            cluster: ClusterSpec::single_node(devices),
+        }
+    }
+
+    fn backbone(db: &ProfileDb) -> ComponentId {
+        db.model().backbones().next().unwrap().0
+    }
+
+    #[test]
+    fn partition_covers_all_layers() {
+        let f = fixture(zoo::stable_diffusion_v2_1(), 8, 64);
+        let layout = DataParallelLayout::new(&f.cluster, 8).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        for s in [1usize, 2, 4, 8] {
+            let plan = p
+                .partition_single(backbone(&f.db), &PartitionConfig::new(s, 4, 64.0))
+                .unwrap();
+            assert_eq!(plan.num_stages(), s);
+            assert!(plan.covers(28), "stages {:?}", plan.stages);
+            assert_eq!(plan.devices_used(), 8);
+        }
+    }
+
+    #[test]
+    fn uniform_partition_balances_stage_times() {
+        // With uniform per-layer costs, the DP should produce near-equal
+        // stage compute times.
+        let model = zoo::synthetic_model(12, 10.0, &[1.0], false);
+        let f = fixture(model, 4, 16);
+        let layout = DataParallelLayout::new(&f.cluster, 4).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        let plan = p
+            .partition_single(backbone(&f.db), &PartitionConfig::new(4, 4, 16.0))
+            .unwrap();
+        let sizes: Vec<usize> = plan.stages.iter().map(|s| s.num_layers()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn skewed_model_gets_skewed_partition() {
+        // First layers 4x heavier: the first stage should hold fewer layers.
+        let mut model = zoo::synthetic_model(12, 10.0, &[1.0], false);
+        {
+            let bb = model
+                .components
+                .iter_mut()
+                .find(|c| c.is_trainable())
+                .unwrap();
+            for l in bb.layers.iter_mut().take(4) {
+                l.flops_per_sample *= 4.0;
+            }
+        }
+        let f = fixture(model, 2, 16);
+        let layout = DataParallelLayout::new(&f.cluster, 2).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        let plan = p
+            .partition_single(backbone(&f.db), &PartitionConfig::new(2, 4, 16.0))
+            .unwrap();
+        assert!(
+            plan.stages[0].num_layers() < plan.stages[1].num_layers(),
+            "{:?}",
+            plan.stages.iter().map(|s| s.layers.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn t_max_monotone_in_micro_batches() {
+        // More micro-batches (same group batch) lengthen the critical path
+        // factor but shrink T0; for compute-bound stages T_max ~ constant +
+        // overheads, so it should not explode. Sanity: finite and positive.
+        let f = fixture(zoo::stable_diffusion_v2_1(), 8, 64);
+        let layout = DataParallelLayout::new(&f.cluster, 8).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        let bb = backbone(&f.db);
+        let t1 = p
+            .partition_single(bb, &PartitionConfig::new(4, 1, 64.0))
+            .unwrap()
+            .t_max;
+        let t4 = p
+            .partition_single(bb, &PartitionConfig::new(4, 4, 64.0))
+            .unwrap()
+            .t_max;
+        assert!(t1 > 0.0 && t4 > 0.0);
+        // M=1 wastes the pipeline: its bound must be worse than M=4.
+        assert!(t1 > t4, "t1={t1} t4={t4}");
+    }
+
+    #[test]
+    fn self_conditioning_raises_bound() {
+        let vanilla = {
+            let mut m = zoo::stable_diffusion_v2_1();
+            m.self_conditioning = None;
+            m
+        };
+        let f_v = fixture(vanilla, 8, 64);
+        let f_sc = fixture(zoo::stable_diffusion_v2_1(), 8, 64);
+        let layout = DataParallelLayout::new(&f_v.cluster, 8).unwrap();
+        let bb = backbone(&f_v.db);
+        let cfg = PartitionConfig::new(4, 4, 64.0);
+        let t_v = Partitioner::new(&f_v.db, &f_v.cluster, &layout)
+            .partition_single(bb, &cfg)
+            .unwrap()
+            .t_max;
+        let t_sc = Partitioner::new(&f_sc.db, &f_sc.cluster, &layout)
+            .partition_single(bb, &cfg)
+            .unwrap()
+            .t_max;
+        assert!(t_sc > t_v, "t_sc={t_sc} t_v={t_v}");
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let f = fixture(zoo::tiny_model(), 4, 16);
+        let layout = DataParallelLayout::new(&f.cluster, 4).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        let bb = backbone(&f.db);
+        assert!(matches!(
+            p.partition_single(bb, &PartitionConfig::new(8, 2, 16.0)),
+            Err(PartitionError::TooManyStages { .. })
+        ));
+        assert!(matches!(
+            p.partition_single(bb, &PartitionConfig::new(3, 2, 16.0)),
+            Err(PartitionError::NonUniformGroup { .. })
+        ));
+        assert!(matches!(
+            p.partition_single(bb, &PartitionConfig::new(2, 0, 16.0)),
+            Err(PartitionError::DegenerateConfig)
+        ));
+        assert!(matches!(
+            p.partition_single(ComponentId(0), &PartitionConfig::new(2, 2, 16.0)),
+            Err(PartitionError::NotABackbone(0))
+        ));
+    }
+
+    #[test]
+    fn nonuniform_allows_unequal_replication() {
+        let f = fixture(zoo::synthetic_model(8, 10.0, &[1.0], false), 3, 12);
+        let layout = DataParallelLayout::new(&f.cluster, 3).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        let plan = p
+            .partition_single(
+                backbone(&f.db),
+                &PartitionConfig::new(2, 2, 12.0).with_nonuniform(),
+            )
+            .unwrap();
+        assert_eq!(plan.devices_used(), 3);
+        let reps: Vec<usize> = plan.stages.iter().map(|s| s.replication).collect();
+        assert_eq!(reps.iter().sum::<usize>(), 3);
+    }
+}

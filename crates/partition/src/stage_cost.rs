@@ -1,0 +1,352 @@
+//! Per-stage cost terms: `T0(s)`, `T_S(s)`, `T_C(s)` (Eqns. 3–6, 17).
+
+use dpipe_cluster::{ClusterSpec, CommModel, DataParallelLayout, DeviceId, LinkParams};
+use dpipe_model::ComponentId;
+use dpipe_profile::ProfileDb;
+use std::ops::Range;
+
+/// Evaluates the paper's per-stage cost equations for candidate stages.
+#[derive(Debug)]
+pub struct StageCost<'a> {
+    db: &'a ProfileDb,
+    cluster: &'a ClusterSpec,
+    comm: CommModel,
+    layout: &'a DataParallelLayout,
+}
+
+/// The cost terms of one candidate stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTerms {
+    /// `T0(s)` — max of compute time and inter-stage communication time for
+    /// one micro-batch (Eqn. 3, or Eqn. 17 under self-conditioning).
+    pub t0: f64,
+    /// `T_S(s) − T_C(s)` — the sync/compensation gap (Eqn. 6), clamped at 0.
+    pub sync_gap: f64,
+}
+
+impl<'a> StageCost<'a> {
+    /// Creates a cost evaluator.
+    pub fn new(db: &'a ProfileDb, cluster: &'a ClusterSpec, layout: &'a DataParallelLayout) -> Self {
+        StageCost {
+            db,
+            cluster,
+            comm: cluster.comm_model(),
+            layout,
+        }
+    }
+
+    /// The profile database in use.
+    pub fn db(&self) -> &ProfileDb {
+        self.db
+    }
+
+    /// The communication model in use.
+    pub fn comm(&self) -> &CommModel {
+        &self.comm
+    }
+
+    /// Link carrying pipeline traffic into the stage whose first device sits
+    /// at chain `offset` of group 0. `None` for stage 0 (no predecessor).
+    pub fn input_link(&self, offset: usize) -> Option<LinkParams> {
+        if offset == 0 {
+            return None;
+        }
+        let group0 = &self.layout.groups[0];
+        let a = group0.devices[offset - 1];
+        let b = group0.devices[offset];
+        Some(self.comm.p2p_link(a, b))
+    }
+
+    /// Compute part of `T0(s)`: forward + backward of the stage's layers for
+    /// one micro-batch at local batch `micro_batch / r`. With
+    /// `self_cond = true` the forward term doubles (Eqn. 17).
+    pub fn compute_time(
+        &self,
+        comp: ComponentId,
+        layers: Range<usize>,
+        replication: usize,
+        micro_batch: f64,
+        self_cond: bool,
+    ) -> f64 {
+        let b = micro_batch / replication as f64;
+        let fwd = self.db.fwd_time_range(comp, layers.clone(), b);
+        let bwd = self.db.bwd_time_range(comp, layers, b);
+        if self_cond {
+            2.0 * fwd + bwd
+        } else {
+            fwd + bwd
+        }
+    }
+
+    /// Communication part of `T0(s)`: `(C^f + C^b)/R_p2p + 2 L_p2p`
+    /// (Eqn. 3), or `(2C^f + C^b)/R_p2p + 3 L_p2p` under self-conditioning
+    /// (Eqn. 17). `comm_scale` inflates bandwidth contention (the paper uses
+    /// 2.0 for bidirectional pipelines).
+    pub fn comm_time(
+        &self,
+        comp: ComponentId,
+        boundary_layer: usize,
+        replication: usize,
+        micro_batch: f64,
+        link: Option<LinkParams>,
+        self_cond: bool,
+        comm_scale: f64,
+    ) -> f64 {
+        let Some(link) = link else { return 0.0 };
+        let b = micro_batch / replication as f64;
+        let bytes = self.db.boundary_bytes(comp, dpipe_model::LayerId(boundary_layer), b);
+        let (vol, lats) = if self_cond {
+            (3.0 * bytes as f64, 3.0)
+        } else {
+            (2.0 * bytes as f64, 2.0)
+        };
+        comm_scale * vol / link.bandwidth + lats * link.latency
+    }
+
+    /// `T0(s)` — the max of compute and communication (Eqn. 3 / 17).
+    #[allow(clippy::too_many_arguments)]
+    pub fn t0(
+        &self,
+        comp: ComponentId,
+        layers: Range<usize>,
+        replication: usize,
+        micro_batch: f64,
+        link: Option<LinkParams>,
+        self_cond: bool,
+        comm_scale: f64,
+    ) -> f64 {
+        let compute = self.compute_time(comp, layers.clone(), replication, micro_batch, self_cond);
+        let comm = if layers.start > 0 || link.is_some() {
+            self.comm_time(
+                comp,
+                layers.start.saturating_sub(1),
+                replication,
+                micro_batch,
+                link,
+                self_cond,
+                comm_scale,
+            )
+        } else {
+            0.0
+        };
+        compute.max(comm)
+    }
+
+    /// Devices over which this stage's gradients are all-reduced: its `r`
+    /// devices in every pipeline group (cross-group data parallelism plus
+    /// intra-group replication).
+    pub fn sync_devices(&self, device_offsets: &[usize]) -> Vec<DeviceId> {
+        let mut devs = Vec::with_capacity(device_offsets.len() * self.layout.groups.len());
+        for g in &self.layout.groups {
+            for &o in device_offsets {
+                devs.push(g.devices[o]);
+            }
+        }
+        devs
+    }
+
+    /// `T_S(s)` — gradient synchronisation time (Eqn. 4).
+    pub fn sync_time(
+        &self,
+        comp: ComponentId,
+        layers: Range<usize>,
+        device_offsets: &[usize],
+    ) -> f64 {
+        let bytes = self.db.grad_bytes_range(comp, layers);
+        let devs = self.sync_devices(device_offsets);
+        self.comm.allreduce_time(bytes, &devs)
+    }
+
+    /// `T_C(s)` — compensation: the backward time of the stage's layers for
+    /// one micro-batch (the paper's lower bound, Eqn. 5).
+    pub fn compensation_time(
+        &self,
+        comp: ComponentId,
+        layers: Range<usize>,
+        replication: usize,
+        micro_batch: f64,
+    ) -> f64 {
+        self.db
+            .bwd_time_range(comp, layers, micro_batch / replication as f64)
+    }
+
+    /// Full stage terms under an expectation over self-conditioning: with
+    /// probability `sc_prob` the iteration pays the Eqn.-17 `T0`, otherwise
+    /// the Eqn.-3 `T0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stage_terms(
+        &self,
+        comp: ComponentId,
+        layers: Range<usize>,
+        replication: usize,
+        device_offsets: &[usize],
+        micro_batch: f64,
+        sc_prob: f64,
+        comm_scale: f64,
+    ) -> StageTerms {
+        let link = self.input_link(device_offsets[0]);
+        let t0_plain = self.t0(
+            comp,
+            layers.clone(),
+            replication,
+            micro_batch,
+            link,
+            false,
+            comm_scale,
+        );
+        let t0 = if sc_prob > 0.0 {
+            let t0_sc = self.t0(
+                comp,
+                layers.clone(),
+                replication,
+                micro_batch,
+                link,
+                true,
+                comm_scale,
+            );
+            sc_prob * t0_sc + (1.0 - sc_prob) * t0_plain
+        } else {
+            t0_plain
+        };
+        let ts = self.sync_time(comp, layers.clone(), device_offsets);
+        let tc = self.compensation_time(comp, layers, replication, micro_batch);
+        StageTerms {
+            t0,
+            sync_gap: (ts - tc).max(0.0),
+        }
+    }
+
+    /// Self-conditioning feedback transfer `T_F = O_L(B̄)/R_p2p + L_p2p`
+    /// (Eqn. 18): the last stage's output travels back to stage 0.
+    pub fn feedback_time(&self, comp: ComponentId, micro_batch: f64) -> f64 {
+        let group0 = &self.layout.groups[0];
+        let first = group0.devices[0];
+        let last = *group0.devices.last().expect("group is non-empty");
+        if first == last {
+            return 0.0;
+        }
+        let link = self.comm.p2p_link(last, first);
+        let bytes = self.db.output_bytes(comp, micro_batch);
+        bytes as f64 / link.bandwidth + link.latency
+    }
+
+    /// The cluster this evaluator plans for.
+    pub fn cluster(&self) -> &ClusterSpec {
+        self.cluster
+    }
+
+    /// The data-parallel layout this evaluator plans for.
+    pub fn layout(&self) -> &DataParallelLayout {
+        self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpipe_model::zoo;
+    use dpipe_profile::{DeviceModel, Profiler};
+    use std::sync::Arc;
+
+    struct Fixture {
+        db: ProfileDb,
+        cluster: ClusterSpec,
+    }
+
+    fn fixture() -> Fixture {
+        let model = zoo::stable_diffusion_v2_1();
+        let (db, _) = Profiler::new(DeviceModel::a100_like()).profile(&model, 64);
+        Fixture {
+            db,
+            cluster: ClusterSpec::single_node(8),
+        }
+    }
+
+    fn backbone(db: &ProfileDb) -> ComponentId {
+        db.model().backbones().next().unwrap().0
+    }
+
+    #[test]
+    fn t0_compute_dominates_for_conv_stages() {
+        let f = fixture();
+        let layout = DataParallelLayout::new(&f.cluster, 8).unwrap();
+        let sc = StageCost::new(&f.db, &f.cluster, &layout);
+        let bb = backbone(&f.db);
+        let link = sc.input_link(4);
+        let t0 = sc.t0(bb, 14..28, 2, 16.0, link, false, 1.0);
+        let compute = sc.compute_time(bb, 14..28, 2, 16.0, false);
+        assert_eq!(t0, compute, "intra-node p2p should not dominate");
+    }
+
+    #[test]
+    fn self_cond_inflates_t0() {
+        let f = fixture();
+        let layout = DataParallelLayout::new(&f.cluster, 8).unwrap();
+        let sc = StageCost::new(&f.db, &f.cluster, &layout);
+        let bb = backbone(&f.db);
+        let plain = sc.t0(bb, 0..14, 4, 16.0, None, false, 1.0);
+        let with_sc = sc.t0(bb, 0..14, 4, 16.0, None, true, 1.0);
+        // 2*fwd + bwd vs fwd + bwd with bwd = 2*fwd: ratio 4/3.
+        assert!((with_sc / plain - 4.0 / 3.0).abs() < 0.01, "{}", with_sc / plain);
+    }
+
+    #[test]
+    fn stage_terms_expectation_interpolates() {
+        let f = fixture();
+        let layout = DataParallelLayout::new(&f.cluster, 8).unwrap();
+        let sc = StageCost::new(&f.db, &f.cluster, &layout);
+        let bb = backbone(&f.db);
+        let t_none = sc
+            .stage_terms(bb, 0..14, 4, &[0, 1, 2, 3], 16.0, 0.0, 1.0)
+            .t0;
+        let t_always = sc
+            .stage_terms(bb, 0..14, 4, &[0, 1, 2, 3], 16.0, 1.0, 1.0)
+            .t0;
+        let t_half = sc
+            .stage_terms(bb, 0..14, 4, &[0, 1, 2, 3], 16.0, 0.5, 1.0)
+            .t0;
+        assert!((t_half - 0.5 * (t_none + t_always)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_devices_span_groups() {
+        let f = fixture();
+        let layout = DataParallelLayout::new(&f.cluster, 4).unwrap(); // 2 groups
+        let sc = StageCost::new(&f.db, &f.cluster, &layout);
+        let devs = sc.sync_devices(&[2, 3]);
+        assert_eq!(
+            devs,
+            vec![DeviceId(2), DeviceId(3), DeviceId(6), DeviceId(7)]
+        );
+    }
+
+    #[test]
+    fn feedback_time_zero_on_single_device_group() {
+        let f = fixture();
+        let layout = DataParallelLayout::new(&f.cluster, 1).unwrap();
+        let sc = StageCost::new(&f.db, &f.cluster, &layout);
+        assert_eq!(sc.feedback_time(backbone(&f.db), 8.0), 0.0);
+    }
+
+    #[test]
+    fn input_link_none_for_stage_zero() {
+        let f = fixture();
+        let layout = DataParallelLayout::new(&f.cluster, 8).unwrap();
+        let sc = StageCost::new(&f.db, &f.cluster, &layout);
+        assert!(sc.input_link(0).is_none());
+        assert!(sc.input_link(4).is_some());
+    }
+
+    #[test]
+    fn sync_gap_clamped_non_negative() {
+        // A stage with huge backward and tiny gradients has TS < TC.
+        let model = Arc::new(zoo::tiny_model());
+        let db = ProfileDb::new(model, DeviceModel::a100_like());
+        let cluster = ClusterSpec::single_node(2);
+        let layout = DataParallelLayout::new(&cluster, 2).unwrap();
+        let sc = StageCost::new(&db, &cluster, &layout);
+        let bb = db.model().backbones().next().unwrap().0;
+        let terms = sc.stage_terms(bb, 0..4, 1, &[0], 64.0, 0.0, 1.0);
+        assert!(terms.sync_gap >= 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the bidirectional (two-backbone) DP.
+
+use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use dpipe_model::{zoo, ComponentId, ModelSpec};
+use dpipe_partition::{PartitionConfig, Partitioner};
+use dpipe_profile::{DeviceModel, ProfileDb, Profiler};
+use proptest::prelude::*;
+
+/// Two synthetic backbones with the given per-layer weight profiles.
+fn two_backbone_model(down: &[f64], up: &[f64]) -> ModelSpec {
+    use dpipe_model::{ModelSpecBuilder, Role};
+    let mut b = ModelSpecBuilder::new("two-bb");
+    let mk = |name: &str, weights: &[f64]| {
+        let mut c = zoo::synthetic_backbone(name, weights.len(), 1_000_000, 10.0);
+        for (l, &w) in c.layers.iter_mut().zip(weights) {
+            l.flops_per_sample *= w;
+        }
+        c
+    };
+    let _ = b.push_component({
+        let mut c = mk("down", down);
+        c.role = Role::Backbone;
+        c
+    });
+    let _ = b.push_component({
+        let mut c = mk("up", up);
+        c.role = Role::Backbone;
+        c
+    });
+    b.build()
+}
+
+fn db_for(model: &ModelSpec) -> ProfileDb {
+    Profiler::new(DeviceModel::a100_like()).profile(model, 32).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bidirectional plans cover both backbones, pair stages on shared
+    /// offsets, and place up's stage 0 at the chain end.
+    #[test]
+    fn bidirectional_structure_invariants(
+        down in proptest::collection::vec(0.3f64..3.0, 4..10),
+        up in proptest::collection::vec(0.3f64..3.0, 4..10),
+        stages in 2usize..4,
+    ) {
+        prop_assume!(stages <= down.len().min(up.len()));
+        let model = two_backbone_model(&down, &up);
+        let db = db_for(&model);
+        let cluster = ClusterSpec::single_node(stages);
+        let layout = DataParallelLayout::new(&cluster, stages).unwrap();
+        let p = Partitioner::new(&db, &cluster, &layout);
+        let plan = p
+            .partition_bidirectional(ComponentId(0), ComponentId(1), &PartitionConfig::new(stages, 2, 32.0))
+            .unwrap();
+
+        // Coverage.
+        prop_assert!(plan.down.covers(down.len()));
+        let mut up_ranges: Vec<_> = plan.up.stages.iter().map(|s| s.layers.clone()).collect();
+        up_ranges.sort_by_key(|r| r.start);
+        let mut next = 0;
+        for r in up_ranges {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+        }
+        prop_assert_eq!(next, up.len());
+
+        // Offset pairing: stage i of down and stage (S-1-i) of up share a
+        // device block.
+        for (i, d) in plan.down.stages.iter().enumerate() {
+            let u = &plan.up.stages[stages - 1 - i];
+            prop_assert_eq!(&d.device_offsets, &u.device_offsets);
+        }
+        // Up's pipeline stage 0 (its first layers) sits at the chain end.
+        prop_assert_eq!(plan.up.stages[0].layers.start, 0);
+        let max_off = plan.up.stages.iter().map(|s| s.device_offsets[0]).max().unwrap();
+        prop_assert_eq!(plan.up.stages[0].device_offsets[0], max_off);
+        prop_assert!(plan.t_max.is_finite() && plan.t_max > 0.0);
+    }
+
+    /// Swapping the two backbones cannot change the bound by more than the
+    /// comm asymmetry allows (the construction is near-symmetric).
+    #[test]
+    fn swap_symmetry(
+        down in proptest::collection::vec(0.5f64..2.0, 4..8),
+        up in proptest::collection::vec(0.5f64..2.0, 4..8),
+    ) {
+        let stages = 2usize;
+        let model_a = two_backbone_model(&down, &up);
+        let model_b = two_backbone_model(&up, &down);
+        let (db_a, db_b) = (db_for(&model_a), db_for(&model_b));
+        let cluster = ClusterSpec::single_node(stages);
+        let layout = DataParallelLayout::new(&cluster, stages).unwrap();
+        let cfg = PartitionConfig::new(stages, 2, 32.0);
+        let ta = Partitioner::new(&db_a, &cluster, &layout)
+            .partition_bidirectional(ComponentId(0), ComponentId(1), &cfg)
+            .unwrap()
+            .t_max;
+        let tb = Partitioner::new(&db_b, &cluster, &layout)
+            .partition_bidirectional(ComponentId(0), ComponentId(1), &cfg)
+            .unwrap()
+            .t_max;
+        prop_assert!((ta - tb).abs() < 0.05 * ta.max(tb), "{ta} vs {tb}");
+    }
+}

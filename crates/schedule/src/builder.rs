@@ -1,0 +1,586 @@
+//! Constructing pipeline op graphs from partition plans.
+
+use crate::op::{Op, OpId, OpKind, PipelineDirection};
+use crate::schedule::{PipelineSchedule, SyncOp};
+use crate::simulate::{simulate, Policy};
+use crate::stage_times::StageTimes;
+use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use dpipe_partition::{BidirectionalPlan, PartitionPlan};
+use dpipe_profile::ProfileDb;
+use std::error::Error;
+use std::fmt;
+
+/// Pipeline schedule family for single-backbone training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// FIFO with one-forward-one-backward interleaving (paper Fig. 2).
+    Fifo1F1B,
+    /// GPipe: all forwards, then all backwards.
+    GPipe,
+}
+
+/// Scheduling errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The list scheduler deadlocked (`remaining` ops unscheduled).
+    Deadlock(usize),
+    /// A plan with no stages was supplied.
+    EmptyPlan,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Deadlock(n) => write!(f, "schedule deadlocked with {n} ops remaining"),
+            ScheduleError::EmptyPlan => f.write_str("partition plan has no stages"),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// Builds simulated pipeline schedules from partition plans.
+#[derive(Debug)]
+pub struct ScheduleBuilder<'a> {
+    db: &'a ProfileDb,
+    cluster: &'a ClusterSpec,
+    layout: &'a DataParallelLayout,
+}
+
+/// One pipeline's op-construction request.
+struct PipelineSpec<'t> {
+    times: &'t StageTimes,
+    direction: PipelineDirection,
+    /// Chain slot of each stage (stage index → slot).
+    slots: Vec<usize>,
+    self_cond: bool,
+    kind: ScheduleKind,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    /// Creates a builder.
+    pub fn new(
+        db: &'a ProfileDb,
+        cluster: &'a ClusterSpec,
+        layout: &'a DataParallelLayout,
+    ) -> Self {
+        ScheduleBuilder {
+            db,
+            cluster,
+            layout,
+        }
+    }
+
+    /// Whether the profiled model trains with self-conditioning.
+    fn self_cond(&self) -> bool {
+        self.db.model().self_conditioning.is_some()
+    }
+
+    /// Builds and simulates a schedule for a single-backbone plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::EmptyPlan`] for plans without stages and
+    /// [`ScheduleError::Deadlock`] if simulation cannot make progress.
+    pub fn build_single(
+        &self,
+        plan: &PartitionPlan,
+        kind: ScheduleKind,
+    ) -> Result<PipelineSchedule, ScheduleError> {
+        if plan.stages.is_empty() {
+            return Err(ScheduleError::EmptyPlan);
+        }
+        let times = StageTimes::from_plan(self.db, self.cluster, self.layout, plan);
+        self.build_from_times(&times, kind, self.self_cond())
+    }
+
+    /// Builds a schedule directly from stage times (used by baselines and
+    /// tests that craft synthetic stage profiles).
+    pub fn build_from_times(
+        &self,
+        times: &StageTimes,
+        kind: ScheduleKind,
+        self_cond: bool,
+    ) -> Result<PipelineSchedule, ScheduleError> {
+        let s_count = times.num_stages();
+        let mut times = times.clone();
+        if self_cond && times.sc_scale == 0.0 {
+            times.sc_scale = 1.0;
+        }
+        let times = &times;
+        let spec = PipelineSpec {
+            times,
+            direction: PipelineDirection::Down,
+            slots: (0..s_count).collect(),
+            self_cond,
+            kind,
+        };
+        let (ops, seqs) = build_ops(&[spec], s_count);
+        finish(ops, seqs, s_count, times.micro_batch, Policy::StrictOrder, &[times.clone()])
+    }
+
+    /// Builds and simulates a bidirectional schedule for two backbones
+    /// (paper Fig. 3). Each pipeline uses FIFO-1F1B ordering; the device
+    /// executes whichever pipeline's op is ready (work-conserving merge).
+    pub fn build_bidirectional(
+        &self,
+        plan: &BidirectionalPlan,
+    ) -> Result<PipelineSchedule, ScheduleError> {
+        if plan.down.stages.is_empty() || plan.up.stages.is_empty() {
+            return Err(ScheduleError::EmptyPlan);
+        }
+        let down_times = StageTimes::from_plan(self.db, self.cluster, self.layout, &plan.down);
+        let up_times = StageTimes::from_plan(self.db, self.cluster, self.layout, &plan.up);
+        let s_count = plan.down.stages.len();
+        let slot_of = |sp: &dpipe_partition::StagePlan| sp.device_offsets[0] / sp.replication;
+        let down_slots: Vec<usize> = plan.down.stages.iter().map(slot_of).collect();
+        let up_slots: Vec<usize> = plan.up.stages.iter().map(slot_of).collect();
+        let sc = self.self_cond();
+        let specs = [
+            PipelineSpec {
+                times: &down_times,
+                direction: PipelineDirection::Down,
+                slots: down_slots,
+                self_cond: sc,
+                kind: ScheduleKind::Fifo1F1B,
+            },
+            PipelineSpec {
+                times: &up_times,
+                direction: PipelineDirection::Up,
+                slots: up_slots,
+                self_cond: sc,
+                kind: ScheduleKind::Fifo1F1B,
+            },
+        ];
+        let (ops, seqs) = build_ops(&specs, s_count);
+        finish(
+            ops,
+            seqs,
+            s_count,
+            down_times.micro_batch,
+            Policy::WorkConserving,
+            &[down_times.clone(), up_times.clone()],
+        )
+    }
+}
+
+/// Builds all ops for the given pipelines and the per-slot execution
+/// sequences (lists of op indices in intended order).
+fn build_ops(specs: &[PipelineSpec<'_>], num_slots: usize) -> (Vec<Op>, Vec<Vec<usize>>) {
+    let mut ops: Vec<Op> = Vec::new();
+    // Per-pipeline id tables.
+    let mut per_slot_seqs: Vec<Vec<Vec<usize>>> = Vec::new(); // [pipeline][slot] -> op indices
+
+    for spec in specs {
+        let s_count = spec.times.num_stages();
+        let m_count = spec.times.num_micro_batches;
+        let base = ops.len();
+        // Id layout within this pipeline: for (m, s): [sc?] f ... then all b.
+        let per_mb = if spec.self_cond { 2 } else { 1 };
+        let sc_id = |s: usize, m: usize| OpId(base + (m * s_count + s) * per_mb);
+        let f_id = |s: usize, m: usize| OpId(base + (m * s_count + s) * per_mb + per_mb - 1);
+        let b_base = base + m_count * s_count * per_mb;
+        let b_id = |s: usize, m: usize| OpId(b_base + m * s_count + s);
+
+        for m in 0..m_count {
+            for s in 0..s_count {
+                let slot = spec.slots[s];
+                if spec.self_cond {
+                    let mut deps = Vec::new();
+                    if s > 0 {
+                        deps.push((sc_id(s - 1, m), spec.times.comm_in[s]));
+                    }
+                    // Charged at the expected (probability-weighted) cost.
+                    ops.push(Op {
+                        slot,
+                        stage: s,
+                        direction: spec.direction,
+                        micro_batch: m,
+                        kind: OpKind::SelfCondForward,
+                        duration: spec.times.fwd[s] * spec.times.sc_scale,
+                        deps,
+                        priority: 0,
+                    });
+                }
+                let mut deps = Vec::new();
+                if s > 0 {
+                    deps.push((f_id(s - 1, m), spec.times.comm_in[s]));
+                }
+                if spec.self_cond {
+                    // The main pass follows the SC pass on the same stage.
+                    // The feedback transfer `T_F` (Eqn. 18) is charged once
+                    // per iteration by the partitioner's bound, not as a
+                    // per-micro-batch round-trip dependency: the paper's
+                    // Fig. 10 schedule runs both passes back-to-back per
+                    // stage rather than waiting for the feedback to travel
+                    // the whole pipeline for every micro-batch.
+                    deps.push((sc_id(s, m), 0.0));
+                }
+                ops.push(Op {
+                    slot,
+                    stage: s,
+                    direction: spec.direction,
+                    micro_batch: m,
+                    kind: OpKind::Forward,
+                    duration: spec.times.fwd[s],
+                    deps,
+                    priority: 0,
+                });
+            }
+        }
+        for m in 0..m_count {
+            for s in 0..s_count {
+                let slot = spec.slots[s];
+                let deps = if s == s_count - 1 {
+                    vec![(f_id(s, m), 0.0)]
+                } else {
+                    vec![(b_id(s + 1, m), spec.times.comm_in[s + 1])]
+                };
+                ops.push(Op {
+                    slot,
+                    stage: s,
+                    direction: spec.direction,
+                    micro_batch: m,
+                    kind: OpKind::Backward,
+                    duration: spec.times.bwd[s],
+                    deps,
+                    priority: 0,
+                });
+            }
+        }
+
+        // Per-slot intended order for this pipeline.
+        let mut seqs: Vec<Vec<usize>> = vec![Vec::new(); num_slots];
+        for s in 0..s_count {
+            let slot = spec.slots[s];
+            let warmup = match spec.kind {
+                ScheduleKind::Fifo1F1B => m_count.min(s_count - 1 - s),
+                ScheduleKind::GPipe => m_count,
+            };
+            let push_fwd = |seq: &mut Vec<usize>, m: usize| {
+                if spec.self_cond {
+                    seq.push(sc_id(s, m).0);
+                }
+                seq.push(f_id(s, m).0);
+            };
+            let seq = &mut seqs[slot];
+            for m in 0..warmup {
+                push_fwd(seq, m);
+            }
+            for k in 0..(m_count - warmup) {
+                push_fwd(seq, warmup + k);
+                seq.push(b_id(s, k).0);
+            }
+            for m in (m_count - warmup)..m_count {
+                seq.push(b_id(s, m).0);
+            }
+        }
+        per_slot_seqs.push(seqs);
+    }
+
+    // Merge pipelines per slot: alternate, starting with the pipeline whose
+    // parity matches the slot (spreads the two directions evenly).
+    let mut merged: Vec<Vec<usize>> = vec![Vec::new(); num_slots];
+    for slot in 0..num_slots {
+        let mut lists: Vec<&[usize]> = per_slot_seqs.iter().map(|p| p[slot].as_slice()).collect();
+        if specs.len() == 2 && slot % 2 == 1 {
+            lists.swap(0, 1);
+        }
+        let mut idx = vec![0usize; lists.len()];
+        loop {
+            let mut progressed = false;
+            for (li, list) in lists.iter().enumerate() {
+                if idx[li] < list.len() {
+                    merged[slot].push(list[idx[li]]);
+                    idx[li] += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+    // Assign priorities from merged order.
+    for seq in &merged {
+        for (prio, &op_idx) in seq.iter().enumerate() {
+            ops[op_idx].priority = prio;
+        }
+    }
+    (ops, merged)
+}
+
+/// Simulates and packages the schedule.
+fn finish(
+    ops: Vec<Op>,
+    _seqs: Vec<Vec<usize>>,
+    num_slots: usize,
+    micro_batch: f64,
+    policy: Policy,
+    all_times: &[StageTimes],
+) -> Result<PipelineSchedule, ScheduleError> {
+    let scheduled =
+        simulate(&ops, num_slots, policy).map_err(|d| ScheduleError::Deadlock(d.remaining))?;
+
+    // Slot replication: from the first pipeline covering each slot.
+    let directions = [PipelineDirection::Down, PipelineDirection::Up];
+    let mut slot_replication = vec![0usize; num_slots];
+    for (ti, times) in all_times.iter().enumerate() {
+        let dir = directions[ti.min(1)];
+        for (s, &r) in times.replication.iter().enumerate() {
+            // Stage s of this pipeline occupies some slot; find it from ops.
+            let slot = scheduled
+                .iter()
+                .find(|o| o.op.stage == s && o.op.direction == dir)
+                .map(|o| o.op.slot)
+                .unwrap_or(s);
+            if slot_replication[slot] == 0 {
+                slot_replication[slot] = r;
+            }
+        }
+    }
+    for r in &mut slot_replication {
+        if *r == 0 {
+            *r = 1;
+        }
+    }
+
+    // Gradient syncs: one per (pipeline, stage), starting at that stage's
+    // last backward end.
+    let mut syncs = Vec::new();
+    let directions = [PipelineDirection::Down, PipelineDirection::Up];
+    for (ti, times) in all_times.iter().enumerate() {
+        let dir = directions[ti.min(1)];
+        for s in 0..times.num_stages() {
+            let last_bwd = scheduled
+                .iter()
+                .filter(|o| {
+                    o.op.kind == OpKind::Backward && o.op.stage == s && o.op.direction == dir
+                })
+                .map(|o| o.end)
+                .fold(0.0, f64::max);
+            let slot = scheduled
+                .iter()
+                .find(|o| o.op.stage == s && o.op.direction == dir)
+                .map(|o| o.op.slot)
+                .unwrap_or(s);
+            syncs.push(SyncOp {
+                slot,
+                direction: dir,
+                start: last_bwd,
+                duration: times.sync[s],
+            });
+        }
+    }
+
+    let group_batch: f64 = all_times
+        .iter()
+        .map(|t| t.micro_batch * t.num_micro_batches as f64)
+        .sum();
+    Ok(PipelineSchedule {
+        ops: scheduled,
+        syncs,
+        num_slots,
+        slot_replication,
+        micro_batch,
+        group_batch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpipe_model::zoo;
+    use dpipe_partition::{PartitionConfig, Partitioner};
+    use dpipe_profile::{DeviceModel, Profiler};
+    use crate::ScheduledOp;
+
+    struct Fixture {
+        db: ProfileDb,
+        cluster: ClusterSpec,
+    }
+
+    fn fixture(model: dpipe_model::ModelSpec, devices: usize, batch: u32) -> Fixture {
+        let (db, _) = Profiler::new(DeviceModel::a100_like()).profile(&model, batch);
+        Fixture {
+            db,
+            cluster: ClusterSpec::single_node(devices),
+        }
+    }
+
+    fn single_schedule(
+        model: dpipe_model::ModelSpec,
+        stages: usize,
+        micro: usize,
+        kind: ScheduleKind,
+    ) -> PipelineSchedule {
+        let f = fixture(model, stages, 64);
+        let layout = DataParallelLayout::new(&f.cluster, stages).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        let bb = f.db.model().backbones().next().unwrap().0;
+        let plan = p
+            .partition_single(bb, &PartitionConfig::new(stages, micro, 64.0))
+            .unwrap();
+        ScheduleBuilder::new(&f.db, &f.cluster, &layout)
+            .build_single(&plan, kind)
+            .unwrap()
+    }
+
+    #[test]
+    fn fifo_1f1b_is_consistent() {
+        let m = zoo::synthetic_model(8, 10.0, &[1.0], false);
+        let s = single_schedule(m, 4, 4, ScheduleKind::Fifo1F1B);
+        s.check_consistency().unwrap();
+        assert_eq!(s.ops.len(), 4 * 4 * 2); // F + B per (stage, mb)
+    }
+
+    #[test]
+    fn gpipe_matches_analytic_makespan_for_uniform_stages() {
+        // Uniform stages, no comm: GPipe forward phase = (M + S - 1) * f,
+        // backward phase = (M + S - 1) * b.
+        let m = zoo::synthetic_model(8, 10.0, &[1.0], false);
+        let s = single_schedule(m, 4, 4, ScheduleKind::GPipe);
+        s.check_consistency().unwrap();
+        let f = s.ops_of_kind(OpKind::Forward).next().unwrap();
+        let fdur = f.end - f.start;
+        let expected_fwd_phase = (4.0 + 3.0) * fdur;
+        let last_fwd_end = s
+            .ops_of_kind(OpKind::Forward)
+            .map(|o| o.end)
+            .fold(0.0, f64::max);
+        assert!(
+            (last_fwd_end - expected_fwd_phase).abs() < expected_fwd_phase * 0.05,
+            "last_fwd_end={last_fwd_end} expected={expected_fwd_phase}"
+        );
+    }
+
+    #[test]
+    fn one_f1b_matches_gpipe_makespan() {
+        // Non-interleaved 1F1B and GPipe have the same ideal bubble time
+        // (S-1)(f+b); 1F1B's advantage is activation memory, not makespan.
+        // Communication asymmetries may tip either way by a small margin.
+        let m = zoo::synthetic_model(8, 10.0, &[1.0], false);
+        let s1 = single_schedule(m.clone(), 4, 4, ScheduleKind::Fifo1F1B);
+        let s2 = single_schedule(m, 4, 4, ScheduleKind::GPipe);
+        let rel = (s1.compute_end() - s2.compute_end()).abs() / s2.compute_end();
+        assert!(rel < 0.05, "1F1B {} vs GPipe {}", s1.compute_end(), s2.compute_end());
+    }
+
+    #[test]
+    fn bubble_ratio_decreases_with_micro_batches() {
+        let m = zoo::synthetic_model(8, 10.0, &[1.0], false);
+        let r1 = single_schedule(m.clone(), 4, 1, ScheduleKind::Fifo1F1B).bubble_ratio();
+        let r4 = single_schedule(m.clone(), 4, 4, ScheduleKind::Fifo1F1B).bubble_ratio();
+        let r8 = single_schedule(m, 4, 8, ScheduleKind::Fifo1F1B).bubble_ratio();
+        assert!(r1 > r4 && r4 > r8, "r1={r1} r4={r4} r8={r8}");
+    }
+
+    #[test]
+    fn self_conditioning_adds_double_forwards() {
+        let m = zoo::synthetic_model(8, 10.0, &[1.0], true);
+        let s = single_schedule(m, 2, 2, ScheduleKind::Fifo1F1B);
+        s.check_consistency().unwrap();
+        let n_sc = s.ops_of_kind(OpKind::SelfCondForward).count();
+        let n_f = s.ops_of_kind(OpKind::Forward).count();
+        assert_eq!(n_sc, n_f);
+        // On every stage the SC pass of a micro-batch completes before the
+        // main pass of that micro-batch starts (Fig. 10's back-to-back
+        // double forward).
+        for o in s.ops.iter().filter(|o| o.op.kind == OpKind::Forward) {
+            let sc_end = s
+                .ops
+                .iter()
+                .find(|x| {
+                    x.op.kind == OpKind::SelfCondForward
+                        && x.op.stage == o.op.stage
+                        && x.op.micro_batch == o.op.micro_batch
+                })
+                .unwrap()
+                .end;
+            assert!(o.start + 1e-9 >= sc_end);
+        }
+    }
+
+    #[test]
+    fn bidirectional_schedules_two_pipelines() {
+        let model = zoo::cdm_lsun();
+        let f = fixture(model, 4, 64);
+        let layout = DataParallelLayout::new(&f.cluster, 4).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        let mut bbs = f.db.model().backbones().map(|(id, _)| id);
+        let b0 = bbs.next().unwrap();
+        let b1 = bbs.next().unwrap();
+        let plan = p
+            .partition_bidirectional(b0, b1, &PartitionConfig::new(4, 4, 64.0))
+            .unwrap();
+        let s = ScheduleBuilder::new(&f.db, &f.cluster, &layout)
+            .build_bidirectional(&plan)
+            .unwrap();
+        s.check_consistency().unwrap();
+        let down_ops = s.ops.iter().filter(|o| o.op.direction == PipelineDirection::Down).count();
+        let up_ops = s.ops.iter().filter(|o| o.op.direction == PipelineDirection::Up).count();
+        assert_eq!(down_ops, 4 * 4 * 2);
+        assert_eq!(up_ops, 4 * 4 * 2);
+        // Bidirectional fills the counterpart's bubbles: ratio far below a
+        // single unidirectional pipeline at M = S.
+        assert!(s.bubble_ratio() < 0.45, "ratio = {}", s.bubble_ratio());
+    }
+
+    #[test]
+    fn bidirectional_group_batch_counts_both_backbones() {
+        let model = zoo::cdm_lsun();
+        let f = fixture(model, 4, 64);
+        let layout = DataParallelLayout::new(&f.cluster, 4).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        let mut bbs = f.db.model().backbones().map(|(id, _)| id);
+        let plan = p
+            .partition_bidirectional(
+                bbs.next().unwrap(),
+                bbs.next().unwrap(),
+                &PartitionConfig::new(2, 2, 64.0),
+            )
+            .unwrap();
+        let s = ScheduleBuilder::new(&f.db, &f.cluster, &layout)
+            .build_bidirectional(&plan)
+            .unwrap();
+        assert_eq!(s.group_batch, 128.0);
+    }
+
+    #[test]
+    fn warmup_structure_matches_fig2() {
+        // Stage 0 of a 4-stage pipeline does 3 warmup forwards before its
+        // first backward.
+        let m = zoo::synthetic_model(8, 10.0, &[1.0], false);
+        let s = single_schedule(m, 4, 4, ScheduleKind::Fifo1F1B);
+        let mut slot0: Vec<&ScheduledOp> =
+            s.ops.iter().filter(|o| o.op.slot == 0).collect();
+        slot0.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        let kinds: Vec<OpKind> = slot0.iter().map(|o| o.op.kind).collect();
+        assert_eq!(
+            &kinds[..5],
+            &[
+                OpKind::Forward,
+                OpKind::Forward,
+                OpKind::Forward,
+                OpKind::Forward,
+                OpKind::Backward
+            ]
+        );
+    }
+
+    #[test]
+    fn sync_starts_after_last_backward() {
+        let m = zoo::synthetic_model(8, 10.0, &[1.0], false);
+        let s = single_schedule(m, 2, 4, ScheduleKind::Fifo1F1B);
+        for sync in &s.syncs {
+            let last_bwd = s
+                .ops
+                .iter()
+                .filter(|o| o.op.kind == OpKind::Backward && o.op.slot == sync.slot)
+                .map(|o| o.end)
+                .fold(0.0, f64::max);
+            assert!((sync.start - last_bwd).abs() < 1e-12);
+        }
+        assert!(s.iteration_time() >= s.compute_end());
+    }
+}

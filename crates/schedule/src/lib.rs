@@ -1,0 +1,48 @@
+//! Pipeline schedules and bubble extraction.
+//!
+//! Builds the per-device operation orders for FIFO-1F1B (paper Fig. 2),
+//! GPipe, and bidirectional (Chimera-style, Fig. 3) pipelines — including
+//! the self-conditioning double-forward of Fig. 10 — and simulates them with
+//! a deterministic list scheduler to obtain exact start/end times, iteration
+//! time, and the pipeline bubbles as `(start, end, idle devices)` tuples
+//! (paper §5).
+//!
+//! # Example
+//!
+//! ```
+//! use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+//! use dpipe_model::zoo;
+//! use dpipe_partition::{PartitionConfig, Partitioner};
+//! use dpipe_profile::{DeviceModel, Profiler};
+//! use dpipe_schedule::{ScheduleBuilder, ScheduleKind};
+//!
+//! let model = zoo::stable_diffusion_v2_1();
+//! let cluster = ClusterSpec::single_node(8);
+//! let (db, _) = Profiler::new(DeviceModel::a100_like()).profile(&model, 64);
+//! let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+//! let part = Partitioner::new(&db, &cluster, &layout);
+//! let bb = model.backbones().next().unwrap().0;
+//! let plan = part
+//!     .partition_single(bb, &PartitionConfig::new(4, 4, 64.0))
+//!     .unwrap();
+//! let sched = ScheduleBuilder::new(&db, &cluster, &layout)
+//!     .build_single(&plan, ScheduleKind::Fifo1F1B)
+//!     .unwrap();
+//! assert!(sched.iteration_time() > 0.0);
+//! assert!(!sched.bubbles(0.0).is_empty());
+//! ```
+
+mod bubble;
+mod builder;
+mod op;
+mod render;
+mod schedule;
+mod simulate;
+mod stage_times;
+
+pub use bubble::{extract_bubbles, Bubble};
+pub use builder::{ScheduleBuilder, ScheduleError, ScheduleKind};
+pub use op::{Op, OpId, OpKind, PipelineDirection};
+pub use render::render_timeline;
+pub use schedule::{PipelineSchedule, ScheduledOp};
+pub use stage_times::StageTimes;

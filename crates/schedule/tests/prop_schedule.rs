@@ -1,0 +1,130 @@
+//! Property tests: schedules built from arbitrary synthetic models are
+//! always consistent, and bubble extraction conserves time.
+
+use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use dpipe_model::zoo;
+use dpipe_partition::{PartitionConfig, Partitioner};
+use dpipe_profile::{DeviceModel, Profiler};
+use dpipe_schedule::{extract_bubbles, Bubble, ScheduleBuilder, ScheduleKind};
+use proptest::prelude::*;
+
+fn schedule_for(
+    layers: usize,
+    layer_ms: f64,
+    stages: usize,
+    micro: usize,
+    self_cond: bool,
+    kind: ScheduleKind,
+) -> dpipe_schedule::PipelineSchedule {
+    let model = zoo::synthetic_model(layers, layer_ms, &[1.0, 2.0], self_cond);
+    let cluster = ClusterSpec::single_node(stages);
+    let (db, _) = Profiler::new(DeviceModel::a100_like()).profile(&model, 32);
+    let layout = DataParallelLayout::new(&cluster, stages).unwrap();
+    let bb = db.model().backbones().next().unwrap().0;
+    let plan = Partitioner::new(&db, &cluster, &layout)
+        .partition_single(bb, &PartitionConfig::new(stages, micro, 32.0))
+        .unwrap();
+    ScheduleBuilder::new(&db, &cluster, &layout)
+        .build_single(&plan, kind)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (stages, micro, self-cond, kind) combination yields a schedule
+    /// whose ops never overlap on a device and respect dependencies.
+    #[test]
+    fn schedules_are_always_consistent(
+        stages in 1usize..5,
+        micro in 1usize..6,
+        self_cond in any::<bool>(),
+        gpipe in any::<bool>(),
+        layer_ms in 1.0f64..40.0,
+    ) {
+        let layers = stages.max(2) * 2;
+        let kind = if gpipe { ScheduleKind::GPipe } else { ScheduleKind::Fifo1F1B };
+        let s = schedule_for(layers, layer_ms, stages, micro, self_cond, kind);
+        prop_assert!(s.check_consistency().is_ok());
+        // Op count: (1 + sc) forwards + 1 backward per (stage, micro).
+        let per = if self_cond { 3 } else { 2 };
+        prop_assert_eq!(s.ops.len(), per * stages * micro);
+        prop_assert!(s.compute_end() > 0.0);
+        prop_assert!(s.iteration_time() >= s.compute_end());
+    }
+
+    /// Busy time + bubble time = slots x window, for every schedule.
+    #[test]
+    fn bubble_extraction_conserves_time(
+        stages in 2usize..5,
+        micro in 1usize..5,
+    ) {
+        let s = schedule_for(stages * 2, 10.0, stages, micro, false, ScheduleKind::Fifo1F1B);
+        let window = s.iteration_time();
+        let busy: f64 = s
+            .busy_intervals()
+            .iter()
+            .flat_map(|list| list.iter().map(|(a, b)| b - a))
+            .sum();
+        let idle: f64 = s.bubbles(0.0).iter().map(|b| b.duration() * b.slots.len() as f64).sum();
+        let total = stages as f64 * window;
+        prop_assert!(
+            (busy + idle - total).abs() < 1e-6 * total.max(1.0),
+            "busy {busy} + idle {idle} != {total}"
+        );
+    }
+
+    /// Bubbles never overlap ops and are sorted chronologically.
+    #[test]
+    fn bubbles_are_chronological_and_disjoint_from_ops(
+        stages in 2usize..5,
+        micro in 1usize..5,
+    ) {
+        let s = schedule_for(stages * 2, 15.0, stages, micro, false, ScheduleKind::Fifo1F1B);
+        let bubbles = s.bubbles(0.0);
+        for w in bubbles.windows(2) {
+            prop_assert!(w[0].start <= w[1].start + 1e-12);
+        }
+        let busy = s.busy_intervals();
+        for b in &bubbles {
+            let mid = 0.5 * (b.start + b.end);
+            for &slot in &b.slots {
+                let overlapping = busy[slot]
+                    .iter()
+                    .any(|&(s0, e0)| s0 <= mid && mid < e0);
+                prop_assert!(!overlapping, "bubble overlaps op on slot {slot}");
+            }
+        }
+    }
+
+    /// extract_bubbles on random interval sets conserves idle device-time.
+    #[test]
+    fn extract_bubbles_random_intervals(
+        intervals in proptest::collection::vec((0.0f64..10.0, 0.01f64..3.0, 0usize..3), 0..12),
+        window in 10.0f64..14.0,
+    ) {
+        let mut busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
+        for (start, len, slot) in intervals {
+            busy[slot].push((start, (start + len).min(window)));
+        }
+        // Normalise to sorted, non-overlapping by merging.
+        for list in &mut busy {
+            list.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut merged: Vec<(f64, f64)> = Vec::new();
+            for &(s, e) in list.iter() {
+                match merged.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            *list = merged;
+        }
+        let bubbles: Vec<Bubble> = extract_bubbles(&busy, &[1, 1, 1], window, 0.0);
+        let busy_total: f64 = busy.iter().flat_map(|l| l.iter().map(|(a, b)| b - a)).sum();
+        let idle_total: f64 = bubbles.iter().map(|b| b.duration() * b.devices as f64).sum();
+        prop_assert!(
+            (busy_total + idle_total - 3.0 * window).abs() < 1e-6,
+            "busy {busy_total} idle {idle_total} window {window}"
+        );
+    }
+}

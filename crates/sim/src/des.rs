@@ -1,0 +1,160 @@
+//! Minimal discrete-event core: a time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A timestamped event carrying a payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event<T> {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// Tie-break sequence number (FIFO among equal times).
+    pub seq: u64,
+    /// Payload.
+    pub payload: T,
+}
+
+impl<T> Eq for Event<T> where T: PartialEq {}
+
+impl<T: PartialEq> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: PartialEq> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour in BinaryHeap (max-heap).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-time event queue.
+#[derive(Debug)]
+pub struct EventQueue<T: PartialEq> {
+    heap: BinaryHeap<Event<T>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<T: PartialEq> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+}
+
+impl<T: PartialEq> EventQueue<T> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or behind the current simulation time.
+    pub fn schedule(&mut self, time: f64, payload: T) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(
+            time >= self.now - 1e-12,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.heap.push(Event {
+            time,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` after a delay from now.
+    pub fn schedule_after(&mut self, delay: f64, payload: T) {
+        let now = self.now;
+        self.schedule(now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, 'b');
+        q.schedule(1.0, 'a');
+        q.schedule(3.0, 'c');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+        assert_eq!(q.now(), 3.0);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_after_uses_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, 'a');
+        q.pop();
+        q.schedule_after(1.0, 'b');
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, 'a');
+        q.pop();
+        q.schedule(1.0, 'b');
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, 0);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Layer normalisation with learnable scale and bias.
+
+use crate::layers::Layer;
+use crate::matrix::Matrix;
+
+/// Row-wise layer normalisation: `y = (x - mean) / sqrt(var + eps) * g + b`
+/// with learnable gain `g` and bias `b` per feature.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gain: Vec<f32>,
+    bias: Vec<f32>,
+    g_gain: Vec<f32>,
+    g_bias: Vec<f32>,
+    eps: f32,
+    cache_x: Option<Matrix>,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over `dim` features (gain 1, bias 0).
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gain: vec![1.0; dim],
+            bias: vec![0.0; dim],
+            g_gain: vec![0.0; dim],
+            g_bias: vec![0.0; dim],
+            eps: 1e-5,
+            cache_x: None,
+        }
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.gain.len()
+    }
+
+    fn normalise(&self, x: &Matrix) -> (Matrix, Vec<f32>, Vec<f32>) {
+        let (r, c) = (x.rows(), x.cols());
+        let mut out = Matrix::zeros(r, c);
+        let mut means = Vec::with_capacity(r);
+        let mut inv_stds = Vec::with_capacity(r);
+        for i in 0..r {
+            let row = &x.data()[i * c..(i + 1) * c];
+            let mean = row.iter().sum::<f32>() / c as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            for j in 0..c {
+                out.data_mut()[i * c + j] = (row[j] - mean) * inv * self.gain[j] + self.bias[j];
+            }
+            means.push(mean);
+            inv_stds.push(inv);
+        }
+        (out, means, inv_stds)
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.cache_x = Some(x.clone());
+        self.normalise(x).0
+    }
+
+    fn forward_inference(&self, x: &Matrix) -> Matrix {
+        self.normalise(x).0
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cache_x
+            .take()
+            .expect("backward called before forward");
+        self.backward_from(&x, grad_out)
+    }
+
+    fn backward_from(&mut self, input: &Matrix, grad_out: &Matrix) -> Matrix {
+        let (r, c) = (input.rows(), input.cols());
+        let cf = c as f32;
+        let mut gin = Matrix::zeros(r, c);
+        for i in 0..r {
+            let row = &input.data()[i * c..(i + 1) * c];
+            let go = &grad_out.data()[i * c..(i + 1) * c];
+            let mean = row.iter().sum::<f32>() / cf;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cf;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            // x_hat and param grads.
+            let xhat: Vec<f32> = row.iter().map(|v| (v - mean) * inv).collect();
+            for j in 0..c {
+                self.g_gain[j] += go[j] * xhat[j];
+                self.g_bias[j] += go[j];
+            }
+            // dL/dx via the standard layer-norm backward.
+            let gxhat: Vec<f32> = (0..c).map(|j| go[j] * self.gain[j]).collect();
+            let sum_g: f32 = gxhat.iter().sum();
+            let sum_gx: f32 = gxhat.iter().zip(&xhat).map(|(g, h)| g * h).sum();
+            for j in 0..c {
+                gin.data_mut()[i * c + j] =
+                    inv / cf * (cf * gxhat[j] - sum_g - xhat[j] * sum_gx);
+            }
+        }
+        gin
+    }
+
+    fn params(&self) -> Vec<f32> {
+        let mut p = self.gain.clone();
+        p.extend_from_slice(&self.bias);
+        p
+    }
+
+    fn grads(&self) -> Vec<f32> {
+        let mut g = self.g_gain.clone();
+        g.extend_from_slice(&self.g_bias);
+        g
+    }
+
+    fn set_grads(&mut self, grads: &[f32]) {
+        let n = self.gain.len();
+        assert_eq!(grads.len(), 2 * n, "gradient size mismatch");
+        self.g_gain.copy_from_slice(&grads[..n]);
+        self.g_bias.copy_from_slice(&grads[n..]);
+    }
+
+    fn set_params(&mut self, params: &[f32]) {
+        let n = self.gain.len();
+        assert_eq!(params.len(), 2 * n, "parameter size mismatch");
+        self.gain.copy_from_slice(&params[..n]);
+        self.bias.copy_from_slice(&params[n..]);
+    }
+
+    fn zero_grads(&mut self) {
+        self.g_gain.iter_mut().for_each(|g| *g = 0.0);
+        self.g_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn apply_sgd(&mut self, lr: f32) {
+        for (p, g) in self.gain.iter_mut().zip(&self.g_gain) {
+            *p -= lr * g;
+        }
+        for (p, g) in self.bias.iter_mut().zip(&self.g_bias) {
+            *p -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_rows_are_normalised() {
+        let ln = LayerNorm::new(6);
+        let x = Matrix::randn(4, 6, 3).scale(5.0);
+        let y = ln.forward_inference(&x);
+        for i in 0..4 {
+            let row = &y.data()[i * 6..(i + 1) * 6];
+            let mean: f32 = row.iter().sum::<f32>() / 6.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 6.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut ln = LayerNorm::new(4);
+        // Non-trivial gain/bias so the parameter path is exercised too.
+        ln.set_params(&[1.5, 0.5, 2.0, 1.0, 0.1, -0.2, 0.3, 0.0]);
+        let x = Matrix::randn(3, 4, 7);
+        let y = ln.forward(&x);
+        let ones = Matrix::from_vec(3, 4, vec![1.0; 12]);
+        let gin = ln.backward(&ones);
+        let eps = 1e-3f32;
+        for k in [0usize, 5, 11] {
+            let mut x2 = x.clone();
+            x2.data_mut()[k] += eps;
+            let y2 = ln.forward_inference(&x2);
+            let num = (y2.data().iter().sum::<f32>() - y.data().iter().sum::<f32>()) / eps;
+            assert!(
+                (num - gin.data()[k]).abs() < 2e-2,
+                "element {k}: numeric {num} vs analytic {}",
+                gin.data()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_gradient_check() {
+        let mut ln = LayerNorm::new(3);
+        let x = Matrix::randn(2, 3, 9);
+        let y = ln.forward(&x);
+        let ones = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        ln.backward(&ones);
+        let analytic = ln.grads();
+        let eps = 1e-3f32;
+        for k in 0..6 {
+            let mut perturbed = ln.clone();
+            let mut params = perturbed.params();
+            params[k] += eps;
+            perturbed.set_params(&params);
+            let y2 = perturbed.forward_inference(&x);
+            let num = (y2.data().iter().sum::<f32>() - y.data().iter().sum::<f32>()) / eps;
+            assert!(
+                (num - analytic[k]).abs() < 1e-2,
+                "param {k}: numeric {num} vs analytic {}",
+                analytic[k]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_accumulates() {
+        let mut ln = LayerNorm::new(3);
+        let x = Matrix::randn(2, 3, 1);
+        let g = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let _ = ln.forward(&x);
+        ln.backward(&g);
+        let once = ln.grads();
+        let _ = ln.forward(&x);
+        ln.backward(&g);
+        let twice = ln.grads();
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((2.0 * a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn works_inside_mlp() {
+        use crate::net::{mse_grad, Mlp};
+        use crate::layers::Linear;
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Linear::new(4, 4, 1)),
+            Box::new(LayerNorm::new(4)),
+            Box::new(Linear::new(4, 4, 2)),
+        ];
+        let mut net = Mlp::from_layers(layers);
+        let x = Matrix::randn(8, 4, 5);
+        let y = x.scale(0.1);
+        let mut losses = Vec::new();
+        for _ in 0..60 {
+            net.zero_grads();
+            let pred = net.forward(&x);
+            losses.push(crate::net::mse_loss(&pred, &y));
+            let g = mse_grad(&pred, &y);
+            net.backward(&g);
+            net.apply_sgd(0.5);
+        }
+        assert!(losses.last().unwrap() < &(losses[0] * 0.8), "{losses:?}");
+    }
+}

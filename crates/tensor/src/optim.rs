@@ -1,0 +1,178 @@
+//! Optimisers operating on flattened parameter/gradient vectors.
+
+use crate::net::Mlp;
+
+/// Optimiser choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Adam (Kingma & Ba) with bias correction — the optimiser used by the
+    /// diffusion-model training recipes the paper targets.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay (default 0.9).
+        beta1: f32,
+        /// Second-moment decay (default 0.999).
+        beta2: f32,
+        /// Numerical stabiliser (default 1e-8).
+        eps: f32,
+    },
+}
+
+impl Optimizer {
+    /// Adam with the conventional defaults.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Per-network optimiser state (Adam moments; empty for SGD).
+#[derive(Debug, Clone)]
+pub struct OptimizerState {
+    optimizer: Optimizer,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+}
+
+impl OptimizerState {
+    /// Creates state for a parameter vector of length `n`.
+    pub fn new(optimizer: Optimizer, n: usize) -> Self {
+        let (m, v) = match optimizer {
+            Optimizer::Sgd { .. } => (Vec::new(), Vec::new()),
+            Optimizer::Adam { .. } => (vec![0.0; n], vec![0.0; n]),
+        };
+        OptimizerState {
+            optimizer,
+            m,
+            v,
+            t: 0,
+        }
+    }
+
+    /// Applies one update step to `net` from its accumulated gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's parameter count differs from the state's.
+    pub fn step(&mut self, net: &mut Mlp) {
+        match self.optimizer {
+            Optimizer::Sgd { lr } => net.apply_sgd(lr),
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                let mut params = net.params();
+                let grads = net.grads();
+                assert_eq!(params.len(), self.m.len(), "optimizer state size mismatch");
+                self.t += 1;
+                let bc1 = 1.0 - beta1.powi(self.t as i32);
+                let bc2 = 1.0 - beta2.powi(self.t as i32);
+                for i in 0..params.len() {
+                    let g = grads[i];
+                    self.m[i] = beta1 * self.m[i] + (1.0 - beta1) * g;
+                    self.v[i] = beta2 * self.v[i] + (1.0 - beta2) * g * g;
+                    let m_hat = self.m[i] / bc1;
+                    let v_hat = self.v[i] / bc2;
+                    params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+                net.set_params(&params);
+            }
+        }
+    }
+
+    /// The configured optimiser.
+    pub fn optimizer(&self) -> Optimizer {
+        self.optimizer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::net::{mse_grad, mse_loss};
+
+    fn train(optimizer: Optimizer, iterations: usize) -> Vec<f32> {
+        let mut net = Mlp::uniform(1, 8, 3);
+        let mut state = OptimizerState::new(optimizer, net.params().len());
+        let x = Matrix::randn(16, 8, 1);
+        let y = x.scale(0.1);
+        let mut losses = Vec::new();
+        for _ in 0..iterations {
+            net.zero_grads();
+            let pred = net.forward(&x);
+            losses.push(mse_loss(&pred, &y));
+            let g = mse_grad(&pred, &y);
+            net.backward(&g);
+            state.step(&mut net);
+        }
+        losses
+    }
+
+    #[test]
+    fn adam_converges_faster_than_sgd_here() {
+        let sgd = train(Optimizer::Sgd { lr: 0.5 }, 100);
+        let adam = train(Optimizer::adam(0.01), 100);
+        assert!(adam.last().unwrap() < &adam[0]);
+        assert!(sgd.last().unwrap() < &sgd[0]);
+        // Adam's normalised steps reach a lower loss on this conditioning.
+        assert!(adam.last().unwrap() < sgd.last().unwrap());
+    }
+
+    #[test]
+    fn sgd_state_matches_apply_sgd() {
+        let mut a = Mlp::uniform(1, 4, 9);
+        let mut b = Mlp::uniform(1, 4, 9);
+        let x = Matrix::randn(4, 4, 2);
+        let g = Matrix::randn(4, 4, 3);
+        let _ = a.forward(&x);
+        a.backward(&g);
+        let _ = b.forward(&x);
+        b.backward(&g);
+        let mut state = OptimizerState::new(Optimizer::Sgd { lr: 0.1 }, a.params().len());
+        state.step(&mut a);
+        b.apply_sgd(0.1);
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn adam_steps_are_deterministic() {
+        let a = train(Optimizer::adam(0.01), 10);
+        let b = train(Optimizer::adam(0.01), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // After one step with gradient g, update = lr * sign-ish(g).
+        let mut net = Mlp::uniform(1, 2, 5);
+        let before = net.params();
+        let x = Matrix::randn(2, 2, 1);
+        let _ = net.forward(&x);
+        net.backward(&Matrix::from_vec(2, 2, vec![1.0; 4]));
+        let mut state = OptimizerState::new(Optimizer::adam(0.01), before.len());
+        state.step(&mut net);
+        let after = net.params();
+        for ((b, a), g) in before.iter().zip(&after).zip(net.grads()) {
+            if g.abs() > 1e-6 {
+                // First Adam step is ~lr in the gradient direction.
+                let step = b - a;
+                assert!((step.abs() - 0.01).abs() < 1e-3, "step {step} for grad {g}");
+                assert_eq!(step.signum(), g.signum());
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Profiling-noise robustness (paper §6.2): DiffusionPipe's residual
+//! unfilled bubble time comes from the gap between profiled and actual
+//! layer times. This example plans from increasingly noisy profiles while
+//! evaluating against the true times.
+//!
+//! Run with: `cargo run --release --example profiling_noise`
+
+use diffusionpipe::prelude::*;
+use diffusionpipe::profile::NoiseConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::controlnet_v1_0();
+    let cluster = ClusterSpec::single_node(8);
+    let batch = 384u32;
+    let (true_db, _) = Profiler::new(DeviceModel::a100_like())
+        .with_world_size(8)
+        .profile(&model, batch);
+
+    let layout = DataParallelLayout::new(&cluster, 2).unwrap();
+    let bb = model.backbones().next().expect("backbone").0;
+    let cfg = PartitionConfig::new(2, 1, 96.0);
+
+    println!("{:>8} {:>14} {:>14} {:>12}", "sigma", "bubble ratio", "fill ratio", "iter (ms)");
+    for sigma in [0.0, 0.01, 0.03, 0.05, 0.10] {
+        let noisy = true_db.clone().with_noise(NoiseConfig { sigma, seed: 7 });
+        let plan = Partitioner::new(&noisy, &cluster, &layout).partition_single(bb, &cfg)?;
+        // The schedule realises TRUE durations; filling decisions were made
+        // from the noisy view.
+        let sched = ScheduleBuilder::new(&true_db, &cluster, &layout)
+            .build_single(&plan, ScheduleKind::Fifo1F1B)?;
+        let bubbles = sched.bubbles(0.010);
+        let fill = Filler::new(&noisy, FillConfig::default())
+            .fill(&bubbles, sched.group_batch, 2)?;
+        let combined = CombinedIteration::new(&sched, &bubbles, &fill);
+        println!(
+            "{:>7.0}% {:>13.1}% {:>13.1}% {:>12.0}",
+            sigma * 100.0,
+            combined.bubble_ratio() * 100.0,
+            fill.fill_ratio() * 100.0,
+            combined.iteration_time() * 1e3
+        );
+    }
+    println!("\n(residual bubbles grow mildly with profiling error — the paper's §6.2");
+    println!(" explanation for why its measured bubble ratio is not exactly zero)");
+    Ok(())
+}

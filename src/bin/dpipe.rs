@@ -1,0 +1,217 @@
+//! `dpipe` — command-line front end for the DiffusionPipe planner.
+//!
+//! ```text
+//! dpipe plan --model sd --machines 1 --gpus 8 --batch 256 [--no-fill] [--no-partial] [--timeline]
+//! dpipe models
+//! dpipe baselines --model controlnet --machines 4 --batch 1024
+//! ```
+
+use diffusionpipe::baselines::{ddp, gpipe, spp, zero3};
+use diffusionpipe::core::{generate_instructions, BackbonePartition, Planner, PlannerOptions};
+use diffusionpipe::partition::SearchSpace;
+use diffusionpipe::prelude::*;
+use diffusionpipe::schedule::render_timeline;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dpipe — DiffusionPipe planner (MLSys 2024 reproduction)
+
+USAGE:
+  dpipe models
+      List the model zoo.
+  dpipe plan --model <name> [--machines N] [--gpus-per-machine N]
+             [--batch N] [--no-fill] [--no-partial] [--timeline]
+             [--instructions]
+      Plan training and print the chosen configuration.
+  dpipe baselines --model <name> [--machines N] [--gpus-per-machine N]
+             [--batch N]
+      Compare DiffusionPipe against DDP / ZeRO-3 / GPipe / SPP.
+
+Models: sd, controlnet, cdm-lsun, cdm-imagenet, dit, sdxl, imagen
+";
+
+fn model_by_name(name: &str) -> Option<ModelSpec> {
+    Some(match name {
+        "sd" | "stable-diffusion" => zoo::stable_diffusion_v2_1(),
+        "controlnet" => zoo::controlnet_v1_0(),
+        "cdm-lsun" => zoo::cdm_lsun(),
+        "cdm-imagenet" => zoo::cdm_imagenet(),
+        "dit" => zoo::dit_xl_2(),
+        "sdxl" => zoo::sdxl_base(),
+        "imagen" => zoo::imagen_base(),
+        _ => return None,
+    })
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Self {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    flags.insert(name.to_owned(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    switches.push(name.to_owned());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { flags, switches }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn cluster_from(args: &Args) -> ClusterSpec {
+    let machines: usize = args.get("machines", 1);
+    let gpus: usize = args.get("gpus-per-machine", 8);
+    ClusterSpec {
+        devices_per_machine: gpus,
+        ..ClusterSpec::p4de(machines.max(1))
+    }
+}
+
+fn cmd_models() -> ExitCode {
+    println!("{:<14} {:>10} {:>12} {:>12} {:>10}", "name", "backbones", "train params", "frozen params", "frozen L");
+    for name in ["sd", "controlnet", "cdm-lsun", "cdm-imagenet", "dit", "sdxl", "imagen"] {
+        let m = model_by_name(name).expect("known name");
+        println!(
+            "{:<14} {:>10} {:>11.2}B {:>11.2}B {:>10}",
+            name,
+            m.backbones().count(),
+            m.trainable_param_count() as f64 / 1e9,
+            m.frozen_param_count() as f64 / 1e9,
+            m.num_frozen_layers()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_plan(args: &Args) -> ExitCode {
+    let Some(model) = args.flags.get("model").and_then(|n| model_by_name(n)) else {
+        eprintln!("unknown or missing --model; run `dpipe models`");
+        return ExitCode::FAILURE;
+    };
+    let cluster = cluster_from(args);
+    let batch: u32 = args.get("batch", 32 * cluster.world_size() as u32);
+    let options = PlannerOptions {
+        bubble_filling: !args.has("no-fill"),
+        partial_batch: !args.has("no-partial"),
+    };
+    let planner = Planner::new(model, cluster.clone()).with_options(options);
+    let plan = match planner.plan(batch) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("plan for batch {batch} on {} GPUs:", cluster.world_size());
+    println!("  {}", plan.summary());
+    match &plan.partition {
+        BackbonePartition::Single(p) => {
+            for (i, s) in p.stages.iter().enumerate() {
+                println!(
+                    "  stage {i}: layers {:?} x{} (offsets {:?})",
+                    s.layers, s.replication, s.device_offsets
+                );
+            }
+        }
+        BackbonePartition::Bidirectional(bi) => {
+            println!("  down: {:?}", bi.down.stages.iter().map(|s| s.layers.clone()).collect::<Vec<_>>());
+            println!("  up  : {:?}", bi.up.stages.iter().map(|s| s.layers.clone()).collect::<Vec<_>>());
+        }
+    }
+    println!(
+        "  fill: {:.0} ms in bubbles / {:.0} ms tail / ratio {:.0}%",
+        plan.fill.filled_time() * 1e3,
+        plan.fill.leftover_time * 1e3,
+        plan.fill.fill_ratio() * 100.0
+    );
+    if args.has("timeline") && plan.hyper.num_stages > 1 {
+        println!("\n{}", render_timeline(&plan.schedule, 100));
+    }
+    if args.has("instructions") {
+        let streams = generate_instructions(&plan);
+        for (slot, prog) in streams.iter().enumerate() {
+            println!("\ndevice slot {slot} ({} instructions):", prog.len());
+            for instr in prog.iter().take(12) {
+                println!("  {instr:?}");
+            }
+            if prog.len() > 12 {
+                println!("  ... {} more", prog.len() - 12);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_baselines(args: &Args) -> ExitCode {
+    let Some(model) = args.flags.get("model").and_then(|n| model_by_name(n)) else {
+        eprintln!("unknown or missing --model; run `dpipe models`");
+        return ExitCode::FAILURE;
+    };
+    let cluster = cluster_from(args);
+    let batch: u32 = args.get("batch", 32 * cluster.world_size() as u32);
+    let plan = Planner::new(model.clone(), cluster.clone()).plan(batch);
+    let db = Profiler::new(DeviceModel::a100_like())
+        .with_world_size(cluster.world_size())
+        .profile(&model, batch)
+        .0;
+    println!("{:<16} {:>12} {:>10}", "system", "samples/s", "bubbles");
+    if let Ok(p) = &plan {
+        println!("{:<16} {:>12.1} {:>9.1}%", "diffusionpipe", p.throughput, p.bubble_ratio * 100.0);
+    }
+    if let Some((bb, _)) = model.backbones().next().map(|(id, c)| (id, c.name.clone())) {
+        if let Ok(r) = spp(&db, &cluster, bb, batch, &SearchSpace::default()) {
+            println!("{:<16} {:>12.1} {:>9.1}%", r.name, r.throughput, r.bubble_ratio * 100.0);
+        }
+        if let Ok(r) = gpipe(&db, &cluster, bb, batch, 2, 4) {
+            println!("{:<16} {:>12.1} {:>9.1}%", r.name, r.throughput, r.bubble_ratio * 100.0);
+        }
+    }
+    let r = ddp(&db, &cluster, batch);
+    println!("{:<16} {:>12.1} {:>9.1}%", r.name, r.throughput, r.bubble_ratio * 100.0);
+    let r = zero3(&db, &cluster, batch);
+    println!("{:<16} {:>12.1} {:>9.1}%", r.name, r.throughput, r.bubble_ratio * 100.0);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        print!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&argv[1..]);
+    match cmd.as_str() {
+        "models" => cmd_models(),
+        "plan" => cmd_plan(&args),
+        "baselines" => cmd_baselines(&args),
+        _ => {
+            print!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

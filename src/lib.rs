@@ -1,0 +1,71 @@
+//! # DiffusionPipe (Rust reproduction)
+//!
+//! Pipeline-parallel training of large diffusion models with pipeline-bubble
+//! filling, reproducing *"DiffusionPipe: Training Large Diffusion Models
+//! with Efficient Pipelines"* (MLSys 2024).
+//!
+//! Diffusion models have a trainable backbone (U-Net / DiT) and a large
+//! *frozen* part (text/image encoders). DiffusionPipe pipelines the backbone
+//! across devices and fills the resulting pipeline bubbles with the frozen
+//! part's forward computation of the *next* iteration, nearly eliminating
+//! idle time while remaining mathematically equivalent to synchronous
+//! data-parallel training.
+//!
+//! This workspace substitutes the paper's 64×A100 testbed with calibrated
+//! analytical cost models and a deterministic simulator, plus a real
+//! multi-threaded execution engine over a CPU tensor substrate that
+//! validates the equivalence claim numerically. See `DESIGN.md` for the
+//! substitution table and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use diffusionpipe::prelude::*;
+//!
+//! // Plan Stable Diffusion v2.1 training on one 8-GPU machine.
+//! let plan = Planner::new(zoo::stable_diffusion_v2_1(), ClusterSpec::single_node(8))
+//!     .plan(256)
+//!     .unwrap();
+//! println!("{}", plan.summary());
+//! assert!(plan.bubble_ratio < 0.10);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`model`] | `dpipe-model` | model structure + zoo |
+//! | [`cluster`] | `dpipe-cluster` | topology + comm costs |
+//! | [`profile`] | `dpipe-profile` | layer profiler |
+//! | [`partition`] | `dpipe-partition` | §4 dynamic programming |
+//! | [`schedule`] | `dpipe-schedule` | 1F1B/GPipe/bidirectional schedules |
+//! | [`fill`] | `dpipe-fill` | §5 bubble filling |
+//! | [`sim`] | `dpipe-sim` | iteration simulation |
+//! | [`tensor`] | `dpipe-tensor` | CPU tensor substrate |
+//! | [`engine`] | `dpipe-engine` | threaded back-end + equivalence |
+//! | [`baselines`] | `dpipe-baselines` | DDP / ZeRO-3 / GPipe / SPP |
+//! | [`core`] | `diffusionpipe-core` | the planner |
+
+pub use diffusionpipe_core as core;
+pub use dpipe_baselines as baselines;
+pub use dpipe_cluster as cluster;
+pub use dpipe_engine as engine;
+pub use dpipe_fill as fill;
+pub use dpipe_model as model;
+pub use dpipe_partition as partition;
+pub use dpipe_profile as profile;
+pub use dpipe_schedule as schedule;
+pub use dpipe_sim as sim;
+pub use dpipe_tensor as tensor;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::core::{BackbonePartition, Plan, PlanError, Planner, PlannerOptions};
+    pub use crate::cluster::{ClusterSpec, DataParallelLayout, DeviceId};
+    pub use crate::fill::{FillConfig, Filler};
+    pub use crate::model::{zoo, ModelSpec};
+    pub use crate::partition::{PartitionConfig, Partitioner, SearchSpace};
+    pub use crate::profile::{DeviceModel, ProfileDb, Profiler};
+    pub use crate::schedule::{ScheduleBuilder, ScheduleKind};
+    pub use crate::sim::CombinedIteration;
+}
