@@ -79,8 +79,7 @@ pub fn cdm_data_parallel(
             let mut worst = 0.0f64;
             let mut sync = 0.0f64;
             for (i, &b) in backbones.iter().enumerate() {
-                let devices: Vec<DeviceId> =
-                    (i * per..(i + 1) * per).map(DeviceId).collect();
+                let devices: Vec<DeviceId> = (i * per..(i + 1) * per).map(DeviceId).collect();
                 let (t, s) = backbone_iter(db, &comm, b, &devices, local, zero3);
                 if t > worst {
                     worst = t;

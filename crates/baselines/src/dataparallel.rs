@@ -43,7 +43,9 @@ pub fn ddp(db: &ProfileDb, cluster: &ClusterSpec, global_batch: u32) -> Baseline
     let local = global_batch as f64 / world as f64;
     let compute = compute_time(db, local);
     let devices: Vec<DeviceId> = cluster.devices().collect();
-    let sync = cluster.comm_model().allreduce_time(grad_bytes(db), &devices);
+    let sync = cluster
+        .comm_model()
+        .allreduce_time(grad_bytes(db), &devices);
     let iteration = compute + sync;
     let peak = MemoryModel::new(db.model()).ddp_peak(local);
     BaselineReport {
@@ -95,7 +97,9 @@ mod tests {
     use dpipe_profile::{DeviceModel, Profiler};
 
     fn db(model: dpipe_model::ModelSpec, batch: u32) -> ProfileDb {
-        Profiler::new(DeviceModel::a100_like()).profile(&model, batch).0
+        Profiler::new(DeviceModel::a100_like())
+            .profile(&model, batch)
+            .0
     }
 
     #[test]

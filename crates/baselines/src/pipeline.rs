@@ -82,11 +82,11 @@ pub fn gpipe(
     micro_batches: usize,
 ) -> Result<BaselineReport, String> {
     let world = cluster.world_size();
-    if world % stages != 0 {
+    if !world.is_multiple_of(stages) {
         return Err(format!("{stages} stages do not divide world {world}"));
     }
-    let layout = DataParallelLayout::new(cluster, stages)
-        .ok_or_else(|| "bad group size".to_owned())?;
+    let layout =
+        DataParallelLayout::new(cluster, stages).ok_or_else(|| "bad group size".to_owned())?;
     let comp = db.model().component(backbone);
     let layers = comp.num_layers();
     if stages > layers {
@@ -124,8 +124,15 @@ pub fn gpipe(
     // GPipe retains every micro-batch's activations through the forward
     // phase: in_flight = M on every stage. report_from_schedule assumes
     // 1F1B in-flight counts; adjust by computing GPipe memory here.
-    let mut report =
-        report_from_schedule("gpipe", db, cluster, &schedule, &plan, &layout, global_batch);
+    let mut report = report_from_schedule(
+        "gpipe",
+        db,
+        cluster,
+        &schedule,
+        &plan,
+        &layout,
+        global_batch,
+    );
     let mm = MemoryModel::new(db.model());
     let peak = plan
         .stages
@@ -180,8 +187,8 @@ pub fn spp(
         let Ok(plan) = part.partition_single(backbone, &cfg) else {
             continue;
         };
-        let Ok(schedule) = ScheduleBuilder::new(db, cluster, &layout)
-            .build_single(&plan, ScheduleKind::Fifo1F1B)
+        let Ok(schedule) =
+            ScheduleBuilder::new(db, cluster, &layout).build_single(&plan, ScheduleKind::Fifo1F1B)
         else {
             continue;
         };
@@ -192,7 +199,7 @@ pub fn spp(
         }
         let better = best
             .as_ref()
-            .map_or(true, |b| report.iteration_time < b.iteration_time);
+            .is_none_or(|b| report.iteration_time < b.iteration_time);
         if better {
             best = Some(report);
         }

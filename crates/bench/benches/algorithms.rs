@@ -11,7 +11,9 @@ use dpipe_profile::{DeviceModel, ProfileDb, Profiler};
 use dpipe_schedule::{ScheduleBuilder, ScheduleKind};
 
 fn db(model: dpipe_model::ModelSpec, batch: u32) -> ProfileDb {
-    Profiler::new(DeviceModel::a100_like()).profile(&model, batch).0
+    Profiler::new(DeviceModel::a100_like())
+        .profile(&model, batch)
+        .0
 }
 
 fn bench_partition_dp(c: &mut Criterion) {

@@ -49,5 +49,10 @@ fn bench_pipeline_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_linear_fwd_bwd, bench_pipeline_engine);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_linear_fwd_bwd,
+    bench_pipeline_engine
+);
 criterion_main!(benches);

@@ -13,14 +13,10 @@ fn bench_end_to_end_plan(c: &mut Criterion) {
     for machines in [1usize, 4] {
         let cluster = ClusterSpec::p4de(machines);
         let batch = 32 * cluster.world_size() as u32;
-        group.bench_with_input(
-            BenchmarkId::new("sd", machines * 8),
-            &machines,
-            |b, &_m| {
-                let planner = Planner::new(zoo::stable_diffusion_v2_1(), cluster.clone());
-                b.iter(|| planner.plan(batch).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sd", machines * 8), &machines, |b, &_m| {
+            let planner = Planner::new(zoo::stable_diffusion_v2_1(), cluster.clone());
+            b.iter(|| planner.plan(batch).unwrap())
+        });
     }
     group.finish();
 }

@@ -102,7 +102,11 @@ fn partition_quality() {
     let mut model = zoo::stable_diffusion_v2_1();
     model.self_conditioning = None;
     {
-        let bb = model.components.iter_mut().find(|c| c.is_trainable()).unwrap();
+        let bb = model
+            .components
+            .iter_mut()
+            .find(|c| c.is_trainable())
+            .unwrap();
         for l in bb.layers.iter_mut().take(6) {
             l.flops_per_sample *= 2.5;
         }
@@ -116,7 +120,9 @@ fn partition_quality() {
     let dp_plan = Partitioner::new(&db, &cluster, &layout)
         .partition_single(bb, &PartitionConfig::new(4, 8, 64.0))
         .unwrap();
-    let dp_sched = builder.build_single(&dp_plan, ScheduleKind::Fifo1F1B).unwrap();
+    let dp_sched = builder
+        .build_single(&dp_plan, ScheduleKind::Fifo1F1B)
+        .unwrap();
 
     // Equal split: 7 layers per stage.
     let layers = model.component(bb).num_layers();
@@ -136,11 +142,17 @@ fn partition_quality() {
         t_sync_gap: 0.0,
         t_max: 0.0,
     };
-    let eq_sched = builder.build_single(&equal_plan, ScheduleKind::Fifo1F1B).unwrap();
+    let eq_sched = builder
+        .build_single(&equal_plan, ScheduleKind::Fifo1F1B)
+        .unwrap();
     println!(
         "  DP partitioner  : makespan {:.0} ms  (layer cuts {:?})",
         dp_sched.compute_end() * 1e3,
-        dp_plan.stages.iter().map(|s| s.layers.clone()).collect::<Vec<_>>()
+        dp_plan
+            .stages
+            .iter()
+            .map(|s| s.layers.clone())
+            .collect::<Vec<_>>()
     );
     println!(
         "  equal split     : makespan {:.0} ms",
@@ -166,10 +178,13 @@ fn bubble_threshold() {
         let bubbles = sched.bubbles(min_ms * 1e-3);
         // The setup cost grows with smaller thresholds in practice; the
         // default config charges it per item either way.
-        let fill = Filler::new(&db, FillConfig {
-            min_bubble_seconds: min_ms * 1e-3,
-            ..FillConfig::default()
-        })
+        let fill = Filler::new(
+            &db,
+            FillConfig {
+                min_bubble_seconds: min_ms * 1e-3,
+                ..FillConfig::default()
+            },
+        )
         .fill(&bubbles, sched.group_batch, 2)
         .unwrap();
         let combined = CombinedIteration::new(&sched, &bubbles, &fill);

@@ -17,7 +17,10 @@ use dpipe_partition::SearchSpace;
 /// Batch ladder per world size: the paper scales {8, 16, 32, 48}x world for
 /// single-backbone models (64..3072 across 8..64 GPUs).
 fn batches(world: usize) -> Vec<u32> {
-    [8u32, 16, 32, 48].iter().map(|m| m * world as u32).collect()
+    [8u32, 16, 32, 48]
+        .iter()
+        .map(|m| m * world as u32)
+        .collect()
 }
 
 fn single_backbone(model: &ModelSpec, label: &str) {
@@ -26,7 +29,11 @@ fn single_backbone(model: &ModelSpec, label: &str) {
         if !self_cond {
             model.self_conditioning = None;
         }
-        let case = if self_cond { "self-conditioning" } else { "vanilla case" };
+        let case = if self_cond {
+            "self-conditioning"
+        } else {
+            "vanilla case"
+        };
         for machines in [1usize, 2, 4, 8] {
             let cluster = ClusterSpec::p4de(machines);
             let world = cluster.world_size();
@@ -46,7 +53,8 @@ fn single_backbone(model: &ModelSpec, label: &str) {
                 println!(
                     "{:>7} {:>13} {:>10} {:>10} {:>10} {:>10}",
                     batch,
-                    plan.map(|p| cell(p.throughput, false)).unwrap_or_else(|_| "OOM".into()),
+                    plan.map(|p| cell(p.throughput, false))
+                        .unwrap_or_else(|_| "OOM".into()),
                     r_spp
                         .map(|r| cell(r.throughput, r.oom))
                         .unwrap_or_else(|e| e.chars().take(6).collect()),
@@ -83,7 +91,8 @@ fn cdm(model: &ModelSpec, label: &str) {
             println!(
                 "{:>7} {:>13} {:>12} {:>12} {:>12} {:>12}",
                 batch,
-                plan.map(|p| cell(p.throughput, false)).unwrap_or_else(|_| "OOM".into()),
+                plan.map(|p| cell(p.throughput, false))
+                    .unwrap_or_else(|_| "OOM".into()),
                 cell(rows[0].throughput, rows[0].oom),
                 cell(rows[1].throughput, rows[1].oom),
                 cell(rows[2].throughput, rows[2].oom),

@@ -21,7 +21,9 @@ fn main() {
         (zoo::controlnet_v1_0(), "controlnet"),
     ] {
         for batch in [256u32, 384] {
-            let plan = Planner::new(model.clone(), cluster.clone()).plan(batch).unwrap();
+            let plan = Planner::new(model.clone(), cluster.clone())
+                .plan(batch)
+                .unwrap();
             let db = profile(&model, &cluster, batch);
             let bb = model.backbones().next().unwrap().0;
             let g = gpipe(&db, &cluster, bb, batch, 2, 4).unwrap();

@@ -18,7 +18,9 @@ fn main() {
     ] {
         // Fig. 4 profiles the models without self-conditioning.
         model.self_conditioning = None;
-        println!("\nFig. 4 {name}: bubble%% of iteration (upper) / bubble vs non-trainable time (lower)");
+        println!(
+            "\nFig. 4 {name}: bubble%% of iteration (upper) / bubble vs non-trainable time (lower)"
+        );
         println!("batch 64, FIFO-1F1B; rows = stages, cols = micro-batches\n");
         print!("{:>8}", "S\\M");
         for m in 1..=4 {
@@ -54,5 +56,7 @@ fn main() {
             println!();
         }
     }
-    println!("\npaper fig4a (upper-left, S=4 M=1): 67.6% / 684%; (lower-right, S=2 M=4): 14.8% / 57%");
+    println!(
+        "\npaper fig4a (upper-left, S=4 M=1): 67.6% / 684%; (lower-right, S=2 M=4): 14.8% / 57%"
+    );
 }

@@ -21,7 +21,9 @@ fn main() {
             let cluster = ClusterSpec::p4de(machines);
             let world = cluster.world_size();
             let batch = 32 * world as u32;
-            let plan = Planner::new(model.clone(), cluster.clone()).plan(batch).unwrap();
+            let plan = Planner::new(model.clone(), cluster.clone())
+                .plan(batch)
+                .unwrap();
             println!(
                 "{:<14} {:>6} {:>6} {:>18.1} {:>16.3} {:>12.3}",
                 name,

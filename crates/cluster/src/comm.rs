@@ -82,7 +82,7 @@ impl CommModel {
         let nodes = self.cluster.machines_spanned(devices);
         let bytes_f = bytes as f64;
         // Intra-node ring over the local group.
-        let local = (g + nodes - 1) / nodes; // devices per node (ceil)
+        let local = g.div_ceil(nodes); // devices per node (ceil)
         let intra = if local > 1 {
             2.0 * (local as f64 - 1.0) / local as f64 * bytes_f / self.cluster.intra_link.bandwidth
                 + 2.0 * (local as f64 - 1.0) * self.cluster.intra_link.latency

@@ -48,19 +48,18 @@ impl DataParallelLayout {
     /// size.
     pub fn new(cluster: &ClusterSpec, group_size: usize) -> Option<Self> {
         let world = cluster.world_size();
-        if group_size == 0 || world % group_size != 0 {
+        if group_size == 0 || !world.is_multiple_of(group_size) {
             return None;
         }
         let groups = (0..world / group_size)
             .map(|g| PipelineGroup {
                 index: g,
-                devices: (g * group_size..(g + 1) * group_size).map(DeviceId).collect(),
+                devices: (g * group_size..(g + 1) * group_size)
+                    .map(DeviceId)
+                    .collect(),
             })
             .collect();
-        Some(DataParallelLayout {
-            group_size,
-            groups,
-        })
+        Some(DataParallelLayout { group_size, groups })
     }
 
     /// Data-parallel degree (`world / D`).
@@ -89,7 +88,7 @@ impl DataParallelLayout {
     /// values enumerated by the hyper-parameter search).
     pub fn candidate_group_sizes(cluster: &ClusterSpec) -> Vec<usize> {
         let world = cluster.world_size();
-        (1..=world).filter(|d| world % d == 0).collect()
+        (1..=world).filter(|d| world.is_multiple_of(*d)).collect()
     }
 }
 
@@ -102,7 +101,10 @@ mod tests {
         let c = ClusterSpec::p4de(2); // 16 devices
         let l = DataParallelLayout::new(&c, 4).unwrap();
         assert_eq!(l.data_parallel_degree(), 4);
-        assert_eq!(l.groups[1].devices, vec![DeviceId(4), DeviceId(5), DeviceId(6), DeviceId(7)]);
+        assert_eq!(
+            l.groups[1].devices,
+            vec![DeviceId(4), DeviceId(5), DeviceId(6), DeviceId(7)]
+        );
         assert_eq!(l.group_of(DeviceId(9)).unwrap().index, 2);
     }
 

@@ -239,9 +239,12 @@ mod tests {
             .flatten()
             .filter(|i| matches!(i, Instruction::Compute { label, .. } if label.starts_with("frozen c")))
             .count();
-        let expected: usize = plan.fill.bubbles.iter().map(|b| {
-            b.items.len() * plan.bubbles[b.bubble_index].slots.len()
-        }).sum();
+        let expected: usize = plan
+            .fill
+            .bubbles
+            .iter()
+            .map(|b| b.items.len() * plan.bubbles[b.bubble_index].slots.len())
+            .sum();
         assert_eq!(frozen_items, expected);
     }
 }

@@ -6,9 +6,7 @@ use dpipe_baselines::MemoryModel;
 use dpipe_cluster::{ClusterSpec, DataParallelLayout};
 use dpipe_fill::{FillConfig, Filler};
 use dpipe_model::ModelSpec;
-use dpipe_partition::{
-    enumerate_configs, PartitionConfig, Partitioner, SearchSpace,
-};
+use dpipe_partition::{enumerate_configs, PartitionConfig, Partitioner, SearchSpace};
 use dpipe_profile::{DeviceModel, ProfileDb, Profiler};
 use dpipe_schedule::{PipelineSchedule, ScheduleBuilder, ScheduleKind};
 use dpipe_sim::CombinedIteration;
@@ -100,7 +98,8 @@ impl Planner {
         }
 
         // Step 1: profile (simulated wall time reported).
-        let profiler = Profiler::new(self.device.clone()).with_world_size(self.cluster.world_size());
+        let profiler =
+            Profiler::new(self.device.clone()).with_world_size(self.cluster.world_size());
         let (db, profile_report) = profiler.profile(&self.model, global_batch);
 
         let min_layers = backbones
@@ -187,9 +186,7 @@ impl Planner {
                 peak_memory_bytes: peak,
                 preprocessing: PreprocessingReport::default(),
             };
-            let better = best
-                .as_ref()
-                .map_or(true, |b| plan.throughput > b.throughput);
+            let better = best.as_ref().is_none_or(|b| plan.throughput > b.throughput);
             if better {
                 best = Some(plan);
             }
@@ -254,7 +251,9 @@ mod tests {
     fn sd_plan_beats_no_fill_ablation() {
         let model = zoo::stable_diffusion_v2_1();
         let cluster = ClusterSpec::single_node(8);
-        let full = Planner::new(model.clone(), cluster.clone()).plan(256).unwrap();
+        let full = Planner::new(model.clone(), cluster.clone())
+            .plan(256)
+            .unwrap();
         let no_fill = Planner::new(model, cluster)
             .with_options(PlannerOptions {
                 bubble_filling: false,
@@ -274,7 +273,9 @@ mod tests {
     fn partial_batch_ablation_is_between() {
         let model = zoo::stable_diffusion_v2_1();
         let cluster = ClusterSpec::single_node(8);
-        let full = Planner::new(model.clone(), cluster.clone()).plan(384).unwrap();
+        let full = Planner::new(model.clone(), cluster.clone())
+            .plan(384)
+            .unwrap();
         let no_partial = Planner::new(model.clone(), cluster.clone())
             .with_options(PlannerOptions {
                 bubble_filling: true,
@@ -298,7 +299,10 @@ mod tests {
         let model = zoo::cdm_lsun();
         let cluster = ClusterSpec::single_node(8);
         let plan = Planner::new(model, cluster).plan(256).unwrap();
-        assert!(matches!(plan.partition, BackbonePartition::Bidirectional(_)));
+        assert!(matches!(
+            plan.partition,
+            BackbonePartition::Bidirectional(_)
+        ));
         assert!(plan.throughput > 0.0);
     }
 

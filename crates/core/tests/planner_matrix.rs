@@ -43,13 +43,22 @@ fn every_model_plans_at_every_scale() {
 fn throughput_monotonic_in_batch_and_scale() {
     let model = zoo::stable_diffusion_v2_1();
     let cluster = ClusterSpec::single_node(8);
-    let t64 = Planner::new(model.clone(), cluster.clone()).plan(64).unwrap().throughput;
-    let t256 = Planner::new(model.clone(), cluster.clone()).plan(256).unwrap().throughput;
+    let t64 = Planner::new(model.clone(), cluster.clone())
+        .plan(64)
+        .unwrap()
+        .throughput;
+    let t256 = Planner::new(model.clone(), cluster.clone())
+        .plan(256)
+        .unwrap()
+        .throughput;
     assert!(t256 > t64, "{t256} !> {t64}");
 
     let big = ClusterSpec::p4de(2);
     let t_big = Planner::new(model, big).plan(512).unwrap().throughput;
-    let t_small = Planner::new(zoo::stable_diffusion_v2_1(), cluster).plan(256).unwrap().throughput;
+    let t_small = Planner::new(zoo::stable_diffusion_v2_1(), cluster)
+        .plan(256)
+        .unwrap()
+        .throughput;
     assert!(t_big > t_small, "{t_big} !> {t_small}");
 }
 
@@ -58,7 +67,9 @@ fn throughput_monotonic_in_batch_and_scale() {
 fn planning_is_deterministic() {
     let model = zoo::controlnet_v1_0();
     let cluster = ClusterSpec::single_node(8);
-    let a = Planner::new(model.clone(), cluster.clone()).plan(256).unwrap();
+    let a = Planner::new(model.clone(), cluster.clone())
+        .plan(256)
+        .unwrap();
     let b = Planner::new(model, cluster).plan(256).unwrap();
     assert_eq!(a.hyper, b.hyper);
     assert_eq!(a.throughput, b.throughput);
@@ -73,7 +84,7 @@ fn imagen_frozen_part_is_absorbed_at_scale() {
     let cluster = ClusterSpec::p4de(4);
     let plan = Planner::new(model, cluster).plan(2048).unwrap();
     assert!(plan.hyper.num_stages >= 2, "{}", plan.summary());
-    let absorbed = plan.fill.filled_time()
-        / (plan.fill.filled_time() + plan.fill.leftover_time).max(1e-12);
+    let absorbed =
+        plan.fill.filled_time() / (plan.fill.filled_time() + plan.fill.leftover_time).max(1e-12);
     assert!(absorbed > 0.9, "only {:.0}% absorbed", absorbed * 100.0);
 }

@@ -43,7 +43,11 @@ impl SyntheticTask {
 
     /// The frozen encoder (same weights every call).
     pub fn build_frozen(&self) -> Mlp {
-        Mlp::uniform(self.frozen_blocks, self.dim, self.seed.wrapping_mul(31).wrapping_add(5))
+        Mlp::uniform(
+            self.frozen_blocks,
+            self.dim,
+            self.seed.wrapping_mul(31).wrapping_add(5),
+        )
     }
 
     /// A fresh backbone with `blocks` Linear+SiLU blocks (same weights every

@@ -72,9 +72,11 @@ impl PipelineEngine {
         let s_count = cfg.stage_layers.len();
         let g_count = cfg.dp_groups;
         if s_count == 0 || cfg.micro_batches == 0 || g_count == 0 {
-            return Err(EngineError::BadConfig("zero stages, micro-batches or groups".into()));
+            return Err(EngineError::BadConfig(
+                "zero stages, micro-batches or groups".into(),
+            ));
         }
-        if task.batch % g_count != 0 {
+        if !task.batch.is_multiple_of(g_count) {
             return Err(EngineError::BadConfig(format!(
                 "batch {} not divisible by {} groups",
                 task.batch, g_count
@@ -180,7 +182,11 @@ impl PipelineEngine {
                         loss_tx: loss_tx.clone(),
                     };
                     let program = programs[s].clone();
-                    let frozen = if s == 0 { Some(task.build_frozen()) } else { None };
+                    let frozen = if s == 0 {
+                        Some(task.build_frozen())
+                    } else {
+                        None
+                    };
                     let handle = scope.spawn(move || {
                         run_device(
                             task, cfg, g, s, s_count, stage, frozen, &program, wiring, iterations,
@@ -196,9 +202,7 @@ impl PipelineEngine {
             for ((g, s), h) in handles {
                 collected.insert((g, s), h.join().expect("device thread panicked"));
             }
-            result_stages = (0..s_count)
-                .map(|s| collected.remove(&(0, s)))
-                .collect();
+            result_stages = (0..s_count).map(|s| collected.remove(&(0, s))).collect();
         });
 
         // Aggregate losses.
@@ -238,9 +242,8 @@ fn run_device(
     let global_elems = task.batch * task.dim;
     let mut optimizer = OptimizerState::new(cfg.effective_optimizer(), stage.params().len());
     let shard = |m: &Matrix| {
-        let rows: Vec<f32> = m.data()
-            [group * shard_rows * m.cols()..(group + 1) * shard_rows * m.cols()]
-            .to_vec();
+        let rows: Vec<f32> =
+            m.data()[group * shard_rows * m.cols()..(group + 1) * shard_rows * m.cols()].to_vec();
         Matrix::from_vec(shard_rows, m.cols(), rows)
     };
 
@@ -272,7 +275,7 @@ fn run_device(
         let mut outputs: HashMap<usize, Matrix> = HashMap::new();
         let mut grads_out: HashMap<usize, Matrix> = HashMap::new(); // dL/d(stage output)
         let mut grads_in: HashMap<usize, Matrix> = HashMap::new(); // dL/d(stage input)
-        // Self-conditioning outputs received back on stage 0.
+                                                                   // Self-conditioning outputs received back on stage 0.
         let mut sc_feedback: HashMap<usize, Matrix> = HashMap::new();
 
         for instr in program {
@@ -356,10 +359,7 @@ fn run_device(
                         .reduce_tx
                         .send((group, stage.grads()))
                         .expect("reduce channel closed");
-                    let summed = wiring
-                        .reduced_rx
-                        .recv()
-                        .expect("reduced channel closed");
+                    let summed = wiring.reduced_rx.recv().expect("reduced channel closed");
                     stage.set_grads(&summed);
                 }
                 EngineInstr::OptimizerStep => {
@@ -403,7 +403,10 @@ mod tests {
     use crate::reference::ReferenceTrainer;
 
     fn max_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]
@@ -555,8 +558,7 @@ mod tests {
             optimizer: Some(Optimizer::adam(0.01)),
         };
         let stats = PipelineEngine::train(&task, &cfg, 5).unwrap();
-        let mut reference =
-            ReferenceTrainer::with_optimizer(&task, 4, 4, Optimizer::adam(0.01));
+        let mut reference = ReferenceTrainer::with_optimizer(&task, 4, 4, Optimizer::adam(0.01));
         let ref_losses = reference.train(&task, 5);
         for (a, b) in stats.losses.iter().zip(&ref_losses) {
             assert!((a - b).abs() < 1e-4, "loss {a} vs {b}");

@@ -201,8 +201,14 @@ mod tests {
     fn every_stage_runs_every_micro_batch() {
         let progs = generate_program(4, 6);
         for prog in &progs {
-            assert_eq!(count(prog, |i| matches!(i, EngineInstr::StageForward { .. })), 6);
-            assert_eq!(count(prog, |i| matches!(i, EngineInstr::StageBackward { .. })), 6);
+            assert_eq!(
+                count(prog, |i| matches!(i, EngineInstr::StageForward { .. })),
+                6
+            );
+            assert_eq!(
+                count(prog, |i| matches!(i, EngineInstr::StageBackward { .. })),
+                6
+            );
         }
     }
 
@@ -239,7 +245,7 @@ mod tests {
             .filter(|i| matches!(i, EngineInstr::StageForward { .. }))
             .count();
         assert_eq!(fwds_before, 4); // 3 warmup + 1 steady-state forward
-        // Last stage alternates from the start.
+                                    // Last stage alternates from the start.
         let last = progs.last().unwrap();
         let first_bwd_last = last
             .iter()
@@ -277,6 +283,9 @@ mod tests {
             i,
             EngineInstr::SendActivation { .. } | EngineInstr::RecvActivation { .. }
         )));
-        assert_eq!(count(p, |i| matches!(i, EngineInstr::ComputeLossGrad { .. })), 3);
+        assert_eq!(
+            count(p, |i| matches!(i, EngineInstr::ComputeLossGrad { .. })),
+            3
+        );
     }
 }

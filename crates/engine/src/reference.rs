@@ -16,7 +16,12 @@ pub struct ReferenceTrainer {
 impl ReferenceTrainer {
     /// Builds the reference from the same task/backbone shape as the
     /// pipeline engine, training with SGD.
-    pub fn new(task: &SyntheticTask, backbone_blocks: usize, micro_batches: usize, lr: f32) -> Self {
+    pub fn new(
+        task: &SyntheticTask,
+        backbone_blocks: usize,
+        micro_batches: usize,
+        lr: f32,
+    ) -> Self {
         Self::with_optimizer(task, backbone_blocks, micro_batches, Optimizer::Sgd { lr })
     }
 

@@ -45,7 +45,10 @@ mod tests {
         let c = FillConfig::default();
         assert_eq!(c.min_bubble_seconds, 0.010);
         assert!(c.partial_batch);
-        assert_eq!(c.local_batch_candidates, vec![4, 8, 12, 16, 24, 32, 48, 64, 96]);
+        assert_eq!(
+            c.local_batch_candidates,
+            vec![4, 8, 12, 16, 24, 32, 48, 64, 96]
+        );
     }
 
     #[test]

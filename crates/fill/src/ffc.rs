@@ -159,10 +159,7 @@ mod tests {
         let ready = state.ready(db.model());
         let cands = ffc_candidates(&db, &state, &ready, 1e9, 4, 0.0);
         let max = cands.iter().map(Candidate::total_layers).max().unwrap();
-        let pending: usize = ready
-            .iter()
-            .map(|&i| state.progress[i].num_layers)
-            .sum();
+        let pending: usize = ready.iter().map(|&i| state.progress[i].num_layers).sum();
         assert_eq!(max, pending);
     }
 
@@ -193,8 +190,8 @@ mod tests {
         state.advance_full(text_pos, n);
         let ready = state.ready(db.model());
         assert_eq!(ready.len(), 1); // just the VAE
-        // A 100 ms bubble on 1 device cannot fit VAE layer 0 (~400 ms), so
-        // no layers can be placed at all.
+                                    // A 100 ms bubble on 1 device cannot fit VAE layer 0 (~400 ms), so
+                                    // no layers can be placed at all.
         let cands = ffc_candidates(&db, &state, &ready, 0.100, 1, 0.0);
         assert!(cands.iter().all(|c| c.total_layers() == 0));
     }

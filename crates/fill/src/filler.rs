@@ -9,6 +9,10 @@ use dpipe_schedule::Bubble;
 use std::error::Error;
 use std::fmt;
 
+/// Partial-batch enhancement of a fill candidate: the position in the
+/// ready list, the sample count, and the execution duration.
+type Enhancement = (usize, f64, f64);
+
 /// Bubble-filling errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FillError {
@@ -145,10 +149,10 @@ impl<'a> Filler<'a> {
         let candidates = ffc_candidates(self.db, state, &ready, tb, d, setup);
         // Evaluate each candidate, enhanced with the best partial-batch
         // layer it can still fit (lines 2–6 of Algorithm 1).
-        let mut best: Option<(f64, &Candidate, Option<(usize, f64, f64)>)> = None;
+        let mut best: Option<(f64, &Candidate, Option<Enhancement>)> = None;
         for cand in &candidates {
             let base_time = candidate_time(self.db, state, &ready, cand, d, setup);
-            let mut enhanced: Option<(usize, f64, f64)> = None; // (ready pos, samples, duration)
+            let mut enhanced: Option<Enhancement> = None;
             if self.cfg.partial_batch {
                 for (ci, &idx) in ready.iter().enumerate() {
                     let k = cand.counts[ci];
@@ -171,7 +175,7 @@ impl<'a> Filler<'a> {
                             local as f64,
                         ) + setup;
                         if base_time + dur <= tb + 1e-12 {
-                            let better = enhanced.map_or(true, |(_, _, pd)| dur > pd);
+                            let better = enhanced.is_none_or(|(_, _, pd)| dur > pd);
                             if better {
                                 enhanced = Some((ci, samples, dur));
                             }
@@ -182,7 +186,7 @@ impl<'a> Filler<'a> {
             }
             let total = base_time + enhanced.map_or(0.0, |(_, _, dur)| dur);
             if total <= tb + 1e-12 {
-                let better = best.map_or(true, |(bt, _, _)| total > bt);
+                let better = best.is_none_or(|(bt, _, _)| total > bt);
                 if better {
                     best = Some((total, cand, enhanced));
                 }
@@ -238,7 +242,9 @@ mod tests {
     use dpipe_profile::{DeviceModel, Profiler};
 
     fn db(model: dpipe_model::ModelSpec, batch: u32) -> ProfileDb {
-        Profiler::new(DeviceModel::a100_like()).profile(&model, batch).0
+        Profiler::new(DeviceModel::a100_like())
+            .profile(&model, batch)
+            .0
     }
 
     fn bubble(start: f64, dur: f64, devices: usize) -> Bubble {
@@ -267,7 +273,13 @@ mod tests {
         let filler = Filler::new(&db, FillConfig::default());
         let no_bubbles = filler.fill(&[], 64.0, 8).unwrap();
         let some = filler
-            .fill(&(0..20).map(|i| bubble(i as f64, 0.100, 8)).collect::<Vec<_>>(), 64.0, 8)
+            .fill(
+                &(0..20)
+                    .map(|i| bubble(i as f64, 0.100, 8))
+                    .collect::<Vec<_>>(),
+                64.0,
+                8,
+            )
             .unwrap();
         assert!(some.leftover_time < no_bubbles.leftover_time);
         assert!((no_bubbles.leftover_time - no_bubbles.baseline_frozen_time).abs() < 1e-9);
@@ -278,10 +290,13 @@ mod tests {
         // Time placed in bubbles (at bubble device counts) plus leftover (at
         // group devices) accounts for every layer-sample exactly once.
         let db = db(zoo::stable_diffusion_v2_1(), 64);
-        let filler = Filler::new(&db, FillConfig {
-            item_setup_seconds: 0.0,
-            ..FillConfig::default()
-        });
+        let filler = Filler::new(
+            &db,
+            FillConfig {
+                item_setup_seconds: 0.0,
+                ..FillConfig::default()
+            },
+        );
         let bubbles: Vec<Bubble> = (0..8).map(|i| bubble(i as f64, 0.120, 8)).collect();
         let plan = filler.fill(&bubbles, 64.0, 8).unwrap();
         // All bubbles have d == group devices == 8, so wall-times are
@@ -354,9 +369,7 @@ mod tests {
     fn small_bubbles_are_skipped() {
         let db = db(zoo::stable_diffusion_v2_1(), 64);
         let filler = Filler::new(&db, FillConfig::default());
-        let plan = filler
-            .fill(&[bubble(0.0, 0.005, 8)], 64.0, 8)
-            .unwrap();
+        let plan = filler.fill(&[bubble(0.0, 0.005, 8)], 64.0, 8).unwrap();
         assert!(plan.bubbles.is_empty());
         assert!((plan.leftover_time - plan.baseline_frozen_time).abs() < 1e-9);
     }
@@ -411,6 +424,10 @@ mod tests {
             }
         }
         // Eventually everything completes given enough bubbles.
-        assert!(plan.leftover_time < 1e-6, "leftover = {}", plan.leftover_time);
+        assert!(
+            plan.leftover_time < 1e-6,
+            "leftover = {}",
+            plan.leftover_time
+        );
     }
 }

@@ -35,13 +35,19 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::DanglingDependency { component, dep } => {
-                write!(f, "component {component} depends on missing component {dep}")
+                write!(
+                    f,
+                    "component {component} depends on missing component {dep}"
+                )
             }
             ModelError::CyclicDependency => f.write_str("component dependency graph has a cycle"),
             ModelError::NoBackbone => f.write_str("model has no trainable backbone"),
             ModelError::EmptyComponent(c) => write!(f, "component {c} has no layers"),
             ModelError::InvalidLayer { component, layer } => {
-                write!(f, "layer {layer} of component {component} has invalid cost metadata")
+                write!(
+                    f,
+                    "layer {layer} of component {component} has invalid cost metadata"
+                )
             }
             ModelError::InvalidSelfCondProbability(p) => {
                 write!(f, "self-conditioning probability {p} outside [0, 1]")
@@ -62,7 +68,10 @@ mod tests {
             component: ComponentId(1),
             dep: ComponentId(9),
         };
-        assert_eq!(e.to_string(), "component c1 depends on missing component c9");
+        assert_eq!(
+            e.to_string(),
+            "component c1 depends on missing component c9"
+        );
         assert!(ModelError::NoBackbone.to_string().contains("backbone"));
         assert!(ModelError::InvalidSelfCondProbability(1.5)
             .to_string()

@@ -202,7 +202,10 @@ impl ModelSpec {
             }
             for &d in &c.deps {
                 if d.index() >= self.components.len() {
-                    return Err(ModelError::DanglingDependency { component: id, dep: d });
+                    return Err(ModelError::DanglingDependency {
+                        component: id,
+                        dep: d,
+                    });
                 }
             }
         }
@@ -326,7 +329,9 @@ mod tests {
     fn two_encoder_model() -> ModelSpec {
         let mut b = ModelSpecBuilder::new("m");
         let text = b.push_component(
-            ComponentBuilder::new("text", Role::Frozen).layer(layer("t0")).build(),
+            ComponentBuilder::new("text", Role::Frozen)
+                .layer(layer("t0"))
+                .build(),
         );
         let _vae = b.push_component(
             ComponentBuilder::new("vae", Role::Frozen)
@@ -350,7 +355,11 @@ mod tests {
     #[test]
     fn validate_rejects_no_backbone() {
         let m = ModelSpecBuilder::new("m")
-            .component(ComponentBuilder::new("e", Role::Frozen).layer(layer("x")).build())
+            .component(
+                ComponentBuilder::new("e", Role::Frozen)
+                    .layer(layer("x"))
+                    .build(),
+            )
             .build();
         assert_eq!(m.validate(), Err(ModelError::NoBackbone));
     }
@@ -360,7 +369,10 @@ mod tests {
         let m = ModelSpecBuilder::new("m")
             .component(ComponentBuilder::new("b", Role::Backbone).build())
             .build();
-        assert_eq!(m.validate(), Err(ModelError::EmptyComponent(ComponentId(0))));
+        assert_eq!(
+            m.validate(),
+            Err(ModelError::EmptyComponent(ComponentId(0)))
+        );
     }
 
     #[test]

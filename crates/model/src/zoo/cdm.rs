@@ -19,8 +19,8 @@ fn cdm_backbone(
         (0..blocks)
             .map(|i| {
                 let center = (blocks as f64 - 1.0) / 2.0;
-                let w = 1.0 + 0.3 * (1.0 - ((i as f64 - center).abs() / center).min(1.0));
-                w
+
+                1.0 + 0.3 * (1.0 - ((i as f64 - center).abs() / center).min(1.0))
             })
             .collect()
     };
@@ -42,8 +42,20 @@ pub fn cdm_lsun() -> ModelSpec {
     // Tiny frozen conditioning stack (downsampling + class embedding).
     let cond = ComponentBuilder::new("lowres_cond", Role::Frozen)
         .layer(layer_ms64("cond.down", LayerKind::Resample, 0, 2.0, MB))
-        .layer(layer_ms64("cond.embed", LayerKind::Embedding, 2_000_000, 1.5, 256 * KB))
-        .layer(layer_ms64("cond.proj", LayerKind::Linear, 1_000_000, 1.0, 256 * KB))
+        .layer(layer_ms64(
+            "cond.embed",
+            LayerKind::Embedding,
+            2_000_000,
+            1.5,
+            256 * KB,
+        ))
+        .layer(layer_ms64(
+            "cond.proj",
+            LayerKind::Linear,
+            1_000_000,
+            1.0,
+            256 * KB,
+        ))
         .build();
     let cond = b.push_component(cond);
 
@@ -67,7 +79,13 @@ pub fn cdm_imagenet() -> ModelSpec {
     let mut b = ModelSpecBuilder::new("cdm-imagenet");
     let cond = ComponentBuilder::new("lowres_cond", Role::Frozen)
         .layer(layer_ms64("cond.down", LayerKind::Resample, 0, 2.5, MB))
-        .layer(layer_ms64("cond.embed", LayerKind::Embedding, 3_000_000, 2.0, 256 * KB))
+        .layer(layer_ms64(
+            "cond.embed",
+            LayerKind::Embedding,
+            3_000_000,
+            2.0,
+            256 * KB,
+        ))
         .build();
     let cond = b.push_component(cond);
 
@@ -98,7 +116,10 @@ mod tests {
     #[test]
     fn frozen_part_is_tiny() {
         let m = cdm_lsun();
-        let frozen: f64 = m.frozen_components().map(|(_, c)| c.flops_per_sample()).sum();
+        let frozen: f64 = m
+            .frozen_components()
+            .map(|(_, c)| c.flops_per_sample())
+            .sum();
         let trainable: f64 = m.backbones().map(|(_, c)| c.flops_per_sample()).sum();
         assert!(frozen / trainable < 0.05, "{}", frozen / trainable);
     }

@@ -59,12 +59,7 @@ pub fn controlnet_v1_0() -> ModelSpec {
     // gradients flow during ControlNet training).
     let ms64: Vec<f64> = [vec![20.0; 8], vec![18.0; 10], vec![17.0; 8]].concat();
     let params: Vec<u64> = spread(760_000_000, 26);
-    let out: Vec<u64> = [
-        vec![2 * MB; 8],
-        vec![MB + 512 * 1024; 10],
-        vec![5 * MB; 8],
-    ]
-    .concat();
+    let out: Vec<u64> = [vec![2 * MB; 8], vec![MB + 512 * 1024; 10], vec![5 * MB; 8]].concat();
     let branch = ComponentBuilder::new("control_branch", Role::Backbone)
         .layers(unet_blocks("ctrl", &ms64, &params, &out))
         .depends_on(locked)

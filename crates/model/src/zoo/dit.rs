@@ -22,8 +22,14 @@ pub fn dit_xl_2() -> ModelSpec {
     let mut bb = ComponentBuilder::new("dit", Role::Backbone);
     for (i, p) in params.into_iter().enumerate() {
         bb = bb.layer(
-            super::layer_ms64(format!("dit.layer{i}"), LayerKind::Transformer, p, 5.25, 1152 * KB)
-                .with_overhead_us(300.0),
+            super::layer_ms64(
+                format!("dit.layer{i}"),
+                LayerKind::Transformer,
+                p,
+                5.25,
+                1152 * KB,
+            )
+            .with_overhead_us(300.0),
         );
     }
     let mut bb = bb.build();

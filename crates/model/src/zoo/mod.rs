@@ -51,8 +51,14 @@ pub(crate) fn layer_ms64(
     out_bytes_per_sample: u64,
 ) -> LayerSpec {
     let flops_per_sample = ms_at_64 * FLOPS_PER_MS / 64.0;
-    LayerSpec::new(name, kind, param_count, flops_per_sample, out_bytes_per_sample)
-        .with_overhead_us(100.0)
+    LayerSpec::new(
+        name,
+        kind,
+        param_count,
+        flops_per_sample,
+        out_bytes_per_sample,
+    )
+    .with_overhead_us(100.0)
 }
 
 /// Evenly spreads `total` into `n` parts that still sum to `total`.
@@ -116,9 +122,17 @@ mod tests {
     fn frozen_layer_counts_match_paper_figure5() {
         // Fig. 5a: SD v2.1 has ~42 frozen layers; Fig. 5b: ControlNet ~60+.
         let sd = stable_diffusion_v2_1();
-        assert!((40..=44).contains(&sd.num_frozen_layers()), "{}", sd.num_frozen_layers());
+        assert!(
+            (40..=44).contains(&sd.num_frozen_layers()),
+            "{}",
+            sd.num_frozen_layers()
+        );
         let cn = controlnet_v1_0();
-        assert!((60..=70).contains(&cn.num_frozen_layers()), "{}", cn.num_frozen_layers());
+        assert!(
+            (60..=70).contains(&cn.num_frozen_layers()),
+            "{}",
+            cn.num_frozen_layers()
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Stable Diffusion v2.1 structural description.
 
 use super::{layer_ms64, spread};
-use crate::{
-    ComponentBuilder, LayerKind, ModelSpec, ModelSpecBuilder, Role, SelfConditioning,
-};
+use crate::{ComponentBuilder, LayerKind, ModelSpec, ModelSpecBuilder, Role, SelfConditioning};
 
 const MB: u64 = 1 << 20;
 const KB: u64 = 1 << 10;
@@ -12,9 +10,13 @@ const KB: u64 = 1 << 10;
 /// blocks and a final projection — 22 layers, all fast (sub-millisecond at
 /// batch 64), matching indices 0–21 of Fig. 5a.
 pub(crate) fn clip_text_encoder() -> ComponentBuilder {
-    let mut b = ComponentBuilder::new("text_encoder", Role::Frozen).layer(
-        layer_ms64("tok_embed", LayerKind::Embedding, 50_000_000, 0.15, 310 * KB),
-    );
+    let mut b = ComponentBuilder::new("text_encoder", Role::Frozen).layer(layer_ms64(
+        "tok_embed",
+        LayerKind::Embedding,
+        50_000_000,
+        0.15,
+        310 * KB,
+    ));
     for (i, p) in spread(300_000_000, 20).into_iter().enumerate() {
         b = b.layer(layer_ms64(
             format!("text.block{i}"),
@@ -24,7 +26,13 @@ pub(crate) fn clip_text_encoder() -> ComponentBuilder {
             310 * KB,
         ));
     }
-    b.layer(layer_ms64("text_proj", LayerKind::Linear, 1_000_000, 0.12, 4 * KB))
+    b.layer(layer_ms64(
+        "text_proj",
+        LayerKind::Linear,
+        1_000_000,
+        0.12,
+        4 * KB,
+    ))
 }
 
 /// Frozen VAE encoder at 512×512: 20 layers with the heavy-tailed time

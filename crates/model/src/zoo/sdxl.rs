@@ -115,7 +115,10 @@ mod tests {
     fn imagen_frozen_part_rivals_backbone() {
         let m = imagen_base();
         m.validate().unwrap();
-        let frozen: f64 = m.frozen_components().map(|(_, c)| c.flops_per_sample()).sum();
+        let frozen: f64 = m
+            .frozen_components()
+            .map(|(_, c)| c.flops_per_sample())
+            .sum();
         let trainable: f64 = m.backbones().map(|(_, c)| c.flops_per_sample()).sum();
         // T5-XXL forward ~ half the backbone's fwd+bwd (ratio ~0.5).
         let ratio = frozen / (3.0 * trainable);

@@ -85,7 +85,7 @@ impl<'a> Partitioner<'a> {
                 devices,
             });
         }
-        if devices % s_total != 0 {
+        if !devices.is_multiple_of(s_total) {
             return Err(PartitionError::NonUniformGroup {
                 stages: s_total,
                 devices,

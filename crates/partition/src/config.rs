@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn critical_path_factor_matches_eqn1() {
         // M + 2S - 2 with S = 4, M = 8 => 14.
-        assert_eq!(PartitionConfig::new(4, 8, 64.0).critical_path_factor(), 14.0);
+        assert_eq!(
+            PartitionConfig::new(4, 8, 64.0).critical_path_factor(),
+            14.0
+        );
         // S = 1 degenerates to M.
         assert_eq!(PartitionConfig::new(1, 8, 64.0).critical_path_factor(), 8.0);
     }
@@ -67,6 +70,10 @@ mod tests {
     #[test]
     fn nonuniform_toggle() {
         assert!(PartitionConfig::new(2, 2, 8.0).force_uniform);
-        assert!(!PartitionConfig::new(2, 2, 8.0).with_nonuniform().force_uniform);
+        assert!(
+            !PartitionConfig::new(2, 2, 8.0)
+                .with_nonuniform()
+                .force_uniform
+        );
     }
 }

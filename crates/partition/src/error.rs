@@ -40,10 +40,16 @@ impl fmt::Display for PartitionError {
                 write!(f, "cannot cut {layers} layers into {stages} stages")
             }
             PartitionError::TooFewDevices { stages, devices } => {
-                write!(f, "{stages} stages need at least {stages} devices, group has {devices}")
+                write!(
+                    f,
+                    "{stages} stages need at least {stages} devices, group has {devices}"
+                )
             }
             PartitionError::NonUniformGroup { stages, devices } => {
-                write!(f, "uniform replication needs {stages} to divide group size {devices}")
+                write!(
+                    f,
+                    "uniform replication needs {stages} to divide group size {devices}"
+                )
             }
             PartitionError::NotABackbone(i) => {
                 write!(f, "component c{i} is not a trainable backbone")
@@ -63,7 +69,10 @@ mod tests {
 
     #[test]
     fn messages_mention_quantities() {
-        let e = PartitionError::TooManyStages { stages: 8, layers: 4 };
+        let e = PartitionError::TooManyStages {
+            stages: 8,
+            layers: 4,
+        };
         assert!(e.to_string().contains('8') && e.to_string().contains('4'));
         assert!(PartitionError::NotABackbone(2).to_string().contains("c2"));
     }

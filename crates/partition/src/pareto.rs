@@ -27,11 +27,7 @@ impl<T: Clone> ParetoFront<T> {
     /// Returns true if the point was kept.
     pub fn insert(&mut self, w: f64, y: f64, payload: T) -> bool {
         // Dominated by an existing point?
-        if self
-            .points
-            .iter()
-            .any(|&(pw, py, _)| pw <= w && py <= y)
-        {
+        if self.points.iter().any(|&(pw, py, _)| pw <= w && py <= y) {
             return false;
         }
         // Remove points dominated by the newcomer.
@@ -93,7 +89,7 @@ mod tests {
         let mut f = ParetoFront::new();
         f.insert(1.0, 10.0, 'a'); // c*1 + 10
         f.insert(5.0, 1.0, 'b'); // c*5 + 1
-        // With a large coefficient, the small-w point wins.
+                                 // With a large coefficient, the small-w point wins.
         assert_eq!(f.best(100.0).unwrap().2, 'a');
         // With a tiny coefficient, the small-y point wins.
         assert_eq!(f.best(0.01).unwrap().2, 'b');

@@ -87,7 +87,7 @@ impl<'a> Partitioner<'a> {
                 devices,
             });
         }
-        if cfg.force_uniform && devices % cfg.num_stages != 0 {
+        if cfg.force_uniform && !devices.is_multiple_of(cfg.num_stages) {
             return Err(PartitionError::NonUniformGroup {
                 stages: cfg.num_stages,
                 devices,
@@ -322,7 +322,10 @@ mod tests {
         assert!(
             plan.stages[0].num_layers() < plan.stages[1].num_layers(),
             "{:?}",
-            plan.stages.iter().map(|s| s.layers.clone()).collect::<Vec<_>>()
+            plan.stages
+                .iter()
+                .map(|s| s.layers.clone())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -26,7 +26,11 @@ pub struct StageTerms {
 
 impl<'a> StageCost<'a> {
     /// Creates a cost evaluator.
-    pub fn new(db: &'a ProfileDb, cluster: &'a ClusterSpec, layout: &'a DataParallelLayout) -> Self {
+    pub fn new(
+        db: &'a ProfileDb,
+        cluster: &'a ClusterSpec,
+        layout: &'a DataParallelLayout,
+    ) -> Self {
         StageCost {
             db,
             cluster,
@@ -82,6 +86,7 @@ impl<'a> StageCost<'a> {
     /// (Eqn. 3), or `(2C^f + C^b)/R_p2p + 3 L_p2p` under self-conditioning
     /// (Eqn. 17). `comm_scale` inflates bandwidth contention (the paper uses
     /// 2.0 for bidirectional pipelines).
+    #[allow(clippy::too_many_arguments)]
     pub fn comm_time(
         &self,
         comp: ComponentId,
@@ -94,7 +99,9 @@ impl<'a> StageCost<'a> {
     ) -> f64 {
         let Some(link) = link else { return 0.0 };
         let b = micro_batch / replication as f64;
-        let bytes = self.db.boundary_bytes(comp, dpipe_model::LayerId(boundary_layer), b);
+        let bytes = self
+            .db
+            .boundary_bytes(comp, dpipe_model::LayerId(boundary_layer), b);
         let (vol, lats) = if self_cond {
             (3.0 * bytes as f64, 3.0)
         } else {
@@ -287,7 +294,11 @@ mod tests {
         let plain = sc.t0(bb, 0..14, 4, 16.0, None, false, 1.0);
         let with_sc = sc.t0(bb, 0..14, 4, 16.0, None, true, 1.0);
         // 2*fwd + bwd vs fwd + bwd with bwd = 2*fwd: ratio 4/3.
-        assert!((with_sc / plain - 4.0 / 3.0).abs() < 0.01, "{}", with_sc / plain);
+        assert!(
+            (with_sc / plain - 4.0 / 3.0).abs() < 0.01,
+            "{}",
+            with_sc / plain
+        );
     }
 
     #[test]

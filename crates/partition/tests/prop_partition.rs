@@ -30,7 +30,12 @@ fn backbone(db: &ProfileDb) -> ComponentId {
 }
 
 /// Brute-force minimum of the Eqn. (2) objective over all 2-stage splits.
-fn brute_force_two_stages(db: &ProfileDb, cluster: &ClusterSpec, micro: f64, m_count: usize) -> f64 {
+fn brute_force_two_stages(
+    db: &ProfileDb,
+    cluster: &ClusterSpec,
+    micro: f64,
+    m_count: usize,
+) -> f64 {
     let layout = DataParallelLayout::new(cluster, 2).unwrap();
     let cost = StageCost::new(db, cluster, &layout);
     let bb = backbone(db);

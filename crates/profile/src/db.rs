@@ -260,10 +260,7 @@ mod tests {
 
     #[test]
     fn table1_ratio_shape_for_controlnet() {
-        let db = ProfileDb::new(
-            Arc::new(zoo::controlnet_v1_0()),
-            DeviceModel::a100_like(),
-        );
+        let db = ProfileDb::new(Arc::new(zoo::controlnet_v1_0()), DeviceModel::a100_like());
         let r8 = db.total_frozen_fwd_time(8.0) / db.total_trainable_fwd_bwd_time(8.0);
         let r64 = db.total_frozen_fwd_time(64.0) / db.total_trainable_fwd_bwd_time(64.0);
         assert!((0.68..0.84).contains(&r8), "r8 = {r8}");

@@ -15,9 +15,7 @@ pub struct LayerSamples {
 impl LayerSamples {
     /// Adds a measurement (keeps the list sorted by batch).
     pub fn push(&mut self, batch: f64, fwd: f64, bwd: f64) {
-        let pos = self
-            .samples
-            .partition_point(|&(b, _, _)| b < batch);
+        let pos = self.samples.partition_point(|&(b, _, _)| b < batch);
         self.samples.insert(pos, (batch, fwd, bwd));
     }
 

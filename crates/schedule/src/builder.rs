@@ -116,7 +116,14 @@ impl<'a> ScheduleBuilder<'a> {
             kind,
         };
         let (ops, seqs) = build_ops(&[spec], s_count);
-        finish(ops, seqs, s_count, times.micro_batch, Policy::StrictOrder, &[times.clone()])
+        finish(
+            ops,
+            seqs,
+            s_count,
+            times.micro_batch,
+            Policy::StrictOrder,
+            std::slice::from_ref(times),
+        )
     }
 
     /// Builds and simulates a bidirectional schedule for two backbones
@@ -390,10 +397,10 @@ fn finish(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ScheduledOp;
     use dpipe_model::zoo;
     use dpipe_partition::{PartitionConfig, Partitioner};
     use dpipe_profile::{DeviceModel, Profiler};
-    use crate::ScheduledOp;
 
     struct Fixture {
         db: ProfileDb,
@@ -463,7 +470,12 @@ mod tests {
         let s1 = single_schedule(m.clone(), 4, 4, ScheduleKind::Fifo1F1B);
         let s2 = single_schedule(m, 4, 4, ScheduleKind::GPipe);
         let rel = (s1.compute_end() - s2.compute_end()).abs() / s2.compute_end();
-        assert!(rel < 0.05, "1F1B {} vs GPipe {}", s1.compute_end(), s2.compute_end());
+        assert!(
+            rel < 0.05,
+            "1F1B {} vs GPipe {}",
+            s1.compute_end(),
+            s2.compute_end()
+        );
     }
 
     #[test]
@@ -517,8 +529,16 @@ mod tests {
             .build_bidirectional(&plan)
             .unwrap();
         s.check_consistency().unwrap();
-        let down_ops = s.ops.iter().filter(|o| o.op.direction == PipelineDirection::Down).count();
-        let up_ops = s.ops.iter().filter(|o| o.op.direction == PipelineDirection::Up).count();
+        let down_ops = s
+            .ops
+            .iter()
+            .filter(|o| o.op.direction == PipelineDirection::Down)
+            .count();
+        let up_ops = s
+            .ops
+            .iter()
+            .filter(|o| o.op.direction == PipelineDirection::Up)
+            .count();
         assert_eq!(down_ops, 4 * 4 * 2);
         assert_eq!(up_ops, 4 * 4 * 2);
         // Bidirectional fills the counterpart's bubbles: ratio far below a
@@ -552,8 +572,7 @@ mod tests {
         // first backward.
         let m = zoo::synthetic_model(8, 10.0, &[1.0], false);
         let s = single_schedule(m, 4, 4, ScheduleKind::Fifo1F1B);
-        let mut slot0: Vec<&ScheduledOp> =
-            s.ops.iter().filter(|o| o.op.slot == 0).collect();
+        let mut slot0: Vec<&ScheduledOp> = s.ops.iter().filter(|o| o.op.slot == 0).collect();
         slot0.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         let kinds: Vec<OpKind> = slot0.iter().map(|o| o.op.kind).collect();
         assert_eq!(

@@ -30,16 +30,16 @@ pub fn render_timeline(schedule: &PipelineSchedule, width: usize) -> String {
             (OpKind::SelfCondForward, _) => 's',
             (OpKind::Backward, _) => (b'a' + (op.op.micro_batch % 26) as u8) as char,
         };
-        for c in c0..c1.min(width + 1) {
-            rows[op.op.slot][c] = ch;
+        for cell in rows[op.op.slot].iter_mut().take(c1.min(width + 1)).skip(c0) {
+            *cell = ch;
         }
     }
     // Mark sync spans with '=' where idle.
     for sync in &schedule.syncs {
         let (c0, c1) = (col(sync.start), col(sync.start + sync.duration));
-        for c in c0..c1.min(width + 1) {
-            if rows[sync.slot][c] == '.' {
-                rows[sync.slot][c] = '=';
+        for cell in rows[sync.slot].iter_mut().take(c1.min(width + 1)).skip(c0) {
+            if *cell == '.' {
+                *cell = '=';
             }
         }
     }
@@ -59,11 +59,11 @@ pub fn render_timeline(schedule: &PipelineSchedule, width: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::{ScheduleBuilder, ScheduleKind};
     use dpipe_cluster::{ClusterSpec, DataParallelLayout};
     use dpipe_model::zoo;
     use dpipe_partition::{PartitionConfig, Partitioner};
     use dpipe_profile::{DeviceModel, Profiler};
-    use crate::builder::{ScheduleBuilder, ScheduleKind};
 
     fn render(stages: usize, micro: usize) -> String {
         let model = zoo::synthetic_model(8, 10.0, &[1.0], false);

@@ -63,10 +63,7 @@ pub(crate) fn simulate(
                         continue;
                     }
                     let i = per_slot[slot][c];
-                    match ready_time(i, &end) {
-                        Some(rt) => Some((i, rt)),
-                        None => None,
-                    }
+                    ready_time(i, &end).map(|rt| (i, rt))
                 }
                 Policy::WorkConserving => per_slot[slot]
                     .iter()
@@ -81,7 +78,7 @@ pub(crate) fn simulate(
             if let Some((i, rt)) = candidate {
                 let s = rt.max(device_free[slot]);
                 let key = (s, ops[i].priority, i);
-                if best.map_or(true, |(bs, bp, bi)| key < (bs, bp, bi)) {
+                if best.is_none_or(|(bs, bp, bi)| key < (bs, bp, bi)) {
                     best = Some(key);
                 }
             }
@@ -139,10 +136,7 @@ mod tests {
 
     #[test]
     fn chain_executes_sequentially() {
-        let ops = vec![
-            op(0, 0, 1.0, vec![]),
-            op(1, 0, 1.0, vec![(OpId(0), 0.5)]),
-        ];
+        let ops = vec![op(0, 0, 1.0, vec![]), op(1, 0, 1.0, vec![(OpId(0), 0.5)])];
         let s = simulate(&ops, 2, Policy::StrictOrder).unwrap();
         assert_eq!(s[0].start, 0.0);
         assert_eq!(s[1].start, 1.5);
@@ -160,9 +154,9 @@ mod tests {
     fn strict_order_head_blocks() {
         // Head op waits on a dep; a later ready op must NOT run first.
         let ops = vec![
-            op(0, 0, 5.0, vec![]),          // other device
+            op(0, 0, 5.0, vec![]),               // other device
             op(1, 0, 1.0, vec![(OpId(0), 0.0)]), // head, blocked until t=5
-            op(1, 1, 1.0, vec![]),          // ready immediately but behind head
+            op(1, 1, 1.0, vec![]),               // ready immediately but behind head
         ];
         let s = simulate(&ops, 2, Policy::StrictOrder).unwrap();
         assert_eq!(s[1].start, 5.0);

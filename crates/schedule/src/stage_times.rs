@@ -105,7 +105,10 @@ impl StageTimes {
             replication,
             micro_batch: plan.micro_batch,
             num_micro_batches: plan.num_micro_batches,
-            sc_scale: db.model().self_conditioning.map_or(0.0, |sc| sc.probability),
+            sc_scale: db
+                .model()
+                .self_conditioning
+                .map_or(0.0, |sc| sc.probability),
         }
     }
 

@@ -174,8 +174,7 @@ mod tests {
         let bubbles = sched.bubbles(0.010);
         let fill = filler.fill(&bubbles, sched.group_batch, 8).unwrap();
         let filled = CombinedIteration::new(&sched, &bubbles, &fill);
-        let unfilled =
-            CombinedIteration::without_filling(&sched, fill.baseline_frozen_time);
+        let unfilled = CombinedIteration::without_filling(&sched, fill.baseline_frozen_time);
         assert!(filled.iteration_time() < unfilled.iteration_time());
         assert!(filled.group_throughput() > unfilled.group_throughput());
     }
@@ -202,9 +201,7 @@ mod tests {
         let bubbles = sched.bubbles(0.010);
         let fill = filler.fill(&bubbles, sched.group_batch, 8).unwrap();
         let combined = CombinedIteration::new(&sched, &bubbles, &fill);
-        assert!(
-            (combined.cluster_throughput(4) - 4.0 * combined.group_throughput()).abs() < 1e-9
-        );
+        assert!((combined.cluster_throughput(4) - 4.0 * combined.group_throughput()).abs() < 1e-9);
     }
 
     #[test]

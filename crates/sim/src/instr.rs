@@ -90,7 +90,10 @@ impl fmt::Display for InstrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InstrError::Deadlock { stuck_devices } => {
-                write!(f, "instruction streams deadlocked on devices {stuck_devices:?}")
+                write!(
+                    f,
+                    "instruction streams deadlocked on devices {stuck_devices:?}"
+                )
             }
             InstrError::BadPeer { device, peer } => {
                 write!(f, "device {device} references invalid peer {peer}")
@@ -281,7 +284,14 @@ mod tests {
     #[test]
     fn send_recv_rendezvous() {
         let streams = vec![
-            vec![compute(1.0), Instruction::Send { peer: 1, tag: 7, seconds: 0.5 }],
+            vec![
+                compute(1.0),
+                Instruction::Send {
+                    peer: 1,
+                    tag: 7,
+                    seconds: 0.5,
+                },
+            ],
             vec![Instruction::Recv { peer: 0, tag: 7 }, compute(1.0)],
         ];
         let (traces, makespan) = InstructionSim::run(&streams).unwrap();
@@ -300,7 +310,14 @@ mod tests {
     fn recv_posted_first_works() {
         let streams = vec![
             vec![Instruction::Recv { peer: 1, tag: 1 }],
-            vec![compute(2.0), Instruction::Send { peer: 0, tag: 1, seconds: 1.0 }],
+            vec![
+                compute(2.0),
+                Instruction::Send {
+                    peer: 0,
+                    tag: 1,
+                    seconds: 1.0,
+                },
+            ],
         ];
         let (_, makespan) = InstructionSim::run(&streams).unwrap();
         assert!((makespan - 3.0).abs() < 1e-12);
@@ -322,7 +339,10 @@ mod tests {
         let (traces, makespan) = InstructionSim::run(&streams).unwrap();
         // Barrier at t=3 (slowest), +0.5 collective.
         assert!((makespan - 3.5).abs() < 1e-12);
-        for t in traces.iter().filter(|t| matches!(t.index, 1) || t.device == 2) {
+        for t in traces
+            .iter()
+            .filter(|t| matches!(t.index, 1) || t.device == 2)
+        {
             assert!((t.end - 3.5).abs() < 1e-12);
         }
     }
@@ -330,7 +350,11 @@ mod tests {
     #[test]
     fn mismatched_tags_deadlock() {
         let streams = vec![
-            vec![Instruction::Send { peer: 1, tag: 1, seconds: 0.1 }],
+            vec![Instruction::Send {
+                peer: 1,
+                tag: 1,
+                seconds: 0.1,
+            }],
             vec![Instruction::Recv { peer: 0, tag: 2 }],
         ];
         let err = InstructionSim::run(&streams).unwrap_err();
@@ -339,7 +363,11 @@ mod tests {
 
     #[test]
     fn bad_peer_detected() {
-        let streams = vec![vec![Instruction::Send { peer: 5, tag: 0, seconds: 0.1 }]];
+        let streams = vec![vec![Instruction::Send {
+            peer: 5,
+            tag: 0,
+            seconds: 0.1,
+        }]];
         assert_eq!(
             InstructionSim::run(&streams).unwrap_err(),
             InstrError::BadPeer { device: 0, peer: 5 }
@@ -354,14 +382,28 @@ mod tests {
         let streams = vec![
             vec![
                 compute(f),
-                Instruction::Send { peer: 1, tag: mk_tag(0), seconds: 0.0 },
+                Instruction::Send {
+                    peer: 1,
+                    tag: mk_tag(0),
+                    seconds: 0.0,
+                },
                 compute(f),
-                Instruction::Send { peer: 1, tag: mk_tag(1), seconds: 0.0 },
+                Instruction::Send {
+                    peer: 1,
+                    tag: mk_tag(1),
+                    seconds: 0.0,
+                },
             ],
             vec![
-                Instruction::Recv { peer: 0, tag: mk_tag(0) },
+                Instruction::Recv {
+                    peer: 0,
+                    tag: mk_tag(0),
+                },
                 compute(f),
-                Instruction::Recv { peer: 0, tag: mk_tag(1) },
+                Instruction::Recv {
+                    peer: 0,
+                    tag: mk_tag(1),
+                },
                 compute(f),
             ],
         ];

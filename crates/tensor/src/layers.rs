@@ -41,10 +41,10 @@ pub trait Layer: Send {
 /// Fully connected layer `y = x·W + b` with gradient accumulation.
 #[derive(Debug, Clone)]
 pub struct Linear {
-    w: Matrix,       // in x out
-    b: Vec<f32>,     // out
-    gw: Matrix,      // grad W
-    gb: Vec<f32>,    // grad b
+    w: Matrix,    // in x out
+    b: Vec<f32>,  // out
+    gw: Matrix,   // grad W
+    gb: Vec<f32>, // grad b
     cache_x: Option<Matrix>,
 }
 
@@ -83,10 +83,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self
-            .cache_x
-            .take()
-            .expect("backward called before forward");
+        let x = self.cache_x.take().expect("backward called before forward");
         self.backward_from(&x, grad_out)
     }
 
@@ -170,10 +167,7 @@ impl Layer for Silu {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self
-            .cache_x
-            .take()
-            .expect("backward called before forward");
+        let x = self.cache_x.take().expect("backward called before forward");
         self.backward_from(&x, grad_out)
     }
 
@@ -229,7 +223,11 @@ mod tests {
         x2.data_mut()[0] += eps;
         let y2 = layer.forward_inference(&x2);
         let num = (y2.data().iter().sum::<f32>() - y.data().iter().sum::<f32>()) / eps;
-        assert!((num - gin.at(0, 0)).abs() < 1e-2, "num {num} vs {}", gin.at(0, 0));
+        assert!(
+            (num - gin.at(0, 0)).abs() < 1e-2,
+            "num {num} vs {}",
+            gin.at(0, 0)
+        );
     }
 
     #[test]

@@ -32,8 +32,8 @@ mod optim;
 mod rng;
 
 pub use layers::{Layer, Linear, Silu};
-pub use norm::LayerNorm;
 pub use matrix::Matrix;
 pub use net::{mse_grad, mse_grad_scaled, mse_loss, Mlp};
+pub use norm::LayerNorm;
 pub use optim::{Optimizer, OptimizerState};
 pub use rng::DetRng;

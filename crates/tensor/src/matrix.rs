@@ -125,9 +125,9 @@ impl Matrix {
     pub fn add_row(&self, bias: &[f32]) -> Matrix {
         assert_eq!(bias.len(), self.cols);
         let mut out = self.clone();
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[r * self.cols + c] += bias[c];
+        for row in out.data.chunks_exact_mut(self.cols) {
+            for (o, b) in row.iter_mut().zip(bias) {
+                *o += b;
             }
         }
         out
@@ -136,9 +136,9 @@ impl Matrix {
     /// Column sums (gradient of a broadcast bias).
     pub fn col_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c] += self.data[r * self.cols + c];
+        for row in self.data.chunks_exact(self.cols) {
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += v;
             }
         }
         out
@@ -205,7 +205,12 @@ impl Add for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -217,7 +222,12 @@ impl Sub for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -244,7 +254,10 @@ mod tests {
     fn vstack_then_split_round_trips() {
         let a = Matrix::randn(4, 3, 1);
         let parts = a.split_rows(3); // 2 + 1 + 1 rows
-        assert_eq!(parts.iter().map(Matrix::rows).collect::<Vec<_>>(), vec![2, 1, 1]);
+        assert_eq!(
+            parts.iter().map(Matrix::rows).collect::<Vec<_>>(),
+            vec![2, 1, 1]
+        );
         assert_eq!(Matrix::vstack(&parts), a);
     }
 

@@ -43,8 +43,9 @@ impl LayerNorm {
             let mean = row.iter().sum::<f32>() / c as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
             let inv = 1.0 / (var + self.eps).sqrt();
-            for j in 0..c {
-                out.data_mut()[i * c + j] = (row[j] - mean) * inv * self.gain[j] + self.bias[j];
+            let out_row = &mut out.data_mut()[i * c..(i + 1) * c];
+            for (((o, &v), &g), &b) in out_row.iter_mut().zip(row).zip(&self.gain).zip(&self.bias) {
+                *o = (v - mean) * inv * g + b;
             }
             means.push(mean);
             inv_stds.push(inv);
@@ -64,10 +65,7 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self
-            .cache_x
-            .take()
-            .expect("backward called before forward");
+        let x = self.cache_x.take().expect("backward called before forward");
         self.backward_from(&x, grad_out)
     }
 
@@ -92,8 +90,7 @@ impl Layer for LayerNorm {
             let sum_g: f32 = gxhat.iter().sum();
             let sum_gx: f32 = gxhat.iter().zip(&xhat).map(|(g, h)| g * h).sum();
             for j in 0..c {
-                gin.data_mut()[i * c + j] =
-                    inv / cf * (cf * gxhat[j] - sum_g - xhat[j] * sum_gx);
+                gin.data_mut()[i * c + j] = inv / cf * (cf * gxhat[j] - sum_g - xhat[j] * sum_gx);
             }
         }
         gin
@@ -223,8 +220,8 @@ mod tests {
 
     #[test]
     fn works_inside_mlp() {
-        use crate::net::{mse_grad, Mlp};
         use crate::layers::Linear;
+        use crate::net::{mse_grad, Mlp};
         let layers: Vec<Box<dyn Layer>> = vec![
             Box::new(Linear::new(4, 4, 1)),
             Box::new(LayerNorm::new(4)),

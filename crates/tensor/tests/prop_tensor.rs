@@ -8,6 +8,9 @@ fn small_dim() -> impl Strategy<Value = usize> {
 }
 
 proptest! {
+    // Pinned case count for a fast, deterministic CI run.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Transposition is an involution.
     #[test]
     fn transpose_involution(r in small_dim(), c in small_dim(), seed in 0u64..1000) {

@@ -18,11 +18,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let BackbonePartition::Bidirectional(bi) = &plan.partition {
         println!("\ndown pipeline (base64, chain offsets ascending):");
         for (i, s) in bi.down.stages.iter().enumerate() {
-            println!("  stage {i}: layers {:?} at offsets {:?}", s.layers, s.device_offsets);
+            println!(
+                "  stage {i}: layers {:?} at offsets {:?}",
+                s.layers, s.device_offsets
+            );
         }
         println!("up pipeline (sr128, chain offsets descending):");
         for (i, s) in bi.up.stages.iter().enumerate() {
-            println!("  stage {i}: layers {:?} at offsets {:?}", s.layers, s.device_offsets);
+            println!(
+                "  stage {i}: layers {:?} at offsets {:?}",
+                s.layers, s.device_offsets
+            );
         }
     }
 

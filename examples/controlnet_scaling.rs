@@ -9,8 +9,10 @@ use diffusionpipe::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = zoo::controlnet_v1_0();
-    println!("{:<10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "GPUs", "batch", "dpipe", "spp", "gpipe", "deepspeed", "zero3");
+    println!(
+        "{:<10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "GPUs", "batch", "dpipe", "spp", "gpipe", "deepspeed", "zero3"
+    );
 
     for machines in [1usize, 2, 4, 8] {
         let cluster = ClusterSpec::p4de(machines);

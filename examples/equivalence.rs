@@ -38,16 +38,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         iterations,
     )?;
 
-    println!("{:<6} {:>14} {:>14} {:>14}", "iter", "reference", "4-stage pipe", "2-stage x2-DP");
-    for i in 0..iterations {
-        println!(
-            "{:<6} {:>14.8} {:>14.8} {:>14.8}",
-            i, ref_losses[i], pipe.losses[i], hybrid.losses[i]
-        );
+    println!(
+        "{:<6} {:>14} {:>14} {:>14}",
+        "iter", "reference", "4-stage pipe", "2-stage x2-DP"
+    );
+    for (i, ((r, p), h)) in ref_losses
+        .iter()
+        .zip(&pipe.losses)
+        .zip(&hybrid.losses)
+        .enumerate()
+    {
+        println!("{i:<6} {r:>14.8} {p:>14.8} {h:>14.8}");
     }
 
     let max_diff = |a: &[f32], b: &[f32]| -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     };
     let d_pipe = max_diff(&reference.params(), &pipe.final_params);
     let d_hybrid = max_diff(&reference.params(), &hybrid.final_params);

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bb = model.backbones().next().expect("backbone").0;
     let cfg = PartitionConfig::new(2, 1, 96.0);
 
-    println!("{:>8} {:>14} {:>14} {:>12}", "sigma", "bubble ratio", "fill ratio", "iter (ms)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "sigma", "bubble ratio", "fill ratio", "iter (ms)"
+    );
     for sigma in [0.0, 0.01, 0.03, 0.05, 0.10] {
         let noisy = true_db.clone().with_noise(NoiseConfig { sigma, seed: 7 });
         let plan = Partitioner::new(&noisy, &cluster, &layout).partition_single(bb, &cfg)?;
@@ -29,8 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sched = ScheduleBuilder::new(&true_db, &cluster, &layout)
             .build_single(&plan, ScheduleKind::Fifo1F1B)?;
         let bubbles = sched.bubbles(0.010);
-        let fill = Filler::new(&noisy, FillConfig::default())
-            .fill(&bubbles, sched.group_batch, 2)?;
+        let fill =
+            Filler::new(&noisy, FillConfig::default()).fill(&bubbles, sched.group_batch, 2)?;
         let combined = CombinedIteration::new(&sched, &bubbles, &fill);
         println!(
             "{:>7.0}% {:>13.1}% {:>13.1}% {:>12.0}",

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let name = model.name.clone();
         let frozen_layers = model.num_frozen_layers();
         let plan = Planner::new(model, cluster.clone()).plan(batch)?;
-        println!("\n=== {name} (batch {batch}, {} GPUs) ===", cluster.world_size());
+        println!(
+            "\n=== {name} (batch {batch}, {} GPUs) ===",
+            cluster.world_size()
+        );
         println!("  {}", plan.summary());
         println!(
             "  frozen part: {} layers, {:.0} ms placed in bubbles, {:.0} ms leftover tail",

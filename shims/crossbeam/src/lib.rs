@@ -1,0 +1,165 @@
+//! Offline stand-in for `crossbeam`, covering the `channel` API surface the
+//! engine uses: unbounded mpmc channels with cloneable senders *and*
+//! receivers. Implemented as a `Mutex<VecDeque>` + `Condvar` queue, so a
+//! receiver blocked in `recv()` never holds the lock while parked — cloned
+//! receivers can call `try_recv`/`recv` concurrently, matching crossbeam's
+//! mpmc semantics (each message is delivered to exactly one receiver).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Cloneable sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel poisoned").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends without ever blocking (the channel is unbounded). Unlike a
+        /// disconnected `mpsc` channel this shim has no failure mode: the
+        /// queue outlives both halves via the shared `Arc`.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            state.queue.push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    /// Cloneable receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Returns immediately with a message, `Empty`, or `Disconnected`.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            match state.queue.pop_front() {
+                Some(value) => Ok(value),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Drains and returns every message currently in the channel
+        /// without blocking.
+        pub fn try_iter(&self) -> std::vec::IntoIter<T> {
+            let mut state = self.0.state.lock().expect("channel poisoned");
+            let drained: Vec<T> = state.queue.drain(..).collect();
+            drained.into_iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn cloned_receivers_share_one_queue() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx2.recv().unwrap(), 2);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        }
+
+        #[test]
+        fn works_across_threads() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let sum: i32 = (0..100).map(|_| rx.recv().unwrap()).sum();
+            h.join().unwrap();
+            assert_eq!(sum, 4950);
+        }
+
+        #[test]
+        fn try_recv_does_not_block_behind_a_parked_recv() {
+            let (tx, rx) = unbounded::<i32>();
+            let rx2 = rx.clone();
+            let parked = std::thread::spawn(move || rx.recv());
+            // Give the parked receiver time to block inside recv().
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            // A cloned receiver must still get an immediate answer.
+            assert!(matches!(rx2.try_recv(), Err(TryRecvError::Empty)));
+            tx.send(7).unwrap();
+            assert_eq!(parked.join().unwrap().unwrap(), 7);
+        }
+
+        #[test]
+        fn recv_errors_once_all_senders_drop() {
+            let (tx, rx) = unbounded::<i32>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+    }
+}

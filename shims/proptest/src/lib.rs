@@ -1,0 +1,151 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the subset of proptest's API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(…)]`),
+//! * [`strategy::Strategy`] with `prop_map`, range / tuple / `any` /
+//!   [`collection::vec`] strategies,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`,
+//! * [`test_runner::ProptestConfig`] with a pinned case count and a
+//!   failure-persistence path.
+//!
+//! Unlike the real proptest there is no shrinking: a failing case panics
+//! with its case number and the deterministic seed. Every test's RNG is
+//! seeded from the test's module path and name (plus the optional
+//! `PROPTEST_RNG_SEED` environment variable), so runs are reproducible in
+//! CI by construction.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, …) { body }` item
+/// becomes a `#[test]` that samples its strategies `config.cases` times
+/// from a deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut __rng = $crate::test_runner::TestRng::for_test(__test_name);
+                let __strategy = ($($strat,)+);
+                let mut __rejected: u32 = 0;
+                for __case in 0..__config.cases {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::sample(&__strategy, &mut __rng);
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(__err) if __err.is_rejection() => {
+                            __rejected += 1;
+                        }
+                        ::std::result::Result::Err(__err) => {
+                            $crate::test_runner::persist_failure(&__config, __test_name, __case);
+                            panic!(
+                                "proptest {} failed at case {}/{} (seed {}): {}",
+                                __test_name,
+                                __case,
+                                __config.cases,
+                                $crate::test_runner::TestRng::seed_for(__test_name),
+                                __err,
+                            );
+                        }
+                    }
+                }
+                if __config.cases > 0 && __rejected == __config.cases {
+                    panic!(
+                        "proptest {}: all {} cases were rejected by prop_assume!; \
+                         the property was never exercised (vacuous test)",
+                        __test_name, __config.cases,
+                    );
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` != `{:?}`", __l, __r);
+    }};
+}
+
+/// Discards the current case unless the assumption holds. The real
+/// proptest resamples a replacement; this fixed-case runner counts the
+/// rejection instead, and the test panics as vacuous if *every* case is
+/// rejected, so a property can never silently stop being exercised.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides just
+//! enough of serde's surface for the workspace to compile: the two trait
+//! names and the derive macros. The derives expand to nothing and the traits
+//! are blanket-implemented for every type, so `#[derive(Serialize)]` and
+//! `T: Serialize` bounds both work. No actual serialization is performed;
+//! replace the `[patch]`-free path dependency with the real `serde` when the
+//! environment gains network access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

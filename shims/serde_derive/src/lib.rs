@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate accepts `#[derive(Serialize, Deserialize)]` (including `#[serde(…)]`
+//! field attributes) and expands to nothing. The sibling `serde` shim
+//! provides blanket trait impls, so bounds like `T: Serialize` still hold.
+//! Swapping in the real serde is a one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -93,8 +93,19 @@ fn cluster_from(args: &Args) -> ClusterSpec {
 }
 
 fn cmd_models() -> ExitCode {
-    println!("{:<14} {:>10} {:>12} {:>12} {:>10}", "name", "backbones", "train params", "frozen params", "frozen L");
-    for name in ["sd", "controlnet", "cdm-lsun", "cdm-imagenet", "dit", "sdxl", "imagen"] {
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>10}",
+        "name", "backbones", "train params", "frozen params", "frozen L"
+    );
+    for name in [
+        "sd",
+        "controlnet",
+        "cdm-lsun",
+        "cdm-imagenet",
+        "dit",
+        "sdxl",
+        "imagen",
+    ] {
         let m = model_by_name(name).expect("known name");
         println!(
             "{:<14} {:>10} {:>11.2}B {:>11.2}B {:>10}",
@@ -139,8 +150,22 @@ fn cmd_plan(args: &Args) -> ExitCode {
             }
         }
         BackbonePartition::Bidirectional(bi) => {
-            println!("  down: {:?}", bi.down.stages.iter().map(|s| s.layers.clone()).collect::<Vec<_>>());
-            println!("  up  : {:?}", bi.up.stages.iter().map(|s| s.layers.clone()).collect::<Vec<_>>());
+            println!(
+                "  down: {:?}",
+                bi.down
+                    .stages
+                    .iter()
+                    .map(|s| s.layers.clone())
+                    .collect::<Vec<_>>()
+            );
+            println!(
+                "  up  : {:?}",
+                bi.up
+                    .stages
+                    .iter()
+                    .map(|s| s.layers.clone())
+                    .collect::<Vec<_>>()
+            );
         }
     }
     println!(
@@ -181,20 +206,45 @@ fn cmd_baselines(args: &Args) -> ExitCode {
         .0;
     println!("{:<16} {:>12} {:>10}", "system", "samples/s", "bubbles");
     if let Ok(p) = &plan {
-        println!("{:<16} {:>12.1} {:>9.1}%", "diffusionpipe", p.throughput, p.bubble_ratio * 100.0);
+        println!(
+            "{:<16} {:>12.1} {:>9.1}%",
+            "diffusionpipe",
+            p.throughput,
+            p.bubble_ratio * 100.0
+        );
     }
     if let Some((bb, _)) = model.backbones().next().map(|(id, c)| (id, c.name.clone())) {
         if let Ok(r) = spp(&db, &cluster, bb, batch, &SearchSpace::default()) {
-            println!("{:<16} {:>12.1} {:>9.1}%", r.name, r.throughput, r.bubble_ratio * 100.0);
+            println!(
+                "{:<16} {:>12.1} {:>9.1}%",
+                r.name,
+                r.throughput,
+                r.bubble_ratio * 100.0
+            );
         }
         if let Ok(r) = gpipe(&db, &cluster, bb, batch, 2, 4) {
-            println!("{:<16} {:>12.1} {:>9.1}%", r.name, r.throughput, r.bubble_ratio * 100.0);
+            println!(
+                "{:<16} {:>12.1} {:>9.1}%",
+                r.name,
+                r.throughput,
+                r.bubble_ratio * 100.0
+            );
         }
     }
     let r = ddp(&db, &cluster, batch);
-    println!("{:<16} {:>12.1} {:>9.1}%", r.name, r.throughput, r.bubble_ratio * 100.0);
+    println!(
+        "{:<16} {:>12.1} {:>9.1}%",
+        r.name,
+        r.throughput,
+        r.bubble_ratio * 100.0
+    );
     let r = zero3(&db, &cluster, batch);
-    println!("{:<16} {:>12.1} {:>9.1}%", r.name, r.throughput, r.bubble_ratio * 100.0);
+    println!(
+        "{:<16} {:>12.1} {:>9.1}%",
+        r.name,
+        r.throughput,
+        r.bubble_ratio * 100.0
+    );
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,48 @@
+//! Golden end-to-end plan: the Fig. 7 workflow contract on the paper's
+//! flagship configuration (Stable Diffusion v2.1 on one 8-GPU machine,
+//! global batch 256). This is the doc-example of `diffusionpipe_core`,
+//! pinned as an integration test so the planning workflow can never
+//! silently regress below the paper's headline behaviour.
+
+use diffusionpipe::prelude::*;
+
+#[test]
+fn sd_on_single_node_meets_fig7_contract() {
+    let plan = Planner::new(zoo::stable_diffusion_v2_1(), ClusterSpec::single_node(8))
+        .plan(256)
+        .expect("flagship configuration must plan");
+
+    // The Fig. 7 contract: positive simulated throughput and the residual
+    // bubble ratio after filling well under the unfilled pipeline's.
+    assert!(
+        plan.throughput > 0.0 && plan.throughput.is_finite(),
+        "throughput {} must be finite and positive",
+        plan.throughput
+    );
+    assert!(
+        plan.bubble_ratio < 0.25,
+        "bubble ratio {} exceeds the 0.25 contract",
+        plan.bubble_ratio
+    );
+
+    // Sanity on the rest of the plan surface the README quotes.
+    assert!(plan.iteration_time > 0.0);
+    assert!(plan.peak_memory_bytes <= ClusterSpec::single_node(8).device_memory_bytes);
+    assert!(matches!(plan.partition, BackbonePartition::Single(_)));
+}
+
+/// The golden plan is deterministic: planning twice yields bit-identical
+/// headline numbers (the profiler and simulator have no hidden state).
+#[test]
+fn golden_plan_is_deterministic() {
+    let plan = || {
+        Planner::new(zoo::stable_diffusion_v2_1(), ClusterSpec::single_node(8))
+            .plan(256)
+            .unwrap()
+    };
+    let (a, b) = (plan(), plan());
+    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+    assert_eq!(a.bubble_ratio.to_bits(), b.bubble_ratio.to_bits());
+    assert_eq!(a.iteration_time.to_bits(), b.iteration_time.to_bits());
+    assert_eq!(a.peak_memory_bytes, b.peak_memory_bytes);
+}

@@ -20,7 +20,9 @@ fn tight_memory_forces_pipelining() {
         "test premise: DDP should not fit"
     );
 
-    let plan = Planner::new(model.clone(), cluster.clone()).plan(batch).unwrap();
+    let plan = Planner::new(model.clone(), cluster.clone())
+        .plan(batch)
+        .unwrap();
     assert!(
         plan.hyper.num_stages >= 2,
         "expected a multi-stage pipeline, got {}",
@@ -52,7 +54,10 @@ fn pipeline_reaches_larger_batches_than_ddp() {
         if !ddp(&db, &cluster, batch).oom {
             max_ddp = batch;
         }
-        if Planner::new(model.clone(), cluster.clone()).plan(batch).is_ok() {
+        if Planner::new(model.clone(), cluster.clone())
+            .plan(batch)
+            .is_ok()
+        {
             max_pipe = batch;
         }
     }
@@ -70,7 +75,9 @@ fn plan_memory_never_exceeds_budget() {
         (zoo::cdm_lsun(), 512),
     ] {
         let cluster = ClusterSpec::single_node(8);
-        let plan = Planner::new(model.clone(), cluster.clone()).plan(batch).unwrap();
+        let plan = Planner::new(model.clone(), cluster.clone())
+            .plan(batch)
+            .unwrap();
         assert!(
             plan.peak_memory_bytes <= cluster.device_memory_bytes,
             "{}: {} bytes over budget",

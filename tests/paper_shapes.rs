@@ -22,7 +22,8 @@ fn table1_ratio_shapes() {
     let cluster = ClusterSpec::single_node(1);
     let sd_db = profile(&sd, &cluster, 64);
     let cn_db = profile(&cn, &cluster, 64);
-    let ratio = |db: &ProfileDb, b: f64| db.total_frozen_fwd_time(b) / db.total_trainable_fwd_bwd_time(b);
+    let ratio =
+        |db: &ProfileDb, b: f64| db.total_frozen_fwd_time(b) / db.total_trainable_fwd_bwd_time(b);
     for b in [8.0, 16.0, 32.0] {
         assert!(ratio(&sd_db, b) < ratio(&sd_db, 2.0 * b) + 1e-9);
     }
@@ -36,7 +37,9 @@ fn fig13_single_backbone_ordering() {
     for model in [zoo::stable_diffusion_v2_1(), zoo::controlnet_v1_0()] {
         let cluster = ClusterSpec::single_node(8);
         let batch = 256;
-        let plan = Planner::new(model.clone(), cluster.clone()).plan(batch).unwrap();
+        let plan = Planner::new(model.clone(), cluster.clone())
+            .plan(batch)
+            .unwrap();
         let db = profile(&model, &cluster, batch);
         let bb = model.backbones().next().unwrap().0;
         let r_spp = spp(&db, &cluster, bb, batch, &SearchSpace::default()).unwrap();
@@ -70,7 +73,9 @@ fn fig13_speedups_grow_with_scale() {
     for machines in [1usize, 4] {
         let cluster = ClusterSpec::p4de(machines);
         let batch = 32 * cluster.world_size() as u32;
-        let plan = Planner::new(model.clone(), cluster.clone()).plan(batch).unwrap();
+        let plan = Planner::new(model.clone(), cluster.clone())
+            .plan(batch)
+            .unwrap();
         let db = profile(&model, &cluster, batch);
         let r_ddp = ddp(&db, &cluster, batch);
         speedups.push(plan.throughput / r_ddp.throughput);
@@ -86,11 +91,18 @@ fn fig14_bubble_ratios() {
     for model in [zoo::stable_diffusion_v2_1(), zoo::controlnet_v1_0()] {
         let cluster = ClusterSpec::single_node(8);
         let batch = 256;
-        let plan = Planner::new(model.clone(), cluster.clone()).plan(batch).unwrap();
+        let plan = Planner::new(model.clone(), cluster.clone())
+            .plan(batch)
+            .unwrap();
         let db = profile(&model, &cluster, batch);
         let bb = model.backbones().next().unwrap().0;
         let r_gpipe = gpipe(&db, &cluster, bb, batch, 2, 4).unwrap();
-        assert!(plan.bubble_ratio < 0.08, "{}: {}", model.name, plan.bubble_ratio);
+        assert!(
+            plan.bubble_ratio < 0.08,
+            "{}: {}",
+            model.name,
+            plan.bubble_ratio
+        );
         assert!(
             plan.bubble_ratio < 0.5 * r_gpipe.bubble_ratio,
             "{}: dpipe {} vs gpipe {}",
@@ -109,7 +121,9 @@ fn fig15_ablation_ordering() {
     let model = zoo::controlnet_v1_0();
     let cluster = ClusterSpec::single_node(8);
     let batch = 384;
-    let full = Planner::new(model.clone(), cluster.clone()).plan(batch).unwrap();
+    let full = Planner::new(model.clone(), cluster.clone())
+        .plan(batch)
+        .unwrap();
     let no_partial = Planner::new(model.clone(), cluster.clone())
         .with_options(PlannerOptions {
             bubble_filling: true,
@@ -137,7 +151,9 @@ fn fig13_cdm_comparable_to_deepspeed_p() {
     let model = zoo::cdm_lsun();
     let cluster = ClusterSpec::single_node(8);
     let batch = 256;
-    let plan = Planner::new(model.clone(), cluster.clone()).plan(batch).unwrap();
+    let plan = Planner::new(model.clone(), cluster.clone())
+        .plan(batch)
+        .unwrap();
     let db = profile(&model, &cluster, batch);
     let p = cdm_data_parallel(&db, &cluster, batch, CdmMode::Parallel, false);
     let ratio = plan.throughput / p.throughput;

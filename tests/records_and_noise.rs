@@ -50,7 +50,9 @@ fn planning_from_records_matches_analytic_planning() {
 
     // Re-run the per-config pipeline manually with the record-backed db and
     // compare against the planner's analytic result.
-    let analytic_plan = Planner::new(model.clone(), cluster.clone()).plan(batch).unwrap();
+    let analytic_plan = Planner::new(model.clone(), cluster.clone())
+        .plan(batch)
+        .unwrap();
     let hp = analytic_plan.hyper;
     let layout = DataParallelLayout::new(&cluster, hp.group_size).unwrap();
     let part = Partitioner::new(&recorded, &cluster, &layout);
@@ -115,7 +117,10 @@ fn noise_degrades_fill_gracefully() {
         ratios.push(combined.bubble_ratio());
     }
     assert!(ratios[0] <= ratios[1] + 0.02, "{ratios:?}");
-    assert!(ratios[1] < 0.15, "noisy residual bubbles too large: {ratios:?}");
+    assert!(
+        ratios[1] < 0.15,
+        "noisy residual bubbles too large: {ratios:?}"
+    );
 }
 
 #[test]
