@@ -1,0 +1,77 @@
+//! Planning-service throughput harness: cold plans/sec, parallel speedup
+//! and warm cache hit rate at 1/2/4/8 workers over an 8-point sweep grid.
+//!
+//! Run with: `cargo run --release -p dpipe_bench --bin serve_bench`
+//!
+//! The speedup column measures wall-clock scaling of the worker pool, so it
+//! is bounded by the host's available parallelism (printed first): on a
+//! multi-core host 4 workers clear 2× easily; on a single hardware thread
+//! no thread pool can.
+
+use dpipe_model::zoo;
+use dpipe_serve::{PlanService, ServiceConfig, SweepGrid, SweepReport};
+use std::time::Instant;
+
+fn all_ok_and_identical(cold: &SweepReport, warm: &SweepReport) -> bool {
+    cold.points.len() == warm.points.len()
+        && cold
+            .points
+            .iter()
+            .zip(&warm.points)
+            .all(|(c, w)| match (&c.outcome, &w.outcome) {
+                (Ok(cp), Ok(wp)) => cp.summary() == wp.summary(),
+                (Err(ce), Err(we)) => ce == we,
+                _ => false,
+            })
+}
+
+fn main() {
+    let grid = SweepGrid::new(
+        vec![zoo::stable_diffusion_v2_1(), zoo::dit_xl_2()],
+        vec![4, 8],
+        vec![64, 128],
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "planning-service bench: {}-point grid, host parallelism {}\n",
+        grid.len(),
+        cores
+    );
+    println!(
+        "{:>7} {:>10} {:>10} {:>9} {:>10} {:>10}",
+        "workers", "cold (s)", "plans/s", "speedup", "warm hits", "identical"
+    );
+
+    let mut one_worker_cold = None;
+    for workers in [1usize, 2, 4, 8] {
+        let service = PlanService::new(ServiceConfig {
+            workers,
+            cache_shards: 16,
+        });
+
+        let t0 = Instant::now();
+        let cold = grid.run(&service);
+        let cold_s = t0.elapsed().as_secs_f64();
+        let warm = grid.run(&service);
+        let stats = service.cache_stats();
+
+        let baseline = *one_worker_cold.get_or_insert(cold_s);
+        println!(
+            "{:>7} {:>10.3} {:>10.1} {:>8.2}x {:>9.0}% {:>10}",
+            workers,
+            cold_s,
+            grid.len() as f64 / cold_s.max(1e-9),
+            baseline / cold_s.max(1e-9),
+            warm.cache_hit_rate() * 100.0,
+            if all_ok_and_identical(&cold, &warm) {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+        assert_eq!(stats.misses, grid.len() as u64);
+        assert_eq!(stats.hits, grid.len() as u64);
+    }
+}

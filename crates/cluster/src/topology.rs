@@ -2,6 +2,7 @@
 
 use crate::comm::{CommModel, LinkParams};
 use crate::device::{DeviceId, MachineId};
+use dpipe_stablehash::StableHasher;
 use serde::{Deserialize, Serialize};
 
 /// Description of a homogeneous GPU cluster.
@@ -95,6 +96,26 @@ impl ClusterSpec {
     pub fn comm_model(&self) -> CommModel {
         CommModel::new(self.clone())
     }
+
+    /// Stable 64-bit content fingerprint of the cluster shape and link
+    /// parameters.
+    ///
+    /// Structurally identical clusters fingerprint identically across
+    /// processes; any planning-relevant edit (shape, bandwidth, latency,
+    /// memory) changes the digest. `dpipe_serve` keys its plan cache on this.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("dpipe_cluster::ClusterSpec");
+        h.write_usize(self.machines);
+        h.write_usize(self.devices_per_machine);
+        for link in [&self.intra_link, &self.inter_link] {
+            h.write_f64(link.bandwidth);
+            h.write_f64(link.latency);
+        }
+        h.write_f64(self.spine_oversubscription);
+        h.write_u64(self.device_memory_bytes);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +151,20 @@ mod tests {
         let c = ClusterSpec::single_node(4);
         assert_eq!(c.world_size(), 4);
         assert_eq!(c.machines, 1);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_shape_sensitive() {
+        let c = ClusterSpec::p4de(2);
+        assert_eq!(c.fingerprint(), c.clone().fingerprint());
+        assert_ne!(c.fingerprint(), ClusterSpec::p4de(4).fingerprint());
+        assert_ne!(
+            ClusterSpec::single_node(8).fingerprint(),
+            ClusterSpec::single_node(4).fingerprint()
+        );
+        let mut slow = ClusterSpec::p4de(2);
+        slow.inter_link.bandwidth /= 2.0;
+        assert_ne!(slow.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub enum PlanError {
     /// direction groups; this reproduction covers the evaluated 1–2
     /// backbone cases).
     TooManyBackbones(usize),
+    /// The request around the model is degenerate (e.g. a cluster with no
+    /// devices or a zero batch), or planning it died unexpectedly. Raised
+    /// by serving layers that must never panic on caller input.
+    InvalidRequest(String),
 }
 
 impl fmt::Display for PlanError {
@@ -27,6 +31,7 @@ impl fmt::Display for PlanError {
             PlanError::TooManyBackbones(n) => {
                 write!(f, "{n} backbones unsupported (max 2)")
             }
+            PlanError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
         }
     }
 }
@@ -41,5 +46,8 @@ mod tests {
     fn messages() {
         assert!(PlanError::TooManyBackbones(3).to_string().contains('3'));
         assert!(PlanError::NoFeasibleConfig.to_string().contains("memory"));
+        assert!(PlanError::InvalidRequest("no devices".to_owned())
+            .to_string()
+            .contains("no devices"));
     }
 }

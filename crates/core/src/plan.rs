@@ -3,6 +3,7 @@
 use dpipe_fill::FillPlan;
 use dpipe_partition::{BidirectionalPlan, HyperParams, PartitionPlan};
 use dpipe_schedule::{Bubble, PipelineSchedule};
+use dpipe_stablehash::StableHasher;
 use serde::{Deserialize, Serialize};
 
 /// Partitioning result for the trainable part.
@@ -72,10 +73,35 @@ impl Plan {
         world / self.hyper.group_size
     }
 
-    /// One-line human-readable summary.
+    /// Stable 64-bit plan identifier derived from the plan's decision
+    /// variables and headline metrics (via [`StableHasher`]).
+    ///
+    /// Two plans that pick the same configuration and predict the same
+    /// performance share an id; any drift in the planner's output changes
+    /// it, which makes the id a cheap byte-identity check for cached plans.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("diffusionpipe_core::Plan");
+        h.write_usize(self.hyper.num_stages);
+        h.write_usize(self.hyper.num_micro_batches);
+        h.write_usize(self.hyper.group_size);
+        h.write_bool(matches!(
+            self.partition,
+            BackbonePartition::Bidirectional(_)
+        ));
+        h.write_f64(self.partition.t_max());
+        h.write_f64(self.iteration_time);
+        h.write_f64(self.throughput);
+        h.write_f64(self.bubble_ratio);
+        h.write_u64(self.peak_memory_bytes);
+        h.finish()
+    }
+
+    /// One-line human-readable summary, ending in the plan id
+    /// ([`Plan::fingerprint`] in hex).
     pub fn summary(&self) -> String {
         format!(
-            "S={} M={} D={} | iter {:.1} ms | {:.1} samples/s | bubbles {:.1}% | mem {:.1} GiB",
+            "S={} M={} D={} | iter {:.1} ms | {:.1} samples/s | bubbles {:.1}% | mem {:.1} GiB | id {:016x}",
             self.hyper.num_stages,
             self.hyper.num_micro_batches,
             self.hyper.group_size,
@@ -83,6 +109,7 @@ impl Plan {
             self.throughput,
             self.bubble_ratio * 100.0,
             self.peak_memory_bytes as f64 / (1u64 << 30) as f64,
+            self.fingerprint(),
         )
     }
 }
@@ -130,6 +157,8 @@ mod tests {
         let s = plan.summary();
         assert!(s.contains("S=2") && s.contains("M=4") && s.contains("D=8"));
         assert!(s.contains("128.0 samples/s"));
+        assert!(s.contains(&format!("id {:016x}", plan.fingerprint())));
+        assert_eq!(plan.fingerprint(), plan.clone().fingerprint());
         assert_eq!(plan.data_parallel_degree(16), 2);
         assert_eq!(plan.num_stages(), 2);
         assert_eq!(plan.partition.t_max(), 0.5);

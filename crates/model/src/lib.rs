@@ -30,6 +30,7 @@ mod spec;
 pub mod zoo;
 
 pub use component::{Component, ComponentBuilder, Role};
+pub use dpipe_stablehash::StableHasher;
 pub use error::ModelError;
 pub use ids::{ComponentId, LayerId};
 pub use layer::{LayerKind, LayerSpec};

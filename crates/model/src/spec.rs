@@ -1,6 +1,6 @@
 //! Whole-model specification and validation.
 
-use crate::{Component, ComponentId, ModelError, Role};
+use crate::{Component, ComponentId, LayerKind, ModelError, Role, StableHasher};
 use serde::{Deserialize, Serialize};
 
 /// Self-conditioning configuration (Chen et al., 2022).
@@ -161,6 +161,50 @@ impl ModelSpec {
         Ok(result)
     }
 
+    /// Stable 64-bit content fingerprint of the whole spec.
+    ///
+    /// Two specs that are structurally identical (same names, roles,
+    /// dependencies and per-layer cost numbers) fingerprint identically
+    /// across processes and platforms; any planning-relevant edit changes
+    /// the digest. `dpipe_serve` keys its plan cache on this.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("dpipe_model::ModelSpec");
+        h.write_str(&self.name);
+        h.write_usize(self.components.len());
+        for c in &self.components {
+            h.write_str(&c.name);
+            h.write_bytes(&[role_tag(c.role)]);
+            h.write_usize(c.deps.len());
+            for d in &c.deps {
+                h.write_usize(d.index());
+            }
+            h.write_usize(c.layers.len());
+            for l in &c.layers {
+                h.write_str(&l.name);
+                h.write_bytes(&[layer_kind_tag(l.kind)]);
+                h.write_u64(l.param_count);
+                h.write_f64(l.flops_per_sample);
+                h.write_f64(l.backward_mult);
+                h.write_u64(l.out_bytes_per_sample);
+                h.write_f64(l.overhead_us);
+            }
+        }
+        match self.self_conditioning {
+            Some(sc) => {
+                h.write_bool(true);
+                h.write_f64(sc.probability);
+            }
+            None => h.write_bool(false),
+        }
+        h.write_usize(self.input_shapes.len());
+        for &(height, width) in &self.input_shapes {
+            h.write_u32(height);
+            h.write_u32(width);
+        }
+        h.finish()
+    }
+
     /// Total trainable parameter count (all backbones).
     pub fn trainable_param_count(&self) -> u64 {
         self.backbones().map(|(_, c)| c.param_count()).sum()
@@ -249,6 +293,28 @@ impl ModelSpec {
             }
         }
         Ok(result)
+    }
+}
+
+/// Stable one-byte tag for [`Role`] (never reorder: fingerprints depend on it).
+fn role_tag(role: Role) -> u8 {
+    match role {
+        Role::Backbone => 0,
+        Role::Frozen => 1,
+    }
+}
+
+/// Stable one-byte tag for [`LayerKind`] (never reorder: fingerprints depend
+/// on it; append new kinds at the end).
+fn layer_kind_tag(kind: LayerKind) -> u8 {
+    match kind {
+        LayerKind::Conv => 0,
+        LayerKind::Attention => 1,
+        LayerKind::Transformer => 2,
+        LayerKind::Linear => 3,
+        LayerKind::Embedding => 4,
+        LayerKind::Norm => 5,
+        LayerKind::Resample => 6,
     }
 }
 
@@ -422,6 +488,37 @@ mod tests {
         assert_eq!(m.trainable_param_count(), 10);
         assert_eq!(m.frozen_param_count(), 20);
         assert_eq!(m.num_frozen_layers(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let m = two_encoder_model();
+        assert_eq!(m.fingerprint(), m.fingerprint());
+        assert_eq!(m.fingerprint(), m.clone().fingerprint());
+
+        // Zoo models are pairwise distinct.
+        let zoo_prints = [
+            crate::zoo::stable_diffusion_v2_1().fingerprint(),
+            crate::zoo::controlnet_v1_0().fingerprint(),
+            crate::zoo::cdm_lsun().fingerprint(),
+            crate::zoo::dit_xl_2().fingerprint(),
+        ];
+        for (i, a) in zoo_prints.iter().enumerate() {
+            for b in zoo_prints.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+
+        // Any planning-relevant edit changes the digest.
+        let mut renamed = m.clone();
+        renamed.name.push('!');
+        assert_ne!(renamed.fingerprint(), m.fingerprint());
+        let mut edited = m.clone();
+        edited.components[0].layers[0].flops_per_sample *= 2.0;
+        assert_ne!(edited.fingerprint(), m.fingerprint());
+        let mut sc = m.clone();
+        sc.self_conditioning = Some(SelfConditioning::default());
+        assert_ne!(sc.fingerprint(), m.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Sharded single-flight cache keyed by 64-bit content fingerprints.
+//!
+//! The service keeps one entry per distinct [`PlanRequest`] fingerprint.
+//! Keys spread over independent shards so concurrent workers touching
+//! different requests never contend on one lock, and each shard implements
+//! *single-flight* semantics: the first caller to ask for a key computes the
+//! value while later callers for the same key block on the shard's condvar
+//! and receive the finished value — a burst of identical requests plans
+//! exactly once.
+//!
+//! [`PlanRequest`]: crate::PlanRequest
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// One cached entry: either being computed by some caller, or done.
+enum Slot<V> {
+    InFlight,
+    Ready(V),
+}
+
+struct Shard<V> {
+    map: Mutex<HashMap<u64, Slot<V>>>,
+    ready: Condvar,
+}
+
+/// Hit/miss/occupancy counters for a [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a finished or in-flight entry (no recompute).
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+    /// Distinct keys currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that were hits (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-shard concurrent cache with single-flight computation.
+///
+/// Values must be cheap to clone (the service stores `Arc`ed plans).
+pub struct ShardedCache<V> {
+    shards: Vec<Shard<V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// Creates a cache with `num_shards` independent shards (minimum 1).
+    pub fn new(num_shards: usize) -> Self {
+        let shards = (0..num_shards.max(1))
+            .map(|_| Shard {
+                map: Mutex::new(HashMap::new()),
+                ready: Condvar::new(),
+            })
+            .collect();
+        ShardedCache {
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Shard<V> {
+        // The fingerprint is already well-mixed (FNV-1a), so plain modulo
+        // spreads keys evenly.
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Returns the finished value stored under `key`, if any. In-flight
+    /// entries read as absent. Does not touch the hit/miss counters.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let map = self.shard(key).map.lock().expect("cache shard poisoned");
+        match map.get(&key) {
+            Some(Slot::Ready(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// Returns the value for `key`, computing it with `compute` on first use.
+    ///
+    /// The boolean is `true` for a cache hit — including callers that
+    /// arrived while another thread was computing the same key and merely
+    /// waited for it (they did no planning work themselves). If `compute`
+    /// panics, the in-flight marker is removed and waiters are woken so a
+    /// later caller can retry; the panic propagates to the computing caller.
+    pub fn get_or_compute(&self, key: u64, compute: impl FnOnce() -> V) -> (V, bool) {
+        let shard = self.shard(key);
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        loop {
+            match map.get(&key) {
+                Some(Slot::Ready(v)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (v.clone(), true);
+                }
+                Some(Slot::InFlight) => {
+                    map = shard.ready.wait(map).expect("cache shard poisoned");
+                }
+                None => break,
+            }
+        }
+        map.insert(key, Slot::InFlight);
+        drop(map);
+
+        struct Unpublish<'a, V> {
+            shard: &'a Shard<V>,
+            key: u64,
+        }
+        impl<V> Drop for Unpublish<'_, V> {
+            fn drop(&mut self) {
+                // Only reached on unwind out of `compute`: clear the marker
+                // (ignoring a poisoned lock — the panic is already in
+                // progress) and wake waiters so they can retry.
+                if let Ok(mut map) = self.shard.map.lock() {
+                    map.remove(&self.key);
+                }
+                self.shard.ready.notify_all();
+            }
+        }
+
+        let guard = Unpublish { shard, key };
+        let value = compute();
+        std::mem::forget(guard);
+
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        map.insert(key, Slot::Ready(value.clone()));
+        drop(map);
+        shard.ready.notify_all();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (value, false)
+    }
+
+    /// Number of distinct keys resident (finished or in-flight).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.map.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no key is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Drops every entry and resets the counters (entries being computed
+    /// right now are unaffected: their publish re-inserts them).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut map: MutexGuard<'_, HashMap<u64, Slot<V>>> =
+                shard.map.lock().expect("cache shard poisoned");
+            map.retain(|_, slot| matches!(slot, Slot::InFlight));
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn computes_once_then_hits() {
+        let cache = ShardedCache::new(4);
+        let calls = AtomicUsize::new(0);
+        let compute = || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            42u64
+        };
+        assert_eq!(cache.get_or_compute(7, compute), (42, false));
+        assert_eq!(cache.get_or_compute(7, || unreachable!()), (42, true));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn get_only_sees_finished_entries() {
+        let cache: ShardedCache<u64> = ShardedCache::new(2);
+        assert_eq!(cache.get(1), None);
+        cache.get_or_compute(1, || 10);
+        assert_eq!(cache.get(1), Some(10));
+        assert_eq!(cache.get(2), None);
+    }
+
+    #[test]
+    fn concurrent_identical_keys_single_flight() {
+        let cache = Arc::new(ShardedCache::new(8));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let calls = Arc::clone(&calls);
+                std::thread::spawn(move || {
+                    cache.get_or_compute(99, move || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        // Hold the in-flight slot long enough for the other
+                        // threads to arrive and block.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        7u64
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<(u64, bool)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "planned more than once");
+        assert!(results.iter().all(|(v, _)| *v == 7));
+        assert_eq!(results.iter().filter(|(_, hit)| !hit).count(), 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn panicking_compute_clears_the_slot() {
+        let cache: Arc<ShardedCache<u64>> = Arc::new(ShardedCache::new(1));
+        let c = Arc::clone(&cache);
+        let panicker = std::thread::spawn(move || {
+            c.get_or_compute(5, || panic!("boom"));
+        });
+        assert!(panicker.join().is_err());
+        // The key is retryable and the cache is not wedged.
+        assert_eq!(cache.get_or_compute(5, || 11), (11, false));
+    }
+
+    #[test]
+    fn clear_resets_counters_and_entries() {
+        let cache = ShardedCache::new(4);
+        cache.get_or_compute(1, || 1u64);
+        cache.get_or_compute(2, || 2u64);
+        cache.clear();
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! One planning request and its content fingerprint.
+
+use diffusionpipe_core::{Plan, PlanError, Planner, PlannerOptions};
+use dpipe_cluster::ClusterSpec;
+use dpipe_model::ModelSpec;
+use dpipe_partition::SearchSpace;
+use dpipe_stablehash::StableHasher;
+
+/// Everything the planner needs for one plan: the model, the cluster, the
+/// global batch size and the planner knobs.
+///
+/// A request is a *value*; submitting the same value twice yields the same
+/// [`fingerprint`](PlanRequest::fingerprint) and therefore at most one
+/// planning run through the service's cache.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// The model to plan.
+    pub model: ModelSpec,
+    /// The cluster to plan for.
+    pub cluster: ClusterSpec,
+    /// Global batch size (per-backbone batch for cascaded models).
+    pub global_batch: u32,
+    /// Ablation toggles forwarded to [`Planner::with_options`].
+    pub options: PlannerOptions,
+    /// Hyper-parameter bounds forwarded to [`Planner::with_search_space`].
+    pub search: SearchSpace,
+}
+
+impl PlanRequest {
+    /// Creates a request with default planner options and search space.
+    pub fn new(model: ModelSpec, cluster: ClusterSpec, global_batch: u32) -> Self {
+        PlanRequest {
+            model,
+            cluster,
+            global_batch,
+            options: PlannerOptions::default(),
+            search: SearchSpace::default(),
+        }
+    }
+
+    /// Overrides the planner options.
+    pub fn with_options(mut self, options: PlannerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the hyper-parameter search space.
+    pub fn with_search_space(mut self, search: SearchSpace) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Stable 64-bit content fingerprint of the whole request, combining
+    /// [`ModelSpec::fingerprint`], [`ClusterSpec::fingerprint`], the batch
+    /// size and every planner knob. This is the plan-cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("dpipe_serve::PlanRequest");
+        h.write_u64(self.model.fingerprint());
+        h.write_u64(self.cluster.fingerprint());
+        h.write_u32(self.global_batch);
+        h.write_bool(self.options.bubble_filling);
+        h.write_bool(self.options.partial_batch);
+        h.write_usize(self.search.max_stages);
+        h.write_usize(self.search.max_micro_batches);
+        h.finish()
+    }
+
+    /// Short human-readable label, e.g. `stable-diffusion-v2.1@8gpu/b256`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}@{}gpu/b{}",
+            self.model.name,
+            self.cluster.world_size(),
+            self.global_batch
+        )
+    }
+
+    /// Runs the planner synchronously on the calling thread. This is the
+    /// single source of truth for what one request costs; the service's
+    /// workers call exactly this.
+    ///
+    /// Degenerate requests (no devices, zero batch) return
+    /// [`PlanError::InvalidRequest`] instead of reaching the planner's
+    /// internal assertions, so serving layers never panic on caller input.
+    pub fn plan(&self) -> Result<Plan, PlanError> {
+        if self.cluster.world_size() == 0 {
+            return Err(PlanError::InvalidRequest(
+                "cluster has no devices".to_owned(),
+            ));
+        }
+        if self.global_batch == 0 {
+            return Err(PlanError::InvalidRequest(
+                "global batch must be positive".to_owned(),
+            ));
+        }
+        Planner::new(self.model.clone(), self.cluster.clone())
+            .with_options(self.options)
+            .with_search_space(self.search)
+            .plan(self.global_batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpipe_model::zoo;
+
+    #[test]
+    fn fingerprint_covers_every_knob() {
+        let base = PlanRequest::new(
+            zoo::stable_diffusion_v2_1(),
+            ClusterSpec::single_node(8),
+            256,
+        );
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+
+        let other_model = PlanRequest {
+            model: zoo::dit_xl_2(),
+            ..base.clone()
+        };
+        let other_cluster = PlanRequest {
+            cluster: ClusterSpec::single_node(4),
+            ..base.clone()
+        };
+        let other_batch = PlanRequest {
+            global_batch: 128,
+            ..base.clone()
+        };
+        let other_options = base.clone().with_options(PlannerOptions {
+            bubble_filling: false,
+            partial_batch: true,
+        });
+        let other_search = base.clone().with_search_space(SearchSpace {
+            max_stages: 4,
+            max_micro_batches: 8,
+        });
+        let prints = [
+            base.fingerprint(),
+            other_model.fingerprint(),
+            other_cluster.fingerprint(),
+            other_batch.fingerprint(),
+            other_options.fingerprint(),
+            other_search.fingerprint(),
+        ];
+        for (i, a) in prints.iter().enumerate() {
+            for b in prints.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn label_is_readable() {
+        let r = PlanRequest::new(zoo::dit_xl_2(), ClusterSpec::single_node(4), 64);
+        assert_eq!(r.label(), "dit-xl-2@4gpu/b64");
+    }
+
+    #[test]
+    fn plan_matches_direct_planner_call() {
+        let r = PlanRequest::new(
+            zoo::stable_diffusion_v2_1(),
+            ClusterSpec::single_node(8),
+            64,
+        );
+        let via_request = r.plan().unwrap();
+        let direct = Planner::new(r.model.clone(), r.cluster.clone())
+            .plan(64)
+            .unwrap();
+        assert_eq!(via_request.summary(), direct.summary());
+    }
+}

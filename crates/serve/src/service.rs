@@ -1,0 +1,283 @@
+//! The multi-threaded planning service.
+//!
+//! A fixed pool of worker threads consumes [`PlanRequest`]s from one MPMC
+//! queue (the crossbeam shim's unbounded channel). Each worker resolves a
+//! request through the shared [`ShardedCache`]: the first request for a
+//! fingerprint plans it, concurrent identical requests wait on the
+//! single-flight slot, and later requests are pure cache hits returning the
+//! very same `Arc<Plan>` — byte-identical to the cold result by
+//! construction.
+
+use crate::cache::{CacheStats, ShardedCache};
+use crate::request::PlanRequest;
+use crossbeam::channel::{self, Sender};
+use diffusionpipe_core::{Plan, PlanError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What one request resolved to: a shared plan or a planning error (errors
+/// are cached too, so a misconfigured request storm plans exactly once).
+pub type PlanOutcome = Result<Arc<Plan>, PlanError>;
+
+/// Sizing knobs for [`PlanService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (minimum 1).
+    pub workers: usize,
+    /// Shards in the plan cache (minimum 1).
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache_shards: 16,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with `workers` threads and the default shard count.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// The service's answer to one submitted request.
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    /// Submission index, for reordering out-of-order completions.
+    pub index: usize,
+    /// The request's content fingerprint (the cache key).
+    pub fingerprint: u64,
+    /// The request's human-readable label.
+    pub label: String,
+    /// The plan, or why planning failed.
+    pub outcome: PlanOutcome,
+    /// True when this response was served from the cache (including waiting
+    /// on an in-flight identical request) rather than planned here.
+    pub cache_hit: bool,
+}
+
+struct Job {
+    index: usize,
+    request: PlanRequest,
+    reply: Sender<PlanResponse>,
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// A worker pool + sharded plan cache serving [`PlanRequest`]s.
+///
+/// Dropping the service closes the queue and joins every worker.
+pub struct PlanService {
+    queue: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Arc<ShardedCache<PlanOutcome>>,
+}
+
+impl PlanService {
+    /// Starts the worker pool.
+    pub fn new(config: ServiceConfig) -> Self {
+        let (tx, rx) = channel::unbounded::<Job>();
+        let cache = Arc::new(ShardedCache::new(config.cache_shards));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let cache = Arc::clone(&cache);
+                std::thread::Builder::new()
+                    .name(format!("dpipe-serve-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let fingerprint = job.request.fingerprint();
+                            let label = job.request.label();
+                            let request = job.request;
+                            // Contain any unexpected planner panic: a dead
+                            // worker would silently shrink the pool and
+                            // panic the batch caller waiting on the reply.
+                            let (outcome, cache_hit) = cache.get_or_compute(fingerprint, || {
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    request.plan().map(Arc::new)
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    Err(PlanError::InvalidRequest(format!(
+                                        "planner panicked: {}",
+                                        panic_message(&payload)
+                                    )))
+                                })
+                            });
+                            // A dropped reply receiver just means the caller
+                            // stopped listening; the plan is cached either way.
+                            let _ = job.reply.send(PlanResponse {
+                                index: job.index,
+                                fingerprint,
+                                label,
+                                outcome,
+                                cache_hit,
+                            });
+                        }
+                    })
+                    .expect("failed to spawn planning worker")
+            })
+            .collect();
+        PlanService {
+            queue: Some(tx),
+            workers,
+            cache,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one request; its [`PlanResponse`] (tagged `index`) is sent
+    /// on `reply` when a worker finishes it.
+    pub fn submit(&self, index: usize, request: PlanRequest, reply: Sender<PlanResponse>) {
+        let job = Job {
+            index,
+            request,
+            reply,
+        };
+        self.queue
+            .as_ref()
+            .expect("service queue open while not dropped")
+            .send(job)
+            .expect("unbounded channel send cannot fail");
+    }
+
+    /// Plans a batch of requests across the pool, blocking until all are
+    /// done. Responses come back in submission order.
+    pub fn plan_batch(&self, requests: Vec<PlanRequest>) -> Vec<PlanResponse> {
+        let (tx, rx) = channel::unbounded();
+        let n = requests.len();
+        for (index, request) in requests.into_iter().enumerate() {
+            self.submit(index, request, tx.clone());
+        }
+        drop(tx);
+        let mut responses: Vec<PlanResponse> = (0..n)
+            .map(|_| rx.recv().expect("a worker dropped a job"))
+            .collect();
+        responses.sort_by_key(|r| r.index);
+        responses
+    }
+
+    /// Plans one request, blocking until done.
+    pub fn plan_one(&self, request: PlanRequest) -> PlanResponse {
+        self.plan_batch(vec![request])
+            .pop()
+            .expect("one request yields one response")
+    }
+
+    /// Current plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached plan and resets the counters.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// The cached outcome for a fingerprint, if planning finished for it.
+    pub fn cached(&self, fingerprint: u64) -> Option<PlanOutcome> {
+        self.cache.get(fingerprint)
+    }
+}
+
+impl Drop for PlanService {
+    fn drop(&mut self) {
+        self.queue.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpipe_cluster::ClusterSpec;
+    use dpipe_model::zoo;
+
+    fn request(batch: u32) -> PlanRequest {
+        PlanRequest::new(
+            zoo::stable_diffusion_v2_1(),
+            ClusterSpec::single_node(8),
+            batch,
+        )
+    }
+
+    #[test]
+    fn plan_one_matches_sequential_planning() {
+        let service = PlanService::new(ServiceConfig {
+            workers: 2,
+            cache_shards: 4,
+        });
+        let response = service.plan_one(request(64));
+        assert!(!response.cache_hit);
+        let served = response.outcome.unwrap();
+        let sequential = request(64).plan().unwrap();
+        assert_eq!(served.summary(), sequential.summary());
+    }
+
+    #[test]
+    fn responses_come_back_in_submission_order() {
+        let service = PlanService::new(ServiceConfig {
+            workers: 2,
+            cache_shards: 4,
+        });
+        let batches = [96u32, 64, 128, 64];
+        let responses = service.plan_batch(batches.iter().map(|&b| request(b)).collect());
+        assert_eq!(responses.len(), batches.len());
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert!(r.label.ends_with(&format!("/b{}", batches[i])));
+        }
+        // The duplicate batch-64 request is a hit for whichever finished
+        // second.
+        assert_eq!(responses.iter().filter(|r| r.cache_hit).count(), 1);
+        assert_eq!(service.cache_stats().misses, 3);
+    }
+
+    #[test]
+    fn planning_errors_are_cached_outcomes() {
+        let service = PlanService::new(ServiceConfig {
+            workers: 1,
+            cache_shards: 1,
+        });
+        let mut bad = request(64);
+        bad.model.components.retain(|c| !c.is_trainable());
+        let cold = service.plan_one(bad.clone());
+        assert!(matches!(cold.outcome, Err(PlanError::InvalidModel(_))));
+        assert!(!cold.cache_hit);
+        let warm = service.plan_one(bad);
+        assert!(matches!(warm.outcome, Err(PlanError::InvalidModel(_))));
+        assert!(warm.cache_hit);
+    }
+
+    #[test]
+    fn drop_joins_idle_workers_quickly() {
+        let service = PlanService::new(ServiceConfig {
+            workers: 4,
+            cache_shards: 4,
+        });
+        drop(service); // must not hang
+    }
+}

@@ -1,0 +1,355 @@
+//! Parallel configuration sweeps: fan a cartesian grid of (model × GPU
+//! count × batch size) across the service and rank the outcomes.
+
+use crate::json::JsonValue;
+use crate::request::PlanRequest;
+use crate::service::{PlanOutcome, PlanService};
+use diffusionpipe_core::PlannerOptions;
+use dpipe_cluster::ClusterSpec;
+use dpipe_model::ModelSpec;
+use dpipe_partition::SearchSpace;
+use std::cmp::Ordering;
+use std::fmt::Write as _;
+
+/// A cartesian grid of configurations to evaluate.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Models to plan (each contributes `gpu_counts × batch_sizes` points).
+    pub models: Vec<ModelSpec>,
+    /// Total GPU counts; multiples of 8 above 8 become multi-machine
+    /// p4de-like clusters, anything else a single node with that many GPUs.
+    pub gpu_counts: Vec<usize>,
+    /// Global batch sizes.
+    pub batch_sizes: Vec<u32>,
+    /// Planner options applied to every point.
+    pub options: PlannerOptions,
+    /// Search space applied to every point.
+    pub search: SearchSpace,
+}
+
+impl SweepGrid {
+    /// Creates a grid with default planner options and search space.
+    pub fn new(models: Vec<ModelSpec>, gpu_counts: Vec<usize>, batch_sizes: Vec<u32>) -> Self {
+        SweepGrid {
+            models,
+            gpu_counts,
+            batch_sizes,
+            options: PlannerOptions::default(),
+            search: SearchSpace::default(),
+        }
+    }
+
+    /// The cluster shape used for a GPU count: `p4de(n/8)` for multiples of
+    /// 8 above 8, otherwise one machine with that many devices.
+    pub fn cluster_for(gpus: usize) -> ClusterSpec {
+        if gpus > 8 && gpus.is_multiple_of(8) {
+            ClusterSpec::p4de(gpus / 8)
+        } else {
+            ClusterSpec::single_node(gpus)
+        }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.models.len() * self.gpu_counts.len() * self.batch_sizes.len()
+    }
+
+    /// True when the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises the grid as requests, in deterministic
+    /// model-major / gpu / batch-minor order.
+    pub fn requests(&self) -> Vec<PlanRequest> {
+        let mut out = Vec::with_capacity(self.len());
+        for model in &self.models {
+            for &gpus in &self.gpu_counts {
+                for &batch in &self.batch_sizes {
+                    out.push(
+                        PlanRequest::new(model.clone(), Self::cluster_for(gpus), batch)
+                            .with_options(self.options)
+                            .with_search_space(self.search),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Fans the grid across the service's worker pool and returns the
+    /// ranked report.
+    pub fn run(&self, service: &PlanService) -> SweepReport {
+        let requests = self.requests();
+        let meta: Vec<(String, usize, u32)> = requests
+            .iter()
+            .map(|r| (r.model.name.clone(), r.cluster.world_size(), r.global_batch))
+            .collect();
+        let responses = service.plan_batch(requests);
+        let points = responses
+            .into_iter()
+            .zip(meta)
+            .map(|(resp, (model, gpus, batch))| SweepPoint {
+                model,
+                gpus,
+                global_batch: batch,
+                fingerprint: resp.fingerprint,
+                cache_hit: resp.cache_hit,
+                outcome: resp.outcome,
+            })
+            .collect();
+        SweepReport::ranked(points)
+    }
+
+    /// Plans every point on the calling thread with no service and no
+    /// cache — the reference a parallel sweep must reproduce exactly.
+    pub fn run_sequential(&self) -> SweepReport {
+        let points = self
+            .requests()
+            .into_iter()
+            .map(|r| SweepPoint {
+                model: r.model.name.clone(),
+                gpus: r.cluster.world_size(),
+                global_batch: r.global_batch,
+                fingerprint: r.fingerprint(),
+                cache_hit: false,
+                outcome: r.plan().map(std::sync::Arc::new),
+            })
+            .collect();
+        SweepReport::ranked(points)
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Model name.
+    pub model: String,
+    /// Total GPU count.
+    pub gpus: usize,
+    /// Global batch size.
+    pub global_batch: u32,
+    /// Request fingerprint (the cache key).
+    pub fingerprint: u64,
+    /// Whether the service answered from its cache.
+    pub cache_hit: bool,
+    /// The plan or the planning error.
+    pub outcome: PlanOutcome,
+}
+
+impl SweepPoint {
+    /// Simulated cluster throughput, if planning succeeded.
+    pub fn throughput(&self) -> Option<f64> {
+        self.outcome.as_ref().ok().map(|p| p.throughput)
+    }
+
+    /// Residual bubble ratio, if planning succeeded.
+    pub fn bubble_ratio(&self) -> Option<f64> {
+        self.outcome.as_ref().ok().map(|p| p.bubble_ratio)
+    }
+
+    /// `model × gpus × batch` coordinates as a display string.
+    pub fn coords(&self) -> String {
+        format!("{}@{}gpu/b{}", self.model, self.gpus, self.global_batch)
+    }
+}
+
+/// Sweep outcomes ranked best-first.
+///
+/// Feasible points come first, ordered by throughput (descending), then
+/// bubble ratio (ascending), then coordinates — a total order, so a
+/// parallel sweep ranks identically to a sequential one.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// All evaluated points, best first; infeasible points at the end.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    fn ranked(mut points: Vec<SweepPoint>) -> Self {
+        points.sort_by(Self::rank);
+        SweepReport { points }
+    }
+
+    fn rank(a: &SweepPoint, b: &SweepPoint) -> Ordering {
+        let key = |p: &SweepPoint| (p.model.clone(), p.gpus, p.global_batch);
+        match (a.throughput(), b.throughput()) {
+            (Some(ta), Some(tb)) => tb
+                .partial_cmp(&ta)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| {
+                    let (ra, rb) = (a.bubble_ratio().unwrap(), b.bubble_ratio().unwrap());
+                    ra.partial_cmp(&rb).unwrap_or(Ordering::Equal)
+                })
+                .then_with(|| key(a).cmp(&key(b))),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => key(a).cmp(&key(b)),
+        }
+    }
+
+    /// The best feasible point, if any.
+    pub fn best(&self) -> Option<&SweepPoint> {
+        self.points.first().filter(|p| p.outcome.is_ok())
+    }
+
+    /// The best feasible point for each model, in overall rank order.
+    pub fn best_per_model(&self) -> Vec<&SweepPoint> {
+        let mut seen: Vec<&str> = Vec::new();
+        let mut out = Vec::new();
+        for p in self.points.iter().filter(|p| p.outcome.is_ok()) {
+            if !seen.contains(&p.model.as_str()) {
+                seen.push(&p.model);
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Fraction of points answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().filter(|p| p.cache_hit).count() as f64 / self.points.len() as f64
+    }
+
+    /// Renders the ranked table as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<4} {:<28} {:>5} {:>7} {:>12} {:>9} {:>5}",
+            "rank", "model", "gpus", "batch", "samples/s", "bubbles", "hit"
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            match &p.outcome {
+                Ok(plan) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<4} {:<28} {:>5} {:>7} {:>12.1} {:>8.1}% {:>5}",
+                        i + 1,
+                        p.model,
+                        p.gpus,
+                        p.global_batch,
+                        plan.throughput,
+                        plan.bubble_ratio * 100.0,
+                        if p.cache_hit { "yes" } else { "no" }
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<4} {:<28} {:>5} {:>7} {:>12} ({e})",
+                        i + 1,
+                        p.model,
+                        p.gpus,
+                        p.global_batch,
+                        "-"
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The report as a JSON value (see [`crate::json`]).
+    pub fn to_json(&self) -> JsonValue {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut fields = vec![
+                    ("model".to_owned(), JsonValue::Str(p.model.clone())),
+                    ("gpus".to_owned(), JsonValue::UInt(p.gpus as u64)),
+                    (
+                        "global_batch".to_owned(),
+                        JsonValue::UInt(u64::from(p.global_batch)),
+                    ),
+                    (
+                        "fingerprint".to_owned(),
+                        JsonValue::Str(format!("{:016x}", p.fingerprint)),
+                    ),
+                    ("cache_hit".to_owned(), JsonValue::Bool(p.cache_hit)),
+                ];
+                match &p.outcome {
+                    Ok(plan) => fields.push(("plan".to_owned(), crate::json::plan_json(plan))),
+                    Err(e) => fields.push(("error".to_owned(), JsonValue::Str(e.to_string()))),
+                }
+                JsonValue::Object(fields)
+            })
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "points".to_owned(),
+                JsonValue::UInt(self.points.len() as u64),
+            ),
+            (
+                "cache_hit_rate".to_owned(),
+                JsonValue::Num(self.cache_hit_rate()),
+            ),
+            ("ranking".to_owned(), JsonValue::Array(points)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use dpipe_model::zoo;
+
+    #[test]
+    fn cluster_for_picks_shapes() {
+        assert_eq!(SweepGrid::cluster_for(4).world_size(), 4);
+        assert_eq!(SweepGrid::cluster_for(4).machines, 1);
+        let multi = SweepGrid::cluster_for(16);
+        assert_eq!((multi.machines, multi.world_size()), (2, 16));
+        // 12 is not a multiple of 8: one wide machine.
+        assert_eq!(SweepGrid::cluster_for(12).machines, 1);
+    }
+
+    #[test]
+    fn grid_is_cartesian_and_deterministic() {
+        let grid = SweepGrid::new(
+            vec![zoo::stable_diffusion_v2_1(), zoo::dit_xl_2()],
+            vec![4, 8],
+            vec![64, 128],
+        );
+        assert_eq!(grid.len(), 8);
+        let a: Vec<u64> = grid.requests().iter().map(|r| r.fingerprint()).collect();
+        let b: Vec<u64> = grid.requests().iter().map(|r| r.fingerprint()).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8, "grid points must have distinct keys");
+    }
+
+    #[test]
+    fn report_ranks_by_throughput_and_finds_best_per_model() {
+        let grid = SweepGrid::new(
+            vec![zoo::stable_diffusion_v2_1(), zoo::dit_xl_2()],
+            vec![8],
+            vec![64, 128],
+        );
+        let service = PlanService::new(ServiceConfig {
+            workers: 2,
+            cache_shards: 8,
+        });
+        let report = grid.run(&service);
+        assert_eq!(report.points.len(), 4);
+        let tps: Vec<f64> = report
+            .points
+            .iter()
+            .filter_map(|p| p.throughput())
+            .collect();
+        assert!(tps.windows(2).all(|w| w[0] >= w[1]), "not ranked: {tps:?}");
+        let best = report.best_per_model();
+        assert_eq!(best.len(), 2);
+        assert_ne!(best[0].model, best[1].model);
+        let text = report.render_text();
+        assert!(text.contains("samples/s"));
+        assert!(text.contains("dit-xl-2"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Stable content fingerprints for planner inputs.
+//!
+//! The planning service (`dpipe_serve`) keys its plan cache by a
+//! *content fingerprint* of the request: two requests that describe the same
+//! model, cluster and knobs must collide on the same key across processes
+//! and platforms. `std::collections::hash_map::DefaultHasher` is explicitly
+//! randomised per process, and the spec types carry `f64` fields that do not
+//! implement `Hash` at all, so this crate provides a small deterministic
+//! [FNV-1a] hasher with explicit write methods for every primitive the spec
+//! types contain. Domain-separation tags and length prefixes keep adjacent
+//! fields from aliasing (e.g. `("ab", "c")` vs `("a", "bc")`).
+//!
+//! It is a leaf crate so that `dpipe_model` and `dpipe_cluster` can both
+//! build their `fingerprint()` helpers on it without depending on each
+//! other.
+//!
+//! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+
+/// Deterministic 64-bit FNV-1a hasher with typed write methods.
+///
+/// # Example
+///
+/// ```
+/// use dpipe_stablehash::StableHasher;
+///
+/// let mut a = StableHasher::new();
+/// a.write_str("unet");
+/// a.write_f64(1.5);
+/// let mut b = StableHasher::new();
+/// b.write_str("unet");
+/// b.write_f64(1.5);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// Creates a hasher in the standard FNV-1a initial state.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` (widened to `u64` so 32- and 64-bit targets agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[u8::from(v)]);
+    }
+
+    /// Absorbs an `f64` by IEEE-754 bit pattern, with `-0.0` normalised to
+    /// `+0.0` and every NaN collapsed to the canonical quiet NaN so
+    /// numerically indistinguishable specs fingerprint identically.
+    pub fn write_f64(&mut self, v: f64) {
+        let bits = if v.is_nan() {
+            f64::NAN.to_bits()
+        } else if v == 0.0 {
+            0u64
+        } else {
+            v.to_bits()
+        };
+        self.write_u64(bits);
+    }
+
+    /// Absorbs a string with a length prefix (prevents field aliasing).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Returns the current 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let digest = || {
+            let mut h = StableHasher::new();
+            h.write_str("stable-diffusion-v2.1");
+            h.write_u32(256);
+            h.write_f64(0.5);
+            h.write_bool(true);
+            h.finish()
+        };
+        assert_eq!(digest(), digest());
+    }
+
+    #[test]
+    fn empty_input_is_fnv_offset() {
+        assert_eq!(StableHasher::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn length_prefix_prevents_string_aliasing() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn negative_zero_and_nan_are_canonical() {
+        let mut a = StableHasher::new();
+        a.write_f64(0.0);
+        let mut b = StableHasher::new();
+        b.write_f64(-0.0);
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = StableHasher::new();
+        c.write_f64(f64::NAN);
+        let mut d = StableHasher::new();
+        d.write_f64(f64::from_bits(0x7ff8_0000_0000_0001));
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let mut a = StableHasher::new();
+        a.write_u64(1);
+        let mut b = StableHasher::new();
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,71 @@
+//! Parallel configuration sweep through the planning service.
+//!
+//! Fans an 8-point grid (2 models × 2 GPU counts × 2 batch sizes) across a
+//! 4-worker [`PlanService`], prints the ranked report and the best plan per
+//! model, then re-runs the same grid warm to demonstrate the sharded plan
+//! cache: 100% hits, byte-identical summaries.
+//!
+//! ```sh
+//! cargo run --release --example sweep
+//! ```
+
+use diffusionpipe::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let grid = SweepGrid::new(
+        vec![zoo::stable_diffusion_v2_1(), zoo::dit_xl_2()],
+        vec![4, 8],
+        vec![64, 128],
+    );
+    let service = PlanService::new(ServiceConfig::with_workers(4));
+    println!(
+        "sweeping {} grid points with {} workers...\n",
+        grid.len(),
+        service.worker_count()
+    );
+
+    let t0 = Instant::now();
+    let cold = grid.run(&service);
+    let cold_s = t0.elapsed().as_secs_f64();
+    print!("{}", cold.render_text());
+    println!(
+        "\ncold sweep: {:.2}s ({:.1} plans/s)",
+        cold_s,
+        grid.len() as f64 / cold_s.max(1e-9)
+    );
+
+    println!("\nbest plan per model:");
+    for p in cold.best_per_model() {
+        let plan = p.outcome.as_ref().expect("best_per_model is feasible");
+        println!("  {:<28} {}", p.coords(), plan.summary());
+    }
+
+    let t1 = Instant::now();
+    let warm = grid.run(&service);
+    let warm_s = t1.elapsed().as_secs_f64();
+    let identical =
+        cold.points
+            .iter()
+            .zip(&warm.points)
+            .all(|(c, w)| match (&c.outcome, &w.outcome) {
+                (Ok(cp), Ok(wp)) => cp.summary() == wp.summary(),
+                (Err(ce), Err(we)) => ce == we,
+                _ => false,
+            });
+    let stats = service.cache_stats();
+    println!(
+        "\nwarm re-run: {:.3}s, {:.0}% cache hits, byte-identical: {}",
+        warm_s,
+        warm.cache_hit_rate() * 100.0,
+        if identical { "yes" } else { "NO" }
+    );
+    println!(
+        "cache: {} entries, {} hits / {} lookups",
+        stats.entries,
+        stats.hits,
+        stats.hits + stats.misses
+    );
+    assert!(identical, "warm plans must be byte-identical to cold plans");
+    assert_eq!(warm.cache_hit_rate(), 1.0, "warm re-run must be 100% hits");
+}

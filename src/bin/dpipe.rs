@@ -4,6 +4,8 @@
 //! dpipe plan --model sd --machines 1 --gpus 8 --batch 256 [--no-fill] [--no-partial] [--timeline]
 //! dpipe models
 //! dpipe baselines --model controlnet --machines 4 --batch 1024
+//! dpipe serve --requests plans.txt --workers 4
+//! dpipe sweep --models sd,dit --gpus 4,8 --batches 128,256 --workers 4
 //! ```
 
 use diffusionpipe::baselines::{ddp, gpipe, spp, zero3};
@@ -11,7 +13,9 @@ use diffusionpipe::core::{generate_instructions, BackbonePartition, Planner, Pla
 use diffusionpipe::partition::SearchSpace;
 use diffusionpipe::prelude::*;
 use diffusionpipe::schedule::render_timeline;
+use diffusionpipe::serve::json::{plan_json, JsonValue};
 use std::collections::HashMap;
+use std::io::Read as _;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -22,11 +26,19 @@ USAGE:
       List the model zoo.
   dpipe plan --model <name> [--machines N] [--gpus-per-machine N]
              [--batch N] [--no-fill] [--no-partial] [--timeline]
-             [--instructions]
+             [--instructions] [--json]
       Plan training and print the chosen configuration.
   dpipe baselines --model <name> [--machines N] [--gpus-per-machine N]
              [--batch N]
       Compare DiffusionPipe against DDP / ZeRO-3 / GPipe / SPP.
+  dpipe serve --requests <file|-> [--workers N] [--json]
+      Batch-serve planning requests through the worker pool + plan cache.
+      One request per line: model=<name> [machines=N] [gpus=N] [batch=N]
+      [fill=on|off] [partial=on|off]; '#' starts a comment. '-' reads stdin.
+  dpipe sweep --models <a,b,..> [--gpus <n,..>] [--batches <n,..>]
+             [--workers N] [--best] [--json] [--no-fill] [--no-partial]
+      Fan a cartesian configuration grid across the worker pool and print
+      the ranked report.
 
 Models: sd, controlnet, cdm-lsun, cdm-imagenet, dit, sdxl, imagen
 ";
@@ -130,6 +142,7 @@ fn cmd_plan(args: &Args) -> ExitCode {
         bubble_filling: !args.has("no-fill"),
         partial_batch: !args.has("no-partial"),
     };
+    let model_name = model.name.clone();
     let planner = Planner::new(model, cluster.clone()).with_options(options);
     let plan = match planner.plan(batch) {
         Ok(p) => p,
@@ -138,6 +151,19 @@ fn cmd_plan(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.has("json") {
+        let doc = JsonValue::Object(vec![
+            ("model".to_owned(), JsonValue::Str(model_name)),
+            (
+                "world_size".to_owned(),
+                JsonValue::UInt(cluster.world_size() as u64),
+            ),
+            ("global_batch".to_owned(), JsonValue::UInt(u64::from(batch))),
+            ("plan".to_owned(), plan_json(&plan)),
+        ]);
+        println!("{doc}");
+        return ExitCode::SUCCESS;
+    }
     println!("plan for batch {batch} on {} GPUs:", cluster.world_size());
     println!("  {}", plan.summary());
     match &plan.partition {
@@ -248,6 +274,224 @@ fn cmd_baselines(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses one `serve` request line: whitespace-separated `key=value` tokens
+/// (`model=` mandatory; `machines`, `gpus`, `batch`, `fill`, `partial`
+/// optional).
+fn parse_request_line(line: &str) -> Result<PlanRequest, String> {
+    let mut model: Option<ModelSpec> = None;
+    let mut machines = 1usize;
+    let mut gpus = 8usize;
+    let mut batch: Option<u32> = None;
+    let mut options = PlannerOptions::default();
+    for token in line.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{token}`"))?;
+        match key {
+            "model" => {
+                model =
+                    Some(model_by_name(value).ok_or_else(|| format!("unknown model `{value}`"))?);
+            }
+            "machines" => {
+                machines = value
+                    .parse()
+                    .map_err(|_| format!("bad machines `{value}`"))?
+            }
+            "gpus" => gpus = value.parse().map_err(|_| format!("bad gpus `{value}`"))?,
+            "batch" => batch = Some(value.parse().map_err(|_| format!("bad batch `{value}`"))?),
+            "fill" => options.bubble_filling = parse_switch(value)?,
+            "partial" => options.partial_batch = parse_switch(value)?,
+            _ => return Err(format!("unknown key `{key}`")),
+        }
+    }
+    let model = model.ok_or_else(|| "missing model=<name>".to_owned())?;
+    let cluster = ClusterSpec {
+        devices_per_machine: gpus,
+        ..ClusterSpec::p4de(machines.max(1))
+    };
+    let batch = batch.unwrap_or(32 * cluster.world_size() as u32);
+    Ok(PlanRequest::new(model, cluster, batch).with_options(options))
+}
+
+fn parse_switch(value: &str) -> Result<bool, String> {
+    match value {
+        "on" | "true" | "1" => Ok(true),
+        "off" | "false" | "0" => Ok(false),
+        _ => Err(format!("expected on/off, got `{value}`")),
+    }
+}
+
+fn cmd_serve(args: &Args) -> ExitCode {
+    let Some(source) = args.flags.get("requests") else {
+        eprintln!("missing --requests <file|->");
+        return ExitCode::FAILURE;
+    };
+    let text = if source == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("reading stdin failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(source) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("reading {source} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let mut requests = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_request_line(line) {
+            Ok(r) => requests.push(r),
+            Err(e) => {
+                eprintln!("line {}: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if requests.is_empty() {
+        eprintln!("no requests in {source}");
+        return ExitCode::FAILURE;
+    }
+    let workers: usize = args.get("workers", ServiceConfig::default().workers);
+    let service = PlanService::new(ServiceConfig::with_workers(workers));
+    let start = std::time::Instant::now();
+    let responses = service.plan_batch(requests);
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = service.cache_stats();
+    if args.has("json") {
+        let items = responses
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("request".to_owned(), JsonValue::Str(r.label.clone())),
+                    (
+                        "fingerprint".to_owned(),
+                        JsonValue::Str(format!("{:016x}", r.fingerprint)),
+                    ),
+                    ("cache_hit".to_owned(), JsonValue::Bool(r.cache_hit)),
+                ];
+                match &r.outcome {
+                    Ok(plan) => fields.push(("plan".to_owned(), plan_json(plan))),
+                    Err(e) => fields.push(("error".to_owned(), JsonValue::Str(e.to_string()))),
+                }
+                JsonValue::Object(fields)
+            })
+            .collect();
+        let doc = JsonValue::Object(vec![
+            ("workers".to_owned(), JsonValue::UInt(workers as u64)),
+            ("elapsed_s".to_owned(), JsonValue::Num(elapsed)),
+            ("cache_hits".to_owned(), JsonValue::UInt(stats.hits)),
+            ("cache_misses".to_owned(), JsonValue::UInt(stats.misses)),
+            ("responses".to_owned(), JsonValue::Array(items)),
+        ]);
+        println!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+    for r in &responses {
+        match &r.outcome {
+            Ok(plan) => println!(
+                "{:<36} {} {}",
+                r.label,
+                if r.cache_hit { "[hit] " } else { "[plan]" },
+                plan.summary()
+            ),
+            Err(e) => println!("{:<36} [fail] {e}", r.label),
+        }
+    }
+    println!(
+        "\n{} requests in {:.2}s with {} workers ({:.1} plans/s, cache {}/{} hits)",
+        responses.len(),
+        elapsed,
+        workers,
+        responses.len() as f64 / elapsed.max(1e-9),
+        stats.hits,
+        stats.hits + stats.misses,
+    );
+    ExitCode::SUCCESS
+}
+
+/// Parses `a,b,c` into typed values.
+fn parse_list<T: std::str::FromStr>(raw: &str) -> Result<Vec<T>, String> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|_| format!("bad value `{s}`")))
+        .collect()
+}
+
+fn cmd_sweep(args: &Args) -> ExitCode {
+    let Some(model_names) = args.flags.get("models") else {
+        eprintln!("missing --models <a,b,..>; run `dpipe models`");
+        return ExitCode::FAILURE;
+    };
+    let mut models = Vec::new();
+    for name in model_names.split(',').filter(|s| !s.is_empty()) {
+        match model_by_name(name) {
+            Some(m) => models.push(m),
+            None => {
+                eprintln!("unknown model `{name}`; run `dpipe models`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let gpus = match parse_list::<usize>(args.flags.get("gpus").map_or("8", String::as_str)) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("--gpus: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batches =
+        match parse_list::<u32>(args.flags.get("batches").map_or("128,256", String::as_str)) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("--batches: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let mut grid = SweepGrid::new(models, gpus, batches);
+    grid.options = PlannerOptions {
+        bubble_filling: !args.has("no-fill"),
+        partial_batch: !args.has("no-partial"),
+    };
+    if grid.is_empty() {
+        eprintln!("empty sweep grid");
+        return ExitCode::FAILURE;
+    }
+    let workers: usize = args.get("workers", ServiceConfig::default().workers);
+    let service = PlanService::new(ServiceConfig::with_workers(workers));
+    let start = std::time::Instant::now();
+    let report = grid.run(&service);
+    let elapsed = start.elapsed().as_secs_f64();
+    if args.has("json") {
+        println!("{}", report.to_json());
+        return ExitCode::SUCCESS;
+    }
+    if args.has("best") {
+        for p in report.best_per_model() {
+            let plan = p.outcome.as_ref().expect("best_per_model is feasible");
+            println!("{:<36} {}", p.coords(), plan.summary());
+        }
+    } else {
+        print!("{}", report.render_text());
+    }
+    println!(
+        "\n{} grid points in {:.2}s with {} workers ({:.1} plans/s)",
+        report.points.len(),
+        elapsed,
+        workers,
+        report.points.len() as f64 / elapsed.max(1e-9),
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -259,6 +503,8 @@ fn main() -> ExitCode {
         "models" => cmd_models(),
         "plan" => cmd_plan(&args),
         "baselines" => cmd_baselines(&args),
+        "serve" => cmd_serve(&args),
+        "sweep" => cmd_sweep(&args),
         _ => {
             print!("{USAGE}");
             ExitCode::FAILURE

@@ -45,6 +45,7 @@
 //! | [`engine`] | `dpipe-engine` | threaded back-end + equivalence |
 //! | [`baselines`] | `dpipe-baselines` | DDP / ZeRO-3 / GPipe / SPP |
 //! | [`core`] | `diffusionpipe-core` | the planner |
+//! | [`serve`] | `dpipe-serve` | concurrent planning service + sweeps |
 
 pub use diffusionpipe_core as core;
 pub use dpipe_baselines as baselines;
@@ -55,6 +56,7 @@ pub use dpipe_model as model;
 pub use dpipe_partition as partition;
 pub use dpipe_profile as profile;
 pub use dpipe_schedule as schedule;
+pub use dpipe_serve as serve;
 pub use dpipe_sim as sim;
 pub use dpipe_tensor as tensor;
 
@@ -67,5 +69,6 @@ pub mod prelude {
     pub use crate::partition::{PartitionConfig, Partitioner, SearchSpace};
     pub use crate::profile::{DeviceModel, ProfileDb, Profiler};
     pub use crate::schedule::{ScheduleBuilder, ScheduleKind};
+    pub use crate::serve::{PlanRequest, PlanService, ServiceConfig, SweepGrid, SweepReport};
     pub use crate::sim::CombinedIteration;
 }
