@@ -166,7 +166,8 @@ pub fn spp(
     space: &SearchSpace,
 ) -> Result<BaselineReport, String> {
     let layers = db.model().component(backbone).num_layers();
-    let configs = enumerate_configs(cluster, global_batch, layers, space);
+    let configs =
+        enumerate_configs(cluster, global_batch, layers, space).map_err(|e| e.to_string())?;
     let mut best: Option<BaselineReport> = None;
     for hp in configs {
         // SPP is a pipeline planner: it always partitions the model into at

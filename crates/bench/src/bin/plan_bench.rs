@@ -1,0 +1,354 @@
+//! `plan_bench` — the planner fast-path benchmark harness.
+//!
+//! Times, on three zoo models (SD v2.1, DiT-XL/2, SDXL) at the paper's
+//! 64-GPU shape:
+//!
+//! 1. **cold single-config DP** — one `partition_single` call, fast path
+//!    (including its own `CostPrefix` build) vs the naive reference DP;
+//! 2. **full plan calls** — `Planner::plan` sequential and parallel vs
+//!    `Planner::plan_reference` (the pre-optimisation loop), asserting the
+//!    plans are byte-identical;
+//! 3. **warm-cache serve throughput** — repeated `plan_one` calls against
+//!    a `PlanService` once the plan is cached.
+//!
+//! Writes a machine-readable `BENCH_plan.json` (see README "Performance"
+//! for the schema) and exits non-zero if any fast/reference plan pair
+//! diverges, so CI can use it as a golden regression gate.
+//!
+//! ```text
+//! plan_bench [--quick] [--out PATH]
+//! ```
+
+use diffusionpipe_core::Planner;
+use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use dpipe_model::zoo;
+use dpipe_model::ModelSpec;
+use dpipe_partition::{DpStats, PartitionConfig, Partitioner};
+use dpipe_profile::{DeviceModel, Profiler};
+use dpipe_serve::json::JsonValue;
+use dpipe_serve::{PlanRequest, PlanService, ServiceConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const GPUS: usize = 64;
+const BATCH: u32 = 256;
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::p4de(GPUS / 8)
+}
+
+/// Minimum wall time over `reps` runs of `f`.
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let value = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+struct ModelReport {
+    name: &'static str,
+    dp_fast_s: f64,
+    dp_reference_s: f64,
+    /// The cold benchmark config's own DP counters.
+    dp_stats: DpStats,
+    /// Aggregate DP counters over every config of one full plan call.
+    plan_dp_stats: DpStats,
+    plan_reference_s: f64,
+    plan_fast_s: f64,
+    plan_parallel_s: f64,
+    parallel_workers: usize,
+    plan_id: String,
+    plans_per_s_warm: f64,
+    warm_hit_rate: f64,
+    mismatch: Option<String>,
+}
+
+impl ModelReport {
+    fn speedup_seq(&self) -> f64 {
+        self.plan_reference_s / self.plan_fast_s.max(1e-12)
+    }
+
+    fn speedup_parallel(&self) -> f64 {
+        self.plan_reference_s / self.plan_parallel_s.max(1e-12)
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("model".to_owned(), JsonValue::Str(self.name.to_owned())),
+            ("gpus".to_owned(), JsonValue::UInt(GPUS as u64)),
+            ("global_batch".to_owned(), JsonValue::UInt(u64::from(BATCH))),
+            (
+                "cold_dp".to_owned(),
+                JsonValue::Object(vec![
+                    ("fast_s".to_owned(), JsonValue::Num(self.dp_fast_s)),
+                    (
+                        "reference_s".to_owned(),
+                        JsonValue::Num(self.dp_reference_s),
+                    ),
+                    (
+                        "speedup".to_owned(),
+                        JsonValue::Num(self.dp_reference_s / self.dp_fast_s.max(1e-12)),
+                    ),
+                    (
+                        "candidates".to_owned(),
+                        JsonValue::UInt(self.dp_stats.candidates),
+                    ),
+                    ("pruned".to_owned(), JsonValue::UInt(self.dp_stats.pruned)),
+                    (
+                        "prune_rate".to_owned(),
+                        JsonValue::Num(self.dp_stats.prune_rate()),
+                    ),
+                ]),
+            ),
+            (
+                "full_plan".to_owned(),
+                JsonValue::Object(vec![
+                    (
+                        "reference_s".to_owned(),
+                        JsonValue::Num(self.plan_reference_s),
+                    ),
+                    ("fast_s".to_owned(), JsonValue::Num(self.plan_fast_s)),
+                    (
+                        "parallel_s".to_owned(),
+                        JsonValue::Num(self.plan_parallel_s),
+                    ),
+                    (
+                        "parallel_workers".to_owned(),
+                        JsonValue::UInt(self.parallel_workers as u64),
+                    ),
+                    ("speedup".to_owned(), JsonValue::Num(self.speedup_seq())),
+                    (
+                        "speedup_parallel".to_owned(),
+                        JsonValue::Num(self.speedup_parallel()),
+                    ),
+                    (
+                        "plans_per_s".to_owned(),
+                        JsonValue::Num(1.0 / self.plan_parallel_s.max(1e-12)),
+                    ),
+                    (
+                        "candidates".to_owned(),
+                        JsonValue::UInt(self.plan_dp_stats.candidates),
+                    ),
+                    (
+                        "pruned".to_owned(),
+                        JsonValue::UInt(self.plan_dp_stats.pruned),
+                    ),
+                    (
+                        "prune_rate".to_owned(),
+                        JsonValue::Num(self.plan_dp_stats.prune_rate()),
+                    ),
+                    ("plan_id".to_owned(), JsonValue::Str(self.plan_id.clone())),
+                ]),
+            ),
+            (
+                "serve_warm".to_owned(),
+                JsonValue::Object(vec![
+                    (
+                        "plans_per_s".to_owned(),
+                        JsonValue::Num(self.plans_per_s_warm),
+                    ),
+                    ("hit_rate".to_owned(), JsonValue::Num(self.warm_hit_rate)),
+                ]),
+            ),
+            (
+                "byte_identical".to_owned(),
+                JsonValue::Bool(self.mismatch.is_none()),
+            ),
+        ])
+    }
+}
+
+fn bench_model(
+    name: &'static str,
+    model: ModelSpec,
+    reps: usize,
+    warm_iters: usize,
+) -> ModelReport {
+    let cluster = cluster();
+    let backbone = model.backbones().next().expect("zoo model has backbone").0;
+
+    // 1. Cold single-config DP at the widest uniform shape (S=8, M=8).
+    let (db, _) = Profiler::new(DeviceModel::a100_like())
+        .with_world_size(cluster.world_size())
+        .profile(&model, BATCH);
+    let layout = DataParallelLayout::new(&cluster, GPUS).expect("64-wide layout");
+    let part = Partitioner::new(&db, &cluster, &layout);
+    let cfg = PartitionConfig::new(8, 8, BATCH as f64);
+    let (dp_fast_s, _) = time_min(reps, || {
+        part.partition_single(backbone, &cfg).expect("feasible cfg")
+    });
+    let (dp_reference_s, _) = time_min(reps, || {
+        part.partition_single_reference(backbone, &cfg)
+            .expect("feasible cfg")
+    });
+    // This one config's own DP counters (the full plan call's aggregate
+    // counters are reported separately under `full_plan`).
+    let mut dp_stats = DpStats::default();
+    let prefix = part.build_prefix(backbone, &cfg);
+    part.partition_single_with(backbone, &cfg, &prefix, &mut dp_stats)
+        .expect("feasible cfg");
+
+    // 2. Full plan calls: reference vs fast (sequential and parallel).
+    let parallel_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let planner = Planner::new(model.clone(), cluster.clone());
+    let (plan_reference_s, reference) = time_min(reps, || planner.plan_reference(BATCH).unwrap());
+    let (plan_fast_s, (fast, stats)) = time_min(reps, || planner.plan_with_stats(BATCH).unwrap());
+    let parallel_planner =
+        Planner::new(model.clone(), cluster.clone()).with_parallelism(parallel_workers);
+    let (plan_parallel_s, parallel) = time_min(reps, || parallel_planner.plan(BATCH).unwrap());
+
+    let mut mismatch = None;
+    if fast.summary() != reference.summary() {
+        mismatch = Some(format!(
+            "sequential fast plan diverged:\n  fast: {}\n  ref : {}",
+            fast.summary(),
+            reference.summary()
+        ));
+    } else if parallel.summary() != reference.summary() {
+        mismatch = Some(format!(
+            "parallel fast plan diverged:\n  par: {}\n  ref: {}",
+            parallel.summary(),
+            reference.summary()
+        ));
+    }
+
+    // 3. Warm-cache serve throughput.
+    let service = PlanService::new(ServiceConfig::with_workers(parallel_workers));
+    let request = PlanRequest::new(model, cluster, BATCH);
+    let cold = service.plan_one(request.clone());
+    assert!(cold.outcome.is_ok(), "cold serve plan failed");
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for _ in 0..warm_iters {
+        let resp = service.plan_one(request.clone());
+        hits += usize::from(resp.cache_hit);
+    }
+    let warm_elapsed = t0.elapsed().as_secs_f64();
+
+    ModelReport {
+        name,
+        dp_fast_s,
+        dp_reference_s,
+        dp_stats,
+        plan_dp_stats: stats.dp,
+        plan_reference_s,
+        plan_fast_s,
+        plan_parallel_s,
+        parallel_workers,
+        plan_id: format!("{:016x}", fast.fingerprint()),
+        plans_per_s_warm: warm_iters as f64 / warm_elapsed.max(1e-12),
+        warm_hit_rate: hits as f64 / warm_iters.max(1) as f64,
+        mismatch,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_plan.json".to_owned());
+    let (reps, warm_iters) = if quick { (1, 40) } else { (3, 200) };
+
+    let models: Vec<(&'static str, ModelSpec)> = vec![
+        ("stable-diffusion-v2.1", zoo::stable_diffusion_v2_1()),
+        ("dit-xl-2", zoo::dit_xl_2()),
+        ("sdxl-base", zoo::sdxl_base()),
+    ];
+
+    let mut reports = Vec::new();
+    let mut failed = false;
+    println!(
+        "{:<22} {:>10} {:>10} {:>9} {:>10} {:>10} {:>9} {:>10} {:>8}",
+        "model",
+        "ref dp ms",
+        "fast dp",
+        "prune",
+        "ref plan",
+        "fast plan",
+        "speedup",
+        "warm p/s",
+        "ident"
+    );
+    for (name, model) in models {
+        let r = bench_model(name, model, reps, warm_iters);
+        println!(
+            "{:<22} {:>10.2} {:>10.2} {:>8.0}% {:>10.1} {:>10.1} {:>8.1}x {:>10.0} {:>8}",
+            r.name,
+            r.dp_reference_s * 1e3,
+            r.dp_fast_s * 1e3,
+            r.dp_stats.prune_rate() * 100.0,
+            r.plan_reference_s * 1e3,
+            r.plan_fast_s * 1e3,
+            r.speedup_seq(),
+            r.plans_per_s_warm,
+            if r.mismatch.is_none() { "yes" } else { "NO" },
+        );
+        if let Some(m) = &r.mismatch {
+            eprintln!("golden mismatch for {}:\n{m}", r.name);
+            failed = true;
+        }
+        reports.push(r);
+    }
+
+    let headline = reports
+        .iter()
+        .find(|r| r.name == "sdxl-base")
+        .expect("sdxl benched");
+    let doc = JsonValue::Object(vec![
+        (
+            "benchmark".to_owned(),
+            JsonValue::Str("plan_bench".to_owned()),
+        ),
+        ("quick".to_owned(), JsonValue::Bool(quick)),
+        (
+            "headline".to_owned(),
+            JsonValue::Object(vec![
+                ("model".to_owned(), JsonValue::Str(headline.name.to_owned())),
+                ("speedup".to_owned(), JsonValue::Num(headline.speedup_seq())),
+                (
+                    "speedup_parallel".to_owned(),
+                    JsonValue::Num(headline.speedup_parallel()),
+                ),
+                ("target_speedup".to_owned(), JsonValue::Num(5.0)),
+            ]),
+        ),
+        (
+            "models".to_owned(),
+            JsonValue::Array(reports.iter().map(ModelReport::to_json).collect()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, format!("{doc}\n")) {
+        eprintln!("writing {out_path} failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nheadline: {} full-plan speedup {:.1}x sequential / {:.1}x with {} workers -> {}",
+        headline.name,
+        headline.speedup_seq(),
+        headline.speedup_parallel(),
+        headline.parallel_workers,
+        out_path
+    );
+    if failed {
+        eprintln!("plan equivalence golden check FAILED");
+        return ExitCode::from(2);
+    }
+    if headline.speedup_seq() < 5.0 {
+        eprintln!(
+            "warning: headline sequential speedup {:.1}x below the 5x target",
+            headline.speedup_seq()
+        );
+    }
+    ExitCode::SUCCESS
+}

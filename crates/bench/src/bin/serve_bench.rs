@@ -49,6 +49,7 @@ fn main() {
         let service = PlanService::new(ServiceConfig {
             workers,
             cache_shards: 16,
+            ..ServiceConfig::default()
         });
 
         let t0 = Instant::now();

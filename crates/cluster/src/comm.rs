@@ -80,6 +80,19 @@ impl CommModel {
             return 0.0;
         }
         let nodes = self.cluster.machines_spanned(devices);
+        self.allreduce_time_shape(bytes, g, nodes)
+    }
+
+    /// [`CommModel::allreduce_time`] for a group whose *shape* — device
+    /// count and machines spanned — is already known. The partitioning hot
+    /// path caches the shape per candidate device range so it can skip
+    /// materialising the device list on every query; the arithmetic is
+    /// identical to [`CommModel::allreduce_time`] by construction.
+    pub fn allreduce_time_shape(&self, bytes: u64, group: usize, nodes: usize) -> f64 {
+        let g = group;
+        if g <= 1 {
+            return 0.0;
+        }
         let bytes_f = bytes as f64;
         // Intra-node ring over the local group.
         let local = g.div_ceil(nodes); // devices per node (ceil)
@@ -165,6 +178,22 @@ mod tests {
         // Table 2 calibration: ~45 ms intra-node, ~500 ms at 64 GPUs.
         assert!((0.030..0.070).contains(&t8), "t8={t8}");
         assert!((0.40..0.65).contains(&t64), "t64={t64}");
+    }
+
+    #[test]
+    fn allreduce_shape_form_is_bit_identical() {
+        let m = model(4);
+        for count in [1usize, 2, 8, 12, 24] {
+            let devs: Vec<DeviceId> = (0..count).map(DeviceId).collect();
+            let nodes = m.cluster().machines_spanned(&devs);
+            for bytes in [0u64, 1 << 16, 3_550_000_000] {
+                assert_eq!(
+                    m.allreduce_time(bytes, &devs),
+                    m.allreduce_time_shape(bytes, count, nodes),
+                    "count={count} bytes={bytes}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -37,4 +37,4 @@ mod planner;
 pub use error::PlanError;
 pub use instructions::generate_instructions;
 pub use plan::{BackbonePartition, Plan, PreprocessingReport};
-pub use planner::{Planner, PlannerOptions};
+pub use planner::{PlanStats, Planner, PlannerOptions};

@@ -25,14 +25,21 @@ impl BackbonePartition {
     }
 }
 
-/// Wall-clock cost of the offline planning passes (paper §6.4).
+/// Cost of the offline planning passes (paper §6.4).
+///
+/// `partition_seconds` and `fill_seconds` are summed over every evaluated
+/// configuration: under a sequential search (`Planner::with_parallelism(1)`,
+/// the default) that equals wall time, while a parallel search sums CPU
+/// seconds across its workers and can therefore exceed the call's wall
+/// time. `profiling_seconds` is always the simulated profiling wall time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct PreprocessingReport {
     /// Simulated profiling wall time (parallel across the cluster).
     pub profiling_seconds: f64,
-    /// Measured wall time of the partitioning DP across all configs.
+    /// Partitioning-DP CPU seconds summed across all configs (and, in a
+    /// parallel search, across workers).
     pub partition_seconds: f64,
-    /// Measured wall time of schedule simulation + bubble filling.
+    /// Schedule simulation + bubble filling CPU seconds, summed likewise.
     pub fill_seconds: f64,
 }
 

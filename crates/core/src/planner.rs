@@ -5,11 +5,14 @@ use crate::plan::{BackbonePartition, Plan, PreprocessingReport};
 use dpipe_baselines::MemoryModel;
 use dpipe_cluster::{ClusterSpec, DataParallelLayout};
 use dpipe_fill::{FillConfig, Filler};
-use dpipe_model::ModelSpec;
-use dpipe_partition::{enumerate_configs, PartitionConfig, Partitioner, SearchSpace};
-use dpipe_profile::{DeviceModel, ProfileDb, Profiler};
+use dpipe_model::{ComponentId, ModelSpec};
+use dpipe_partition::{
+    enumerate_configs, DpStats, HyperParams, PartitionConfig, Partitioner, SearchSpace,
+};
+use dpipe_profile::{CostPrefix, DeviceModel, ProfileDb, Profiler};
 use dpipe_schedule::{PipelineSchedule, ScheduleBuilder, ScheduleKind};
 use dpipe_sim::CombinedIteration;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Feature toggles, used for the paper's Fig. 15 ablations.
@@ -30,6 +33,91 @@ impl Default for PlannerOptions {
     }
 }
 
+/// Counters describing one planning call (returned by
+/// [`Planner::plan_with_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Hyper-parameter configurations enumerated.
+    pub configs: usize,
+    /// Configurations that produced a complete, memory-feasible candidate.
+    pub feasible: usize,
+    /// Partition-DP counters summed over every configuration.
+    pub dp: DpStats,
+    /// Configurations whose bubble-filling pass was skipped because their
+    /// post-schedule throughput upper bound could not beat the best plan
+    /// found so far. A performance counter: the exact value depends on
+    /// evaluation order, so it may vary across parallel runs (the selected
+    /// plan never does).
+    pub fill_skipped: usize,
+    /// Worker threads the config search actually used.
+    pub parallelism: usize,
+}
+
+/// One evaluated configuration (internal).
+struct ConfigOutcome {
+    index: usize,
+    plan: Option<Plan>,
+    partition_seconds: f64,
+    fill_seconds: f64,
+    stats: DpStats,
+    fill_skipped: bool,
+}
+
+/// Per-worker reduction state (internal).
+#[derive(Default)]
+struct WorkerResult {
+    best: Option<(usize, Plan)>,
+    feasible: usize,
+    partition_seconds: f64,
+    fill_seconds: f64,
+    stats: DpStats,
+    fill_skipped: usize,
+}
+
+impl WorkerResult {
+    /// Folds one config outcome in; `outcome.index` must be increasing per
+    /// worker, which the work-stealing cursor guarantees.
+    fn absorb(&mut self, outcome: ConfigOutcome) {
+        self.partition_seconds += outcome.partition_seconds;
+        self.fill_seconds += outcome.fill_seconds;
+        self.stats.merge(&outcome.stats);
+        self.fill_skipped += usize::from(outcome.fill_skipped);
+        if let Some(plan) = outcome.plan {
+            self.feasible += 1;
+            // Strictly-better-throughput wins, so the earliest config index
+            // is kept on exact ties — identical to the sequential loop.
+            let better = self
+                .best
+                .as_ref()
+                .is_none_or(|(_, b)| plan.throughput > b.throughput);
+            if better {
+                self.best = Some((outcome.index, plan));
+            }
+        }
+    }
+
+    /// Merges another worker's reduction, preserving the same total order
+    /// (max throughput, ties broken by the smaller config index).
+    fn merge(&mut self, other: WorkerResult) {
+        self.feasible += other.feasible;
+        self.partition_seconds += other.partition_seconds;
+        self.fill_seconds += other.fill_seconds;
+        self.stats.merge(&other.stats);
+        self.fill_skipped += other.fill_skipped;
+        if let Some((oi, op)) = other.best {
+            let replace = match &self.best {
+                None => true,
+                Some((si, sp)) => {
+                    op.throughput > sp.throughput || (op.throughput == sp.throughput && oi < *si)
+                }
+            };
+            if replace {
+                self.best = Some((oi, op));
+            }
+        }
+    }
+}
+
 /// The DiffusionPipe planner. See the crate docs for the workflow.
 #[derive(Debug)]
 pub struct Planner {
@@ -39,6 +127,7 @@ pub struct Planner {
     search: SearchSpace,
     options: PlannerOptions,
     fill_cfg: FillConfig,
+    parallelism: usize,
 }
 
 impl Planner {
@@ -52,6 +141,7 @@ impl Planner {
             search: SearchSpace::default(),
             options: PlannerOptions::default(),
             fill_cfg: FillConfig::default(),
+            parallelism: 1,
         }
     }
 
@@ -79,6 +169,15 @@ impl Planner {
         self
     }
 
+    /// Fans the per-configuration search of one plan call across `workers`
+    /// threads (1 = sequential, the default). The result is identical for
+    /// any worker count: candidates are ranked by simulated throughput with
+    /// exact ties broken by enumeration order, a total order.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
     /// Runs the full workflow for a global batch size, returning the best
     /// plan by simulated cluster throughput.
     ///
@@ -89,6 +188,16 @@ impl Planner {
     ///
     /// See [`PlanError`].
     pub fn plan(&self, global_batch: u32) -> Result<Plan, PlanError> {
+        self.plan_with_stats(global_batch).map(|(plan, _)| plan)
+    }
+
+    /// [`Planner::plan`] plus search counters: configs enumerated and
+    /// feasible, DP candidates evaluated and pruned, threads used.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanError`].
+    pub fn plan_with_stats(&self, global_batch: u32) -> Result<(Plan, PlanStats), PlanError> {
         self.model
             .validate()
             .map_err(|e| PlanError::InvalidModel(e.to_string()))?;
@@ -107,17 +216,268 @@ impl Planner {
             .map(|&b| self.model.component(b).num_layers())
             .min()
             .expect("validated model has a backbone");
-        let configs = enumerate_configs(&self.cluster, global_batch, min_layers, &self.search);
+        let configs = enumerate_configs(&self.cluster, global_batch, min_layers, &self.search)
+            .map_err(|e| PlanError::InvalidRequest(e.to_string()))?;
 
         let mut fill_cfg = self.fill_cfg.clone();
         fill_cfg.partial_batch = self.options.partial_batch;
+        let world = self.cluster.world_size();
+
+        // One CostPrefix per backbone, shared (read-only) by every config
+        // of this call: rows for every local batch the uniform DPs query.
+        let prefixes: Vec<CostPrefix> = backbones
+            .iter()
+            .map(|&bb| {
+                let mut prefix = CostPrefix::new(&db, bb);
+                for hp in &configs {
+                    let cfg = PartitionConfig::new(
+                        hp.num_stages,
+                        hp.num_micro_batches,
+                        hp.group_batch(global_batch, world),
+                    );
+                    let r = hp.group_size / hp.num_stages;
+                    prefix.ensure_batch(&db, cfg.micro_batch() / r as f64);
+                }
+                prefix
+            })
+            .collect();
+
+        let mm = MemoryModel::new(&self.model);
+        // `best_so_far` is this worker's best throughput: a config whose
+        // post-schedule upper bound cannot beat it skips the filling pass.
+        let evaluate = |index: usize, best_so_far: f64| -> ConfigOutcome {
+            self.evaluate_config(
+                index,
+                configs[index],
+                global_batch,
+                &db,
+                &backbones,
+                &prefixes,
+                &fill_cfg,
+                &mm,
+                best_so_far,
+            )
+        };
+
+        let workers = self.parallelism.max(1).min(configs.len().max(1));
+        let mut result = WorkerResult::default();
+        if workers <= 1 {
+            for index in 0..configs.len() {
+                let beat = result
+                    .best
+                    .as_ref()
+                    .map_or(f64::NEG_INFINITY, |(_, b)| b.throughput);
+                result.absorb(evaluate(index, beat));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let total = configs.len();
+            let partials = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = WorkerResult::default();
+                            loop {
+                                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                                if index >= total {
+                                    break;
+                                }
+                                let beat = local
+                                    .best
+                                    .as_ref()
+                                    .map_or(f64::NEG_INFINITY, |(_, b)| b.throughput);
+                                local.absorb(evaluate(index, beat));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("planner worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for partial in partials {
+                result.merge(partial);
+            }
+        }
+
+        let stats = PlanStats {
+            configs: configs.len(),
+            feasible: result.feasible,
+            dp: result.stats,
+            fill_skipped: result.fill_skipped,
+            parallelism: workers,
+        };
+        let (_, mut plan) = result.best.ok_or(PlanError::NoFeasibleConfig)?;
+        plan.preprocessing = PreprocessingReport {
+            profiling_seconds: profile_report.wall_time_seconds,
+            partition_seconds: result.partition_seconds,
+            fill_seconds: result.fill_seconds,
+        };
+        Ok((plan, stats))
+    }
+
+    /// Evaluates one (S, M, D) configuration end to end: partition,
+    /// schedule, fill, memory check, throughput. Pure with respect to the
+    /// shared inputs, so configs can be evaluated on any thread.
+    ///
+    /// `best_so_far` short-circuits the filling pass: filling only ever
+    /// *adds* time beyond the backbone schedule, so
+    /// `group_batch / max(compute_end, sync_end)` bounds the group
+    /// throughput from above and a config strictly below the best known
+    /// throughput can be abandoned without changing the selection.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_config(
+        &self,
+        index: usize,
+        hp: HyperParams,
+        global_batch: u32,
+        db: &ProfileDb,
+        backbones: &[ComponentId],
+        prefixes: &[CostPrefix],
+        fill_cfg: &FillConfig,
+        mm: &MemoryModel<'_>,
+        best_so_far: f64,
+    ) -> ConfigOutcome {
+        let mut outcome = ConfigOutcome {
+            index,
+            plan: None,
+            partition_seconds: 0.0,
+            fill_seconds: 0.0,
+            stats: DpStats::default(),
+            fill_skipped: false,
+        };
+        let world = self.cluster.world_size();
+        let Some(layout) = DataParallelLayout::new(&self.cluster, hp.group_size) else {
+            return outcome;
+        };
+        let cfg = PartitionConfig::new(
+            hp.num_stages,
+            hp.num_micro_batches,
+            hp.group_batch(global_batch, world),
+        );
+        let part = Partitioner::new(db, &self.cluster, &layout);
+
+        let t0 = Instant::now();
+        let partition = if backbones.len() == 1 {
+            match part.partition_single_with(backbones[0], &cfg, &prefixes[0], &mut outcome.stats) {
+                Ok(p) => BackbonePartition::Single(p),
+                Err(_) => return outcome,
+            }
+        } else {
+            match part.partition_bidirectional_with(
+                backbones[0],
+                backbones[1],
+                &cfg,
+                &prefixes[0],
+                &prefixes[1],
+                &mut outcome.stats,
+            ) {
+                Ok(p) => BackbonePartition::Bidirectional(p),
+                Err(_) => return outcome,
+            }
+        };
+        outcome.partition_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let builder = ScheduleBuilder::new(db, &self.cluster, &layout);
+        let schedule = match &partition {
+            BackbonePartition::Single(p) => builder.build_single(p, ScheduleKind::Fifo1F1B),
+            BackbonePartition::Bidirectional(p) => builder.build_bidirectional(p),
+        };
+        let Ok(schedule) = schedule else {
+            return outcome;
+        };
+
+        let dp_groups = world / hp.group_size;
+        let makespan = schedule.compute_end().max(schedule.sync_end());
+        if makespan > 0.0 {
+            let throughput_ub = dp_groups as f64 * schedule.group_batch / makespan;
+            if throughput_ub < best_so_far {
+                outcome.fill_skipped = true;
+                return outcome;
+            }
+        }
+
+        let bubbles = schedule.bubbles(fill_cfg.min_bubble_seconds);
+        let filler = Filler::new(db, fill_cfg.clone());
+        let fill = if self.options.bubble_filling {
+            match filler.fill(&bubbles, schedule.group_batch, hp.group_size) {
+                Ok(f) => f,
+                Err(_) => return outcome,
+            }
+        } else {
+            // Ablation: nothing filled; the frozen part is a pure tail.
+            match filler.fill(&[], schedule.group_batch, hp.group_size) {
+                Ok(f) => f,
+                Err(_) => return outcome,
+            }
+        };
+        let combined = CombinedIteration::new(&schedule, &bubbles, &fill);
+        outcome.fill_seconds = t1.elapsed().as_secs_f64();
+
+        let peak = self.peak_memory(mm, &partition, &schedule);
+        if peak > self.cluster.device_memory_bytes {
+            return outcome;
+        }
+        let throughput = combined.cluster_throughput(dp_groups);
+        outcome.plan = Some(Plan {
+            hyper: hp,
+            partition,
+            schedule,
+            bubbles,
+            fill,
+            iteration_time: combined.iteration_time(),
+            throughput,
+            bubble_ratio: combined.bubble_ratio(),
+            peak_memory_bytes: peak,
+            preprocessing: PreprocessingReport::default(),
+        });
+        outcome
+    }
+
+    /// The pre-optimisation planning loop, kept as ground truth: a
+    /// sequential walk over every configuration using the naive reference
+    /// DPs ([`Partitioner::partition_single_reference`]) with per-candidate
+    /// `ProfileDb` walks, no shared cost tables, no branch-and-bound and no
+    /// fill short-circuiting.
+    ///
+    /// [`Planner::plan`] must return a byte-identical plan; the golden
+    /// equivalence suite and `plan_bench` (which exits non-zero on any
+    /// divergence) assert exactly that, and `plan_bench` uses the runtime
+    /// ratio as the speedup headline.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanError`].
+    pub fn plan_reference(&self, global_batch: u32) -> Result<Plan, PlanError> {
+        self.model
+            .validate()
+            .map_err(|e| PlanError::InvalidModel(e.to_string()))?;
+        let backbones: Vec<_> = self.model.backbones().map(|(id, _)| id).collect();
+        if backbones.len() > 2 {
+            return Err(PlanError::TooManyBackbones(backbones.len()));
+        }
+        let profiler =
+            Profiler::new(self.device.clone()).with_world_size(self.cluster.world_size());
+        let (db, profile_report) = profiler.profile(&self.model, global_batch);
+        let min_layers = backbones
+            .iter()
+            .map(|&b| self.model.component(b).num_layers())
+            .min()
+            .expect("validated model has a backbone");
+        let configs = enumerate_configs(&self.cluster, global_batch, min_layers, &self.search)
+            .map_err(|e| PlanError::InvalidRequest(e.to_string()))?;
+
+        let mut fill_cfg = self.fill_cfg.clone();
+        fill_cfg.partial_batch = self.options.partial_batch;
+        let world = self.cluster.world_size();
+        let mm = MemoryModel::new(&self.model);
 
         let mut best: Option<Plan> = None;
         let mut partition_seconds = 0.0;
         let mut fill_seconds = 0.0;
-        let world = self.cluster.world_size();
-        let mm = MemoryModel::new(&self.model);
-
         for hp in configs {
             let Some(layout) = DataParallelLayout::new(&self.cluster, hp.group_size) else {
                 continue;
@@ -128,15 +488,14 @@ impl Planner {
                 hp.group_batch(global_batch, world),
             );
             let part = Partitioner::new(&db, &self.cluster, &layout);
-
             let t0 = Instant::now();
             let partition = if backbones.len() == 1 {
-                match part.partition_single(backbones[0], &cfg) {
+                match part.partition_single_reference(backbones[0], &cfg) {
                     Ok(p) => BackbonePartition::Single(p),
                     Err(_) => continue,
                 }
             } else {
-                match part.partition_bidirectional(backbones[0], backbones[1], &cfg) {
+                match part.partition_bidirectional_reference(backbones[0], backbones[1], &cfg) {
                     Ok(p) => BackbonePartition::Bidirectional(p),
                     Err(_) => continue,
                 }
@@ -150,7 +509,6 @@ impl Planner {
                 BackbonePartition::Bidirectional(p) => builder.build_bidirectional(p),
             };
             let Ok(schedule) = schedule else { continue };
-
             let bubbles = schedule.bubbles(fill_cfg.min_bubble_seconds);
             let filler = Filler::new(&db, fill_cfg.clone());
             let fill = if self.options.bubble_filling {
@@ -159,7 +517,6 @@ impl Planner {
                     Err(_) => continue,
                 }
             } else {
-                // Ablation: nothing filled; the frozen part is a pure tail.
                 match filler.fill(&[], schedule.group_batch, hp.group_size) {
                     Ok(f) => f,
                     Err(_) => continue,
@@ -191,7 +548,6 @@ impl Planner {
                 best = Some(plan);
             }
         }
-
         let mut plan = best.ok_or(PlanError::NoFeasibleConfig)?;
         plan.preprocessing = PreprocessingReport {
             profiling_seconds: profile_report.wall_time_seconds,
@@ -335,5 +691,68 @@ mod tests {
             .plan(64)
             .unwrap_err();
         assert!(matches!(err, PlanError::InvalidModel(_)));
+    }
+
+    #[test]
+    fn degenerate_search_space_is_invalid_request() {
+        let model = zoo::stable_diffusion_v2_1();
+        let err = Planner::new(model, ClusterSpec::single_node(8))
+            .with_search_space(SearchSpace {
+                max_stages: 0,
+                max_micro_batches: 8,
+            })
+            .plan(64)
+            .unwrap_err();
+        assert!(matches!(err, PlanError::InvalidRequest(_)), "{err:?}");
+    }
+
+    #[test]
+    fn parallel_plan_is_identical_for_any_worker_count() {
+        let model = zoo::stable_diffusion_v2_1();
+        let cluster = ClusterSpec::single_node(8);
+        let sequential = Planner::new(model.clone(), cluster.clone())
+            .plan(256)
+            .unwrap();
+        for workers in [2usize, 4, 16] {
+            let parallel = Planner::new(model.clone(), cluster.clone())
+                .with_parallelism(workers)
+                .plan(256)
+                .unwrap();
+            assert_eq!(
+                parallel.summary(),
+                sequential.summary(),
+                "workers {workers}"
+            );
+            assert_eq!(parallel.partition, sequential.partition);
+        }
+    }
+
+    #[test]
+    fn fast_plan_matches_reference_bit_for_bit() {
+        for model in [zoo::stable_diffusion_v2_1(), zoo::cdm_lsun()] {
+            let cluster = ClusterSpec::single_node(8);
+            let planner = Planner::new(model, cluster).with_parallelism(2);
+            let fast = planner.plan(128).unwrap();
+            let reference = planner.plan_reference(128).unwrap();
+            assert_eq!(fast.summary(), reference.summary());
+            assert_eq!(fast.partition, reference.partition);
+            assert_eq!(fast.fill, reference.fill);
+        }
+    }
+
+    #[test]
+    fn stats_report_search_effort() {
+        let model = zoo::stable_diffusion_v2_1();
+        let cluster = ClusterSpec::single_node(8);
+        let (plan, stats) = Planner::new(model, cluster)
+            .with_parallelism(2)
+            .plan_with_stats(256)
+            .unwrap();
+        assert!(plan.throughput > 0.0);
+        assert!(stats.configs > 0);
+        assert!(stats.feasible > 0 && stats.feasible <= stats.configs);
+        assert!(stats.dp.candidates > 0);
+        assert!(stats.dp.pruned <= stats.dp.candidates);
+        assert_eq!(stats.parallelism, 2);
     }
 }

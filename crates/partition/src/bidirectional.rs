@@ -1,13 +1,21 @@
 //! Bidirectional (two-backbone) partitioning DP (paper §4.2, Eqns. 10–16).
+//!
+//! Fast path: states live on a flat `(down_layers, up_layers)` grid per
+//! level, per-level stage terms for every layer interval of both backbones
+//! are tabulated up front from the shared [`CostPrefix`] tables, and the
+//! same branch-and-bound bound as the single-backbone DP discards
+//! candidates that cannot win. Bit-identical to
+//! [`Partitioner::partition_bidirectional_reference`].
 
 use crate::config::PartitionConfig;
+use crate::dp::{DpStats, FrontArena};
 use crate::error::PartitionError;
-use crate::pareto::ParetoFront;
 use crate::plan::{PartitionPlan, StagePlan};
 use crate::single::Partitioner;
+use crate::stage_cost::StageTerms;
 use dpipe_model::ComponentId;
+use dpipe_profile::CostPrefix;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Result of bidirectional partitioning: one plan per backbone sharing the
 /// same device chain. The *down* backbone pipelines from chain offset 0 to
@@ -29,33 +37,14 @@ pub struct BidirectionalPlan {
 /// "we reasonably enlarge the communication time by a factor of 2").
 const BIDIR_COMM_SCALE: f64 = 2.0;
 
-#[derive(Debug, Clone)]
-struct BiChoice {
-    prev_i: usize,
-    prev_j: usize,
-    prev_point: usize,
-    down_layers: std::ops::Range<usize>,
-    up_layers: std::ops::Range<usize>,
-}
-
 impl<'a> Partitioner<'a> {
-    /// Partitions two backbones for bidirectional pipelining over the same
-    /// device chain, minimising the Eqn. (12) bound with `M_CDM = 2M`
-    /// (both pipelines contribute `M` paired forward/backward slots in the
-    /// stable phase).
-    ///
-    /// Only uniform replication (`r = D / S`) is supported, matching the
-    /// paper's evaluation setting.
-    ///
-    /// # Errors
-    ///
-    /// See [`PartitionError`].
-    pub fn partition_bidirectional(
+    /// Validates a bidirectional request, returning `(L_down, L_up, r)`.
+    pub(crate) fn validate_bidirectional(
         &self,
         down: ComponentId,
         up: ComponentId,
         cfg: &PartitionConfig,
-    ) -> Result<BidirectionalPlan, PartitionError> {
+    ) -> Result<(usize, usize, usize), PartitionError> {
         let model = self.cost().db().model();
         for &c in &[down, up] {
             let comp = model
@@ -91,124 +80,232 @@ impl<'a> Partitioner<'a> {
                 devices,
             });
         }
-        let r = devices / s_total;
-        let micro = cfg.micro_batch();
-        let sc_prob = model.self_conditioning.map_or(0.0, |sc| sc.probability);
+        Ok((l_down, l_up, devices / s_total))
+    }
 
-        // State (i, j) after s stages: down layers 0..i assigned to the
-        // chain prefix, up layers (l_up - j)..l_up assigned to the same
-        // prefix (up runs in reverse, so its *last* layers sit at the chain
-        // start).
-        let mut levels: Vec<HashMap<(usize, usize), ParetoFront<BiChoice>>> =
-            Vec::with_capacity(s_total + 1);
-        let mut seed_level = HashMap::new();
-        let mut seed = ParetoFront::new();
-        seed.insert(
-            0.0,
-            0.0,
-            BiChoice {
-                prev_i: 0,
-                prev_j: 0,
-                prev_point: 0,
-                down_layers: 0..0,
-                up_layers: 0..0,
-            },
-        );
-        seed_level.insert((0usize, 0usize), seed);
-        levels.push(seed_level);
+    /// Partitions two backbones for bidirectional pipelining over the same
+    /// device chain, minimising the Eqn. (12) bound with `M_CDM = 2M`
+    /// (both pipelines contribute `M` paired forward/backward slots in the
+    /// stable phase).
+    ///
+    /// Only uniform replication (`r = D / S`) is supported, matching the
+    /// paper's evaluation setting.
+    ///
+    /// # Errors
+    ///
+    /// See [`PartitionError`].
+    pub fn partition_bidirectional(
+        &self,
+        down: ComponentId,
+        up: ComponentId,
+        cfg: &PartitionConfig,
+    ) -> Result<BidirectionalPlan, PartitionError> {
+        let (_, _, r) = self.validate_bidirectional(down, up, cfg)?;
+        let db = self.cost().db();
+        let batch = cfg.micro_batch() / r as f64;
+        let mut prefix_down = CostPrefix::new(db, down);
+        prefix_down.ensure_batch(db, batch);
+        let mut prefix_up = CostPrefix::new(db, up);
+        prefix_up.ensure_batch(db, batch);
+        let mut stats = DpStats::default();
+        self.partition_bidirectional_with(down, up, cfg, &prefix_down, &prefix_up, &mut stats)
+    }
+
+    /// [`Partitioner::partition_bidirectional`] against caller-supplied
+    /// [`CostPrefix`] tables, accumulating DP counters into `stats`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PartitionError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prefix lacks the row for `micro_batch / r` (see
+    /// [`CostPrefix::ensure_batch`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn partition_bidirectional_with(
+        &self,
+        down: ComponentId,
+        up: ComponentId,
+        cfg: &PartitionConfig,
+        prefix_down: &CostPrefix,
+        prefix_up: &CostPrefix,
+        stats: &mut DpStats,
+    ) -> Result<BidirectionalPlan, PartitionError> {
+        let (l_down, l_up, r) = self.validate_bidirectional(down, up, cfg)?;
+        let s_total = cfg.num_stages;
+        let micro = cfg.micro_batch();
+        let sc_prob = self.self_cond_prob();
+        let m_cdm = (2 * cfg.num_micro_batches) as f64;
+        let coeff = m_cdm + 2.0 * s_total as f64 - 2.0;
+
+        // Resolved cost views — one row lookup per backbone for the whole
+        // DP (uniform replication means a single local batch).
+        let batch = micro / r as f64;
+        let costs_down = prefix_down.batch_view(batch);
+        let costs_up = prefix_up.batch_view(batch);
+
+        // Per-level stage terms for every candidate interval of both
+        // backbones. `down_at(s)[i * (l_down + 1) + i2]` holds the terms of
+        // down-stage `i..i2` placed at level-`s` offsets; likewise for up
+        // with its reversed layer mapping.
+        let level_terms = |s: usize| -> (Vec<StageTerms>, Vec<StageTerms>) {
+            let link = self.cost().input_link((s - 1) * r);
+            let shape = self.cost().sync_shape((s - 1) * r..s * r);
+            let zero = StageTerms {
+                t0: 0.0,
+                sync_gap: 0.0,
+            };
+            let mut dt = vec![zero; (l_down + 1) * (l_down + 1)];
+            for i in 0..l_down {
+                for i2 in (i + 1)..=l_down {
+                    dt[i * (l_down + 1) + i2] = self.cost().stage_terms_prefixed(
+                        &costs_down,
+                        i..i2,
+                        link,
+                        sc_prob,
+                        BIDIR_COMM_SCALE,
+                        shape,
+                    );
+                }
+            }
+            let mut ut = vec![zero; (l_up + 1) * (l_up + 1)];
+            for j in 0..l_up {
+                for j2 in (j + 1)..=l_up {
+                    ut[j * (l_up + 1) + j2] = self.cost().stage_terms_prefixed(
+                        &costs_up,
+                        (l_up - j2)..(l_up - j),
+                        link,
+                        sc_prob,
+                        BIDIR_COMM_SCALE,
+                        shape,
+                    );
+                }
+            }
+            (dt, ut)
+        };
+
+        // Branch-and-bound seed from the even split of both backbones,
+        // costed directly (no per-level interval tables needed for one
+        // stage pair per level).
+        let mut bound = f64::INFINITY;
+        {
+            let mut w_h = 0.0f64;
+            let mut y_h = 0.0f64;
+            for k in 1..=s_total {
+                let link = self.cost().input_link((k - 1) * r);
+                let shape = self.cost().sync_shape((k - 1) * r..k * r);
+                let (i, i2) = ((k - 1) * l_down / s_total, k * l_down / s_total);
+                let (j, j2) = ((k - 1) * l_up / s_total, k * l_up / s_total);
+                let d = self.cost().stage_terms_prefixed(
+                    &costs_down,
+                    i..i2,
+                    link,
+                    sc_prob,
+                    BIDIR_COMM_SCALE,
+                    shape,
+                );
+                let u = self.cost().stage_terms_prefixed(
+                    &costs_up,
+                    (l_up - j2)..(l_up - j),
+                    link,
+                    sc_prob,
+                    BIDIR_COMM_SCALE,
+                    shape,
+                );
+                w_h = w_h.max(d.t0.max(u.t0));
+                y_h = y_h.max(d.sync_gap.max(u.sync_gap));
+            }
+            bound = bound.min(coeff * w_h + y_h);
+        }
+
+        let state = |i: usize, j: usize| i * (l_up + 1) + j;
+        let num_states = (l_down + 1) * (l_up + 1);
+        let final_state = state(l_down, l_up);
+        let mut levels: Vec<FrontArena> = Vec::with_capacity(s_total + 1);
+        let mut seed = FrontArena::new(num_states);
+        let seg = seed.begin_state();
+        seed.insert(seg, 0.0, 0.0, 0, 0);
+        seed.end_state(state(0, 0), seg);
+        levels.push(seed);
 
         for s in 1..=s_total {
             let left = s_total - s;
-            let mut cur: HashMap<(usize, usize), ParetoFront<BiChoice>> = HashMap::new();
+            let (dt, ut) = level_terms(s);
+            let mut cur = FrontArena::new(num_states);
             let prev = &levels[s - 1];
-            let offsets: Vec<usize> = ((s - 1) * r..s * r).collect();
-            for (&(i, j), front) in prev {
-                // Down stage: layers i..i2 pipelining toward higher offsets.
-                for i2 in (i + 1)..=(l_down - left) {
-                    let down_layers = i..i2;
-                    let down_terms = self.cost().stage_terms(
-                        down,
-                        down_layers.clone(),
-                        r,
-                        &offsets,
-                        micro,
-                        sc_prob,
-                        BIDIR_COMM_SCALE,
-                    );
-                    for j2 in (j + 1)..=(l_up - left) {
-                        // Up stage occupying the same devices holds up's
-                        // layers (l_up - j2)..(l_up - j).
-                        let up_layers = (l_up - j2)..(l_up - j);
-                        let up_terms = self.cost().stage_terms(
-                            up,
-                            up_layers.clone(),
-                            r,
-                            &offsets,
-                            micro,
-                            sc_prob,
-                            BIDIR_COMM_SCALE,
-                        );
-                        let t0 = down_terms.t0.max(up_terms.t0);
-                        let gap = down_terms.sync_gap.max(up_terms.sync_gap);
-                        for (pi, &(w, y, _)) in front.points().iter().enumerate() {
-                            cur.entry((i2, j2)).or_default().insert(
-                                w.max(t0),
-                                y.max(gap),
-                                BiChoice {
-                                    prev_i: i,
-                                    prev_j: j,
-                                    prev_point: pi,
-                                    down_layers: down_layers.clone(),
-                                    up_layers: up_layers.clone(),
-                                },
-                            );
+            for i2 in s..=(l_down - left) {
+                for j2 in s..=(l_up - left) {
+                    let dest = state(i2, j2);
+                    let seg = cur.begin_state();
+                    for i in (s - 1)..i2 {
+                        let d_terms = dt[i * (l_down + 1) + i2];
+                        for j in (s - 1)..j2 {
+                            let front = prev.front(state(i, j));
+                            if front.is_empty() {
+                                continue;
+                            }
+                            let u_terms = ut[j * (l_up + 1) + j2];
+                            let t0 = d_terms.t0.max(u_terms.t0);
+                            let gap = d_terms.sync_gap.max(u_terms.sync_gap);
+                            for (pi, p) in front.iter().enumerate() {
+                                stats.candidates += 1;
+                                let nw = p.w.max(t0);
+                                let ny = p.y.max(gap);
+                                let cost = coeff * nw + ny;
+                                if cost > bound {
+                                    stats.pruned += 1;
+                                    continue;
+                                }
+                                if dest == final_state && s == s_total {
+                                    bound = bound.min(cost);
+                                }
+                                cur.insert(seg, nw, ny, state(i, j) as u32, pi as u32);
+                            }
                         }
                     }
+                    cur.end_state(dest, seg);
                 }
             }
             levels.push(cur);
         }
 
-        let final_front = levels[s_total]
-            .get(&(l_down, l_up))
-            .filter(|f| !f.is_empty())
-            .ok_or(PartitionError::TooManyStages {
-                stages: s_total,
-                layers: l_down.min(l_up),
-            })?;
-        // M_CDM: paired forward/backward slots from both pipelines.
-        let m_cdm = (2 * cfg.num_micro_batches) as f64;
-        let coeff = m_cdm + 2.0 * s_total as f64 - 2.0;
-        let &(w, y, _) = final_front.best(coeff).expect("front non-empty");
-        let best_idx = final_front
-            .points()
-            .iter()
-            .position(|&(pw, py, _)| pw == w && py == y)
-            .expect("best point present");
+        let best_idx =
+            levels[s_total]
+                .best(final_state, coeff)
+                .ok_or(PartitionError::TooManyStages {
+                    stages: s_total,
+                    layers: l_down.min(l_up),
+                })?;
+        let best_point = levels[s_total].front(final_state)[best_idx];
+        let (w, y) = (best_point.w, best_point.y);
 
-        // Backtrack.
+        // Parent-pointer backtrack; stage geometry is recovered from the
+        // state-index deltas, up's layers through its reversed mapping.
         let mut down_stages: Vec<StagePlan> = Vec::new();
         let mut up_stages_chain: Vec<StagePlan> = Vec::new();
-        let mut key = (l_down, l_up);
+        let mut cur_state = final_state;
         let mut point = best_idx;
         for s in (1..=s_total).rev() {
-            let front = &levels[s][&key];
-            let (_, _, choice) = &front.points()[point];
+            let p = levels[s].front(cur_state)[point];
+            let (i2, j2) = (cur_state / (l_up + 1), cur_state % (l_up + 1));
+            let prev_state = p.prev_state as usize;
+            let (i, j) = (prev_state / (l_up + 1), prev_state % (l_up + 1));
             let offsets: Vec<usize> = ((s - 1) * r..s * r).collect();
             down_stages.push(StagePlan {
                 component: down,
-                layers: choice.down_layers.clone(),
+                layers: i..i2,
                 replication: r,
                 device_offsets: offsets.clone(),
             });
             up_stages_chain.push(StagePlan {
                 component: up,
-                layers: choice.up_layers.clone(),
+                layers: (l_up - j2)..(l_up - j),
                 replication: r,
                 device_offsets: offsets,
             });
-            key = (choice.prev_i, choice.prev_j);
-            point = choice.prev_point;
+            cur_state = prev_state;
+            point = p.prev_point as usize;
         }
         down_stages.reverse();
         // up_stages_chain is currently in chain order from the deep end to
@@ -332,5 +429,21 @@ mod tests {
         let solo0 = p.partition_single(b0, &cfg).unwrap();
         let solo1 = p.partition_single(b1, &cfg).unwrap();
         assert!(bi.t_max < solo0.t_max + solo1.t_max);
+    }
+
+    #[test]
+    fn matches_reference_bit_for_bit() {
+        let (db, cluster) = setup();
+        let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+        let p = Partitioner::new(&db, &cluster, &layout);
+        let mut bbs = db.model().backbones().map(|(id, _)| id);
+        let b0 = bbs.next().unwrap();
+        let b1 = bbs.next().unwrap();
+        for (s, m) in [(1usize, 2usize), (2, 1), (4, 4), (8, 2)] {
+            let cfg = PartitionConfig::new(s, m, 128.0);
+            let fast = p.partition_bidirectional(b0, b1, &cfg).unwrap();
+            let reference = p.partition_bidirectional_reference(b0, b1, &cfg).unwrap();
+            assert_eq!(fast, reference, "S={s} M={m}");
+        }
     }
 }

@@ -18,6 +18,39 @@
 //! `(W, Y)` pairs per state instead of a single scalar, guaranteeing the
 //! optimum of Eqn. (2) is never pruned.
 //!
+//! # Fast-path layout (parent-pointer DP)
+//!
+//! The production DPs are engineered around three ideas; the naive
+//! originals are preserved verbatim as
+//! [`Partitioner::partition_single_reference`] /
+//! [`Partitioner::partition_bidirectional_reference`] and the equivalence
+//! is asserted bit-for-bit by the golden suite:
+//!
+//! * **O(1) cost queries.** All interval sums (forward/backward time,
+//!   gradient bytes, boundary activation bytes) are answered from a
+//!   precomputed [`dpipe_profile::CostPrefix`] whose triangular tables
+//!   reproduce the naive left-to-right summation exactly, so the fast path
+//!   rounds identically. Gradient-sync all-reduce costs use a cached
+//!   [`SyncShape`] (device count + machines spanned) instead of
+//!   materialising device lists.
+//! * **Parent pointers instead of payload clones.** A DP state is a cell
+//!   on a flat grid — `(layers_used, devices_used)` for the single DP,
+//!   `(down_layers, up_layers)` for the bidirectional one — and each
+//!   Pareto point stores only `(W, Y, prev_state, prev_point)` (32 bytes,
+//!   `Copy`). Fronts are contiguous spans in one arena per level, built
+//!   destination-major so construction never interleaves. Backtracking
+//!   reconstructs every stage's layer range, replication and device
+//!   offsets purely from state-index deltas; nothing is cloned per
+//!   candidate.
+//! * **Branch-and-bound pruning.** Before the DP runs, an even
+//!   layer/device split is costed as a complete feasible solution; any
+//!   candidate whose partial `coeff·W + Y` already exceeds that bound (or
+//!   the tightened bound once complete solutions appear) is discarded.
+//!   Because `W` and `Y` only grow along a chain and the final selection
+//!   minimises exactly `coeff·W + Y`, pruning provably never changes the
+//!   selected partition — a property the test-suite asserts against the
+//!   unpruned reference. [`DpStats`] reports candidate and prune counts.
+//!
 //! # Example
 //!
 //! ```
@@ -40,18 +73,21 @@
 
 mod bidirectional;
 mod config;
+mod dp;
 mod error;
 mod pareto;
 mod plan;
+mod reference;
 mod search;
 mod single;
 mod stage_cost;
 
 pub use bidirectional::BidirectionalPlan;
 pub use config::PartitionConfig;
+pub use dp::DpStats;
 pub use error::PartitionError;
 pub use pareto::ParetoFront;
 pub use plan::{PartitionPlan, StagePlan};
-pub use search::{enumerate_configs, HyperParams, SearchSpace};
+pub use search::{enumerate_configs, HyperParams, SearchSpace, SearchSpaceError};
 pub use single::Partitioner;
-pub use stage_cost::StageCost;
+pub use stage_cost::{StageCost, StageTerms, SyncShape};

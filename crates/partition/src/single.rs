@@ -1,25 +1,23 @@
 //! Single-backbone partitioning DP (paper §4.1, Eqns. 2–9).
+//!
+//! This is the allocation-free fast path: states live on a flat
+//! `(layers_used, devices_used)` grid per level, Pareto fronts are
+//! contiguous spans in a per-level arena ([`crate::dp`]), and every cost
+//! query is answered in O(1) from a [`CostPrefix`]. A branch-and-bound
+//! upper bound — seeded by an even-split heuristic solution and tightened
+//! as complete solutions appear — discards candidates that provably cannot
+//! win. The output is bit-identical to the naive reference implementation
+//! in [`crate::reference`]; see the crate docs for the layout and the
+//! equivalence argument.
 
 use crate::config::PartitionConfig;
+use crate::dp::{DpStats, FrontArena};
 use crate::error::PartitionError;
-use crate::pareto::ParetoFront;
 use crate::plan::{PartitionPlan, StagePlan};
-use crate::stage_cost::StageCost;
-use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use crate::stage_cost::{StageCost, SyncShape};
+use dpipe_cluster::{ClusterSpec, DataParallelLayout, LinkParams};
 use dpipe_model::ComponentId;
-use dpipe_profile::ProfileDb;
-use std::collections::HashMap;
-
-/// A DP back-pointer: which stage was appended and which predecessor state
-/// (and Pareto point) it extended.
-#[derive(Debug, Clone)]
-struct Choice {
-    prev_l: usize,
-    prev_d: usize,
-    prev_point: usize,
-    layers: std::ops::Range<usize>,
-    replication: usize,
-}
+use dpipe_profile::{BatchCosts, CostPrefix, ProfileDb};
 
 /// The unified backbone partitioner.
 ///
@@ -48,7 +46,7 @@ impl<'a> Partitioner<'a> {
         &self.cost
     }
 
-    fn self_cond_prob(&self) -> f64 {
+    pub(crate) fn self_cond_prob(&self) -> f64 {
         self.cost
             .db()
             .model()
@@ -57,7 +55,7 @@ impl<'a> Partitioner<'a> {
     }
 
     /// Validates a request, returning `(L, D)`.
-    fn validate(
+    pub(crate) fn validate(
         &self,
         backbone: ComponentId,
         cfg: &PartitionConfig,
@@ -96,6 +94,30 @@ impl<'a> Partitioner<'a> {
         Ok((layers, devices))
     }
 
+    /// Builds a [`CostPrefix`] covering every local batch this config's DP
+    /// can query: `micro / r` for the single uniform replication, or for
+    /// every feasible `r` when non-uniform replication is allowed. Callers
+    /// of [`Partitioner::partition_single_with`] can build one per
+    /// backbone and reuse it across configurations that share batch rows.
+    pub fn build_prefix(&self, backbone: ComponentId, cfg: &PartitionConfig) -> CostPrefix {
+        let db = self.cost.db();
+        let mut prefix = CostPrefix::new(db, backbone);
+        let micro = cfg.micro_batch();
+        let devices = self.cost.layout().group_size;
+        if cfg.force_uniform {
+            let r = devices / cfg.num_stages.max(1);
+            if r > 0 {
+                prefix.ensure_batch(db, micro / r as f64);
+            }
+        } else {
+            let max_r = devices.saturating_sub(cfg.num_stages.saturating_sub(1));
+            for r in 1..=max_r {
+                prefix.ensure_batch(db, micro / r as f64);
+            }
+        }
+        prefix
+    }
+
     /// Optimally partitions `backbone` into `cfg.num_stages` stages over the
     /// pipeline group, minimising the Eqn. (1) upper bound (with the
     /// self-conditioning expectation of §4.3 when the model enables it).
@@ -108,122 +130,202 @@ impl<'a> Partitioner<'a> {
         backbone: ComponentId,
         cfg: &PartitionConfig,
     ) -> Result<PartitionPlan, PartitionError> {
+        self.validate(backbone, cfg)?;
+        let prefix = self.build_prefix(backbone, cfg);
+        let mut stats = DpStats::default();
+        self.partition_single_with(backbone, cfg, &prefix, &mut stats)
+    }
+
+    /// [`Partitioner::partition_single`] against a caller-supplied
+    /// [`CostPrefix`] (shared across the configs of one planning call),
+    /// accumulating DP counters into `stats`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PartitionError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` lacks a row for a local batch the DP queries; use
+    /// [`CostPrefix::ensure_batch`] (or go through
+    /// [`Partitioner::partition_single`], which prepares its own table).
+    pub fn partition_single_with(
+        &self,
+        backbone: ComponentId,
+        cfg: &PartitionConfig,
+        prefix: &CostPrefix,
+        stats: &mut DpStats,
+    ) -> Result<PartitionPlan, PartitionError> {
         let (num_layers, num_devices) = self.validate(backbone, cfg)?;
         let s_total = cfg.num_stages;
         let micro = cfg.micro_batch();
         let sc_prob = self.self_cond_prob();
+        let coeff = cfg.critical_path_factor();
 
-        // levels[s] maps (layers_used, devices_used) -> Pareto front.
-        let mut levels: Vec<HashMap<(usize, usize), ParetoFront<Choice>>> =
-            Vec::with_capacity(s_total + 1);
-        let mut level0 = HashMap::new();
-        let mut seed = ParetoFront::new();
-        seed.insert(
-            0.0,
-            0.0,
-            Choice {
-                prev_l: 0,
-                prev_d: 0,
-                prev_point: 0,
-                layers: 0..0,
-                replication: 0,
-            },
-        );
-        level0.insert((0usize, 0usize), seed);
-        levels.push(level0);
+        // Per-offset input links, per-replication resolved cost views, and
+        // lazily-filled sync shapes for every contiguous device range, so
+        // the inner loop never rebuilds (or re-looks-up) any of them.
+        let links: Vec<Option<LinkParams>> =
+            (0..num_devices).map(|o| self.cost.input_link(o)).collect();
+        let mut views: Vec<Option<BatchCosts<'_>>> = vec![None; num_devices + 1];
+        if cfg.force_uniform {
+            let r = num_devices / s_total;
+            views[r] = Some(prefix.batch_view(micro / r as f64));
+        } else {
+            let max_r = num_devices - (s_total - 1);
+            for (r, view) in views.iter_mut().enumerate().take(max_r + 1).skip(1) {
+                *view = Some(prefix.batch_view(micro / r as f64));
+            }
+        }
+        let view_for =
+            |r: usize| -> &BatchCosts<'_> { views[r].as_ref().expect("replication view present") };
+        let mut shapes: Vec<Option<SyncShape>> = vec![None; (num_devices + 1) * (num_devices + 1)];
+        let mut shape_for = |cost: &StageCost<'a>, d: usize, d2: usize| -> SyncShape {
+            let idx = d * (num_devices + 1) + d2;
+            *shapes[idx].get_or_insert_with(|| cost.sync_shape(d..d2))
+        };
 
+        // Branch-and-bound seed: the even layer/device split is a complete
+        // feasible solution, so `coeff * W + Y` of any winning candidate
+        // can never exceed its cost.
+        let mut bound = f64::INFINITY;
+        {
+            let mut w_h = 0.0f64;
+            let mut y_h = 0.0f64;
+            for k in 1..=s_total {
+                let (l, l2) = ((k - 1) * num_layers / s_total, k * num_layers / s_total);
+                let (d, d2) = ((k - 1) * num_devices / s_total, k * num_devices / s_total);
+                let shape = shape_for(&self.cost, d, d2);
+                let terms = self.cost.stage_terms_prefixed(
+                    view_for(d2 - d),
+                    l..l2,
+                    links[d],
+                    sc_prob,
+                    1.0,
+                    shape,
+                );
+                w_h = w_h.max(terms.t0);
+                y_h = y_h.max(terms.sync_gap);
+            }
+            bound = bound.min(coeff * w_h + y_h);
+        }
+
+        // DP over (layers_used, devices_used) states, dest-major so each
+        // front is a contiguous arena span. Candidates for one destination
+        // arrive in (prev_l, prev_d, point) order — the canonical order the
+        // reference implementation replicates.
+        let state = |l: usize, d: usize| l * (num_devices + 1) + d;
+        let num_states = (num_layers + 1) * (num_devices + 1);
+        let mut levels: Vec<FrontArena> = Vec::with_capacity(s_total + 1);
+        let mut seed = FrontArena::new(num_states);
+        let seg = seed.begin_state();
+        seed.insert(seg, 0.0, 0.0, 0, 0);
+        seed.end_state(state(0, 0), seg);
+        levels.push(seed);
+
+        let uniform_r = num_devices / s_total;
+        let final_state = state(num_layers, num_devices);
         for s in 1..=s_total {
-            let stages_left_after = s_total - s;
-            let mut cur: HashMap<(usize, usize), ParetoFront<Choice>> = HashMap::new();
+            let stages_left = s_total - s;
+            let mut cur = FrontArena::new(num_states);
             let prev = &levels[s - 1];
-            for (&(l, d), front) in prev {
-                let reps: Vec<usize> = if cfg.force_uniform {
-                    vec![num_devices / s_total]
+            for l2 in s..=(num_layers - stages_left) {
+                // Destination device counts: forced to s * r when uniform,
+                // otherwise anything leaving >= 1 device per later stage
+                // (and exactly `num_devices` for the last stage).
+                let d2_range = if cfg.force_uniform {
+                    (s * uniform_r)..=(s * uniform_r)
+                } else if stages_left > 0 {
+                    s..=(num_devices - stages_left)
                 } else {
-                    (1..=num_devices - d).collect()
+                    num_devices..=num_devices
                 };
-                for r in reps {
-                    let d2 = d + r;
-                    if d2 > num_devices {
-                        continue;
-                    }
-                    // Remaining stages each need >= 1 device (uniform:
-                    // exactly r each), and the final stage must land on
-                    // exactly num_devices.
-                    let dev_ok = if cfg.force_uniform {
-                        d2 + stages_left_after * r == num_devices
+                for d2 in d2_range {
+                    let dest = state(l2, d2);
+                    let seg = cur.begin_state();
+                    let l_min = s - 1;
+                    let d_lo = if cfg.force_uniform {
+                        (s - 1) * uniform_r
                     } else {
-                        num_devices - d2 >= stages_left_after
-                            && (stages_left_after > 0 || d2 == num_devices)
+                        s - 1
                     };
-                    if !dev_ok {
-                        continue;
-                    }
-                    // Layer split: leave >= 1 layer per remaining stage.
-                    let max_l2 = num_layers - stages_left_after;
-                    for l2 in (l + 1)..=max_l2 {
-                        let layers = l..l2;
-                        let offsets: Vec<usize> = (d..d2).collect();
-                        let terms = self.cost.stage_terms(
-                            backbone,
-                            layers.clone(),
-                            r,
-                            &offsets,
-                            micro,
-                            sc_prob,
-                            1.0,
-                        );
-                        for (pi, &(w, y, _)) in front.points().iter().enumerate() {
-                            let nw = w.max(terms.t0);
-                            let ny = y.max(terms.sync_gap);
-                            cur.entry((l2, d2)).or_default().insert(
-                                nw,
-                                ny,
-                                Choice {
-                                    prev_l: l,
-                                    prev_d: d,
-                                    prev_point: pi,
-                                    layers: layers.clone(),
-                                    replication: r,
-                                },
+                    let d_hi = if cfg.force_uniform {
+                        (s - 1) * uniform_r
+                    } else {
+                        d2 - 1
+                    };
+                    for l in l_min..l2 {
+                        // `d` is a state coordinate (also the replication
+                        // delta and link index), not a mere slice cursor.
+                        #[allow(clippy::needless_range_loop)]
+                        for d in d_lo..=d_hi {
+                            let front = prev.front(state(l, d));
+                            if front.is_empty() {
+                                continue;
+                            }
+                            let r = d2 - d;
+                            let shape = shape_for(&self.cost, d, d2);
+                            let terms = self.cost.stage_terms_prefixed(
+                                view_for(r),
+                                l..l2,
+                                links[d],
+                                sc_prob,
+                                1.0,
+                                shape,
                             );
+                            for (pi, p) in front.iter().enumerate() {
+                                stats.candidates += 1;
+                                let nw = p.w.max(terms.t0);
+                                let ny = p.y.max(terms.sync_gap);
+                                let cost = coeff * nw + ny;
+                                if cost > bound {
+                                    stats.pruned += 1;
+                                    continue;
+                                }
+                                if dest == final_state && s == s_total {
+                                    bound = bound.min(cost);
+                                }
+                                cur.insert(seg, nw, ny, state(l, d) as u32, pi as u32);
+                            }
                         }
                     }
+                    cur.end_state(dest, seg);
                 }
             }
             levels.push(cur);
         }
 
-        let final_front = levels[s_total]
-            .get(&(num_layers, num_devices))
-            .filter(|f| !f.is_empty())
-            .ok_or(PartitionError::TooManyStages {
-                stages: s_total,
-                layers: num_layers,
-            })?;
-        let coeff = cfg.critical_path_factor();
-        let &(w, y, _) = final_front.best(coeff).expect("front non-empty");
-        let best_idx = final_front
-            .points()
-            .iter()
-            .position(|&(pw, py, _)| pw == w && py == y)
-            .expect("best point present");
+        let best_idx =
+            levels[s_total]
+                .best(final_state, coeff)
+                .ok_or(PartitionError::TooManyStages {
+                    stages: s_total,
+                    layers: num_layers,
+                })?;
+        let best_point = levels[s_total].front(final_state)[best_idx];
+        let (w, y) = (best_point.w, best_point.y);
 
-        // Backtrack.
+        // Parent-pointer backtrack: each stage's layer range, replication
+        // and device offsets are recovered from the state-index deltas.
         let mut stages_rev: Vec<StagePlan> = Vec::with_capacity(s_total);
-        let mut key = (num_layers, num_devices);
+        let mut cur_state = final_state;
         let mut point = best_idx;
         for s in (1..=s_total).rev() {
-            let front = &levels[s][&key];
-            let (_, _, choice) = &front.points()[point];
+            let p = levels[s].front(cur_state)[point];
+            let (l2, d2) = (cur_state / (num_devices + 1), cur_state % (num_devices + 1));
+            let prev_state = p.prev_state as usize;
+            let (l, d) = (
+                prev_state / (num_devices + 1),
+                prev_state % (num_devices + 1),
+            );
             stages_rev.push(StagePlan {
                 component: backbone,
-                layers: choice.layers.clone(),
-                replication: choice.replication,
-                device_offsets: (choice.prev_d..choice.prev_d + choice.replication).collect(),
+                layers: l..l2,
+                replication: d2 - d,
+                device_offsets: (d..d2).collect(),
             });
-            key = (choice.prev_l, choice.prev_d);
-            point = choice.prev_point;
+            cur_state = prev_state;
+            point = p.prev_point as usize;
         }
         stages_rev.reverse();
 
@@ -412,5 +514,47 @@ mod tests {
         assert_eq!(plan.devices_used(), 3);
         let reps: Vec<usize> = plan.stages.iter().map(|s| s.replication).collect();
         assert_eq!(reps.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn matches_reference_bit_for_bit() {
+        let f = fixture(zoo::stable_diffusion_v2_1(), 8, 64);
+        let layout = DataParallelLayout::new(&f.cluster, 8).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        let bb = backbone(&f.db);
+        for (s, m) in [(1usize, 1usize), (2, 4), (4, 2), (8, 8)] {
+            let cfg = PartitionConfig::new(s, m, 64.0);
+            let fast = p.partition_single(bb, &cfg).unwrap();
+            let reference = p.partition_single_reference(bb, &cfg).unwrap();
+            assert_eq!(fast, reference, "uniform S={s} M={m}");
+        }
+        // Non-uniform replication exercises the full (l, d) grid.
+        let f3 = fixture(zoo::synthetic_model(9, 10.0, &[1.0], false), 5, 20);
+        let layout3 = DataParallelLayout::new(&f3.cluster, 5).unwrap();
+        let p3 = Partitioner::new(&f3.db, &f3.cluster, &layout3);
+        let bb3 = backbone(&f3.db);
+        for s in [1usize, 2, 3, 4] {
+            let cfg = PartitionConfig::new(s, 2, 20.0).with_nonuniform();
+            let fast = p3.partition_single(bb3, &cfg).unwrap();
+            let reference = p3.partition_single_reference(bb3, &cfg).unwrap();
+            assert_eq!(fast, reference, "nonuniform S={s}");
+        }
+    }
+
+    #[test]
+    fn stats_count_candidates_and_prunes() {
+        let f = fixture(zoo::stable_diffusion_v2_1(), 8, 64);
+        let layout = DataParallelLayout::new(&f.cluster, 8).unwrap();
+        let p = Partitioner::new(&f.db, &f.cluster, &layout);
+        let bb = backbone(&f.db);
+        let cfg = PartitionConfig::new(4, 4, 64.0);
+        let prefix = p.build_prefix(bb, &cfg);
+        let mut stats = DpStats::default();
+        let plan = p
+            .partition_single_with(bb, &cfg, &prefix, &mut stats)
+            .unwrap();
+        assert!(plan.covers(28));
+        assert!(stats.candidates > 0);
+        assert!(stats.pruned <= stats.candidates);
     }
 }

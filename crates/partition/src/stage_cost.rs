@@ -2,8 +2,19 @@
 
 use dpipe_cluster::{ClusterSpec, CommModel, DataParallelLayout, DeviceId, LinkParams};
 use dpipe_model::ComponentId;
-use dpipe_profile::ProfileDb;
+use dpipe_profile::{BatchCosts, ProfileDb};
 use std::ops::Range;
+
+/// The *shape* of a stage's gradient-sync group — device count and machines
+/// spanned — which fully determines the all-reduce cost model for any byte
+/// volume. Precomputed once per candidate device range by the DP hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncShape {
+    /// Devices all-reducing together (replicas × pipeline groups).
+    pub group: usize,
+    /// Machines those devices span.
+    pub nodes: usize,
+}
 
 /// Evaluates the paper's per-stage cost equations for candidate stages.
 #[derive(Debug)]
@@ -220,6 +231,68 @@ impl<'a> StageCost<'a> {
         StageTerms {
             t0,
             sync_gap: (ts - tc).max(0.0),
+        }
+    }
+
+    /// The sync-group shape for a stage occupying the contiguous chain
+    /// offsets `device_offsets` (replicated across every pipeline group).
+    pub fn sync_shape(&self, device_offsets: Range<usize>) -> SyncShape {
+        let offsets: Vec<usize> = device_offsets.collect();
+        let devs = self.sync_devices(&offsets);
+        SyncShape {
+            group: devs.len(),
+            nodes: self.cluster.machines_spanned(&devs),
+        }
+    }
+
+    /// [`StageCost::stage_terms`] answered in O(1) from a resolved
+    /// [`BatchCosts`] view (obtain one with
+    /// [`dpipe_profile::CostPrefix::batch_view`] at batch
+    /// `micro_batch / replication`), bit-identical to the naive
+    /// evaluation: every sub-expression mirrors the corresponding naive
+    /// method, with interval sums taken from the prefix table (which
+    /// reproduces `ProfileDb`'s left-to-right folds exactly) and the
+    /// all-reduce answered via the cached [`SyncShape`].
+    pub fn stage_terms_prefixed(
+        &self,
+        costs: &BatchCosts<'_>,
+        layers: Range<usize>,
+        link: Option<LinkParams>,
+        sc_prob: f64,
+        comm_scale: f64,
+        shape: SyncShape,
+    ) -> StageTerms {
+        let fwd = costs.fwd_range(&layers);
+        let bwd = costs.bwd_range(&layers);
+        // Mirrors `comm_time`: zero without an input link, else the α–β
+        // transfer of the boundary activation placed after `layers.start-1`.
+        let comm = |self_cond: bool| -> f64 {
+            let Some(link) = link else { return 0.0 };
+            let bytes = costs.boundary_bytes(layers.start.saturating_sub(1));
+            let (vol, lats) = if self_cond {
+                (3.0 * bytes as f64, 3.0)
+            } else {
+                (2.0 * bytes as f64, 2.0)
+            };
+            comm_scale * vol / link.bandwidth + lats * link.latency
+        };
+        // Mirrors `t0` (Eqn. 3) and its Eqn.-17 self-conditioning variant.
+        let t0_plain = (fwd + bwd).max(comm(false));
+        let t0 = if sc_prob > 0.0 {
+            let t0_sc = (2.0 * fwd + bwd).max(comm(true));
+            sc_prob * t0_sc + (1.0 - sc_prob) * t0_plain
+        } else {
+            t0_plain
+        };
+        // Mirrors `sync_time` (Eqn. 4) and `compensation_time` (Eqn. 5).
+        let ts = self.comm.allreduce_time_shape(
+            costs.grad_bytes_range(&layers),
+            shape.group,
+            shape.nodes,
+        );
+        StageTerms {
+            t0,
+            sync_gap: (ts - bwd).max(0.0),
         }
     }
 

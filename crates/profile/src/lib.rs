@@ -29,10 +29,12 @@
 
 mod db;
 mod device;
+mod prefix;
 mod profiler;
 mod records;
 
 pub use db::{NoiseConfig, ProfileDb};
 pub use device::DeviceModel;
+pub use prefix::{BatchCosts, CostPrefix};
 pub use profiler::{ProfileRecord, Profiler, ProfilingReport};
 pub use records::{LayerSamples, RecordTable};

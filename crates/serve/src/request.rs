@@ -84,6 +84,19 @@ impl PlanRequest {
     /// [`PlanError::InvalidRequest`] instead of reaching the planner's
     /// internal assertions, so serving layers never panic on caller input.
     pub fn plan(&self) -> Result<Plan, PlanError> {
+        self.plan_with_parallelism(1)
+    }
+
+    /// [`PlanRequest::plan`] with the planner's per-configuration search
+    /// fanned across `workers` threads. The plan is identical for any
+    /// worker count ([`Planner::with_parallelism`]), so parallelism is a
+    /// service-side sizing knob and deliberately *not* part of the
+    /// request's fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanError`].
+    pub fn plan_with_parallelism(&self, workers: usize) -> Result<Plan, PlanError> {
         if self.cluster.world_size() == 0 {
             return Err(PlanError::InvalidRequest(
                 "cluster has no devices".to_owned(),
@@ -97,6 +110,7 @@ impl PlanRequest {
         Planner::new(self.model.clone(), self.cluster.clone())
             .with_options(self.options)
             .with_search_space(self.search)
+            .with_parallelism(workers)
             .plan(self.global_batch)
     }
 }

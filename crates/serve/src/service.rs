@@ -26,6 +26,13 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Shards in the plan cache (minimum 1).
     pub cache_shards: usize,
+    /// Threads each worker fans one plan's per-config search across
+    /// (`Planner::with_parallelism`). The default of 1 keeps batch
+    /// throughput maximal — parallelism across requests beats parallelism
+    /// within one. [`PlanService::plan_one`] overrides this with the pool
+    /// width, since a single request would otherwise leave every other
+    /// worker idle.
+    pub plan_parallelism: usize,
 }
 
 impl Default for ServiceConfig {
@@ -35,6 +42,7 @@ impl Default for ServiceConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             cache_shards: 16,
+            plan_parallelism: 1,
         }
     }
 }
@@ -68,6 +76,9 @@ pub struct PlanResponse {
 struct Job {
     index: usize,
     request: PlanRequest,
+    /// Intra-plan search threads for this job (see
+    /// [`ServiceConfig::plan_parallelism`]).
+    parallelism: usize,
     reply: Sender<PlanResponse>,
 }
 
@@ -89,6 +100,7 @@ pub struct PlanService {
     queue: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     cache: Arc<ShardedCache<PlanOutcome>>,
+    plan_parallelism: usize,
 }
 
 impl PlanService {
@@ -110,9 +122,10 @@ impl PlanService {
                             // Contain any unexpected planner panic: a dead
                             // worker would silently shrink the pool and
                             // panic the batch caller waiting on the reply.
+                            let parallelism = job.parallelism;
                             let (outcome, cache_hit) = cache.get_or_compute(fingerprint, || {
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    request.plan().map(Arc::new)
+                                    request.plan_with_parallelism(parallelism).map(Arc::new)
                                 }))
                                 .unwrap_or_else(|payload| {
                                     Err(PlanError::InvalidRequest(format!(
@@ -139,6 +152,7 @@ impl PlanService {
             queue: Some(tx),
             workers,
             cache,
+            plan_parallelism: config.plan_parallelism.max(1),
         }
     }
 
@@ -148,11 +162,19 @@ impl PlanService {
     }
 
     /// Enqueues one request; its [`PlanResponse`] (tagged `index`) is sent
-    /// on `reply` when a worker finishes it.
-    pub fn submit(&self, index: usize, request: PlanRequest, reply: Sender<PlanResponse>) {
+    /// on `reply` when a worker finishes it. `parallelism` sizes the
+    /// planner's intra-plan config search for this job.
+    pub fn submit(
+        &self,
+        index: usize,
+        request: PlanRequest,
+        parallelism: usize,
+        reply: Sender<PlanResponse>,
+    ) {
         let job = Job {
             index,
             request,
+            parallelism: parallelism.max(1),
             reply,
         };
         self.queue
@@ -165,10 +187,18 @@ impl PlanService {
     /// Plans a batch of requests across the pool, blocking until all are
     /// done. Responses come back in submission order.
     pub fn plan_batch(&self, requests: Vec<PlanRequest>) -> Vec<PlanResponse> {
+        self.plan_batch_inner(requests, self.plan_parallelism)
+    }
+
+    fn plan_batch_inner(
+        &self,
+        requests: Vec<PlanRequest>,
+        parallelism: usize,
+    ) -> Vec<PlanResponse> {
         let (tx, rx) = channel::unbounded();
         let n = requests.len();
         for (index, request) in requests.into_iter().enumerate() {
-            self.submit(index, request, tx.clone());
+            self.submit(index, request, parallelism, tx.clone());
         }
         drop(tx);
         let mut responses: Vec<PlanResponse> = (0..n)
@@ -178,11 +208,18 @@ impl PlanService {
         responses
     }
 
-    /// Plans one request, blocking until done.
+    /// Plans one request, blocking until done. A single request would
+    /// leave the rest of the pool idle, so its config search fans across
+    /// as many threads as the pool has workers — `dpipe plan` saturates
+    /// cores even for one request, and (by planner determinism) returns
+    /// exactly the plan a sequential search would.
     pub fn plan_one(&self, request: PlanRequest) -> PlanResponse {
-        self.plan_batch(vec![request])
-            .pop()
-            .expect("one request yields one response")
+        self.plan_batch_inner(
+            vec![request],
+            self.worker_count().max(self.plan_parallelism),
+        )
+        .pop()
+        .expect("one request yields one response")
     }
 
     /// Current plan-cache counters.
@@ -229,6 +266,7 @@ mod tests {
         let service = PlanService::new(ServiceConfig {
             workers: 2,
             cache_shards: 4,
+            ..ServiceConfig::default()
         });
         let response = service.plan_one(request(64));
         assert!(!response.cache_hit);
@@ -242,6 +280,7 @@ mod tests {
         let service = PlanService::new(ServiceConfig {
             workers: 2,
             cache_shards: 4,
+            ..ServiceConfig::default()
         });
         let batches = [96u32, 64, 128, 64];
         let responses = service.plan_batch(batches.iter().map(|&b| request(b)).collect());
@@ -261,6 +300,7 @@ mod tests {
         let service = PlanService::new(ServiceConfig {
             workers: 1,
             cache_shards: 1,
+            ..ServiceConfig::default()
         });
         let mut bad = request(64);
         bad.model.components.retain(|c| !c.is_trainable());
@@ -277,6 +317,7 @@ mod tests {
         let service = PlanService::new(ServiceConfig {
             workers: 4,
             cache_shards: 4,
+            ..ServiceConfig::default()
         });
         drop(service); // must not hang
     }

@@ -336,6 +336,7 @@ mod tests {
         let service = PlanService::new(ServiceConfig {
             workers: 2,
             cache_shards: 8,
+            ..ServiceConfig::default()
         });
         let report = grid.run(&service);
         assert_eq!(report.points.len(), 4);

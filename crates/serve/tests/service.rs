@@ -20,6 +20,7 @@ fn cache_hit_plans_are_byte_identical_to_cold_plans() {
     let service = PlanService::new(ServiceConfig {
         workers: 2,
         cache_shards: 8,
+        ..ServiceConfig::default()
     });
     let cold = service.plan_one(sd_request(128));
     let warm = service.plan_one(sd_request(128));
@@ -49,6 +50,7 @@ fn identical_requests_in_one_batch_plan_once() {
     let service = PlanService::new(ServiceConfig {
         workers: 4,
         cache_shards: 8,
+        ..ServiceConfig::default()
     });
     let responses = service.plan_batch(vec![sd_request(96); 8]);
     assert_eq!(responses.len(), 8);
@@ -68,6 +70,7 @@ fn cached_lookup_resolves_to_the_matching_request() {
     let service = PlanService::new(ServiceConfig {
         workers: 2,
         cache_shards: 8,
+        ..ServiceConfig::default()
     });
     let a = service.plan_one(sd_request(64));
     let b = service.plan_one(PlanRequest::new(
@@ -90,6 +93,7 @@ fn degenerate_requests_fail_cleanly_without_killing_the_pool() {
     let service = PlanService::new(ServiceConfig {
         workers: 2,
         cache_shards: 4,
+        ..ServiceConfig::default()
     });
     // Zero devices and zero batch used to panic the planner inside a
     // worker, which shrank the pool and panicked the batch caller.
@@ -126,6 +130,7 @@ fn parallel_sweep_matches_sequential_ranking_exactly() {
     let service = PlanService::new(ServiceConfig {
         workers: 4,
         cache_shards: 8,
+        ..ServiceConfig::default()
     });
     let parallel = grid.run(&service);
 
@@ -155,6 +160,7 @@ fn warm_sweep_rerun_is_all_cache_hits_and_byte_identical() {
     let service = PlanService::new(ServiceConfig {
         workers: 4,
         cache_shards: 8,
+        ..ServiceConfig::default()
     });
     let cold = grid.run(&service);
     let warm = grid.run(&service);
@@ -182,6 +188,7 @@ fn sweep_reports_infeasible_points_without_poisoning_the_ranking() {
     let service = PlanService::new(ServiceConfig {
         workers: 2,
         cache_shards: 4,
+        ..ServiceConfig::default()
     });
     let report = grid.run(&service);
     assert_eq!(report.points.len(), 2);
@@ -199,6 +206,7 @@ fn sweep_respects_planner_options() {
     let service = PlanService::new(ServiceConfig {
         workers: 2,
         cache_shards: 4,
+        ..ServiceConfig::default()
     });
     let filled = grid.run(&service);
     grid.options = PlannerOptions {

@@ -25,9 +25,11 @@ USAGE:
   dpipe models
       List the model zoo.
   dpipe plan --model <name> [--machines N] [--gpus-per-machine N]
-             [--batch N] [--no-fill] [--no-partial] [--timeline]
-             [--instructions] [--json]
-      Plan training and print the chosen configuration.
+             [--batch N] [--workers N] [--no-fill] [--no-partial]
+             [--timeline] [--instructions] [--json]
+      Plan training and print the chosen configuration. The per-config
+      search fans across --workers threads (default: all cores); the plan
+      is identical for any worker count.
   dpipe baselines --model <name> [--machines N] [--gpus-per-machine N]
              [--batch N]
       Compare DiffusionPipe against DDP / ZeRO-3 / GPipe / SPP.
@@ -142,8 +144,14 @@ fn cmd_plan(args: &Args) -> ExitCode {
         bubble_filling: !args.has("no-fill"),
         partial_batch: !args.has("no-partial"),
     };
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers: usize = args.get("workers", default_workers);
     let model_name = model.name.clone();
-    let planner = Planner::new(model, cluster.clone()).with_options(options);
+    let planner = Planner::new(model, cluster.clone())
+        .with_options(options)
+        .with_parallelism(workers);
     let plan = match planner.plan(batch) {
         Ok(p) => p,
         Err(e) => {
