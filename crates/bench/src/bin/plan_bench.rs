@@ -11,16 +11,25 @@
 //! 3. **warm-cache serve throughput** — repeated `plan_one` calls against
 //!    a `PlanService` once the plan is cached.
 //!
+//! Also runs a **heterogeneous scenario**: a mixed A100/H100 fleet planned
+//! fast vs reference (byte-identity gated like the homogeneous models) with
+//! its serve-cache fingerprint checked against the homogeneous cluster's.
+//!
 //! Writes a machine-readable `BENCH_plan.json` (see README "Performance"
 //! for the schema) and exits non-zero if any fast/reference plan pair
 //! diverges, so CI can use it as a golden regression gate.
 //!
 //! ```text
-//! plan_bench [--quick] [--out PATH]
+//! plan_bench [--quick] [--out PATH] [--workers N]
 //! ```
+//!
+//! `--workers` pins the parallel-plan worker count (default: all cores).
+//! When it resolves to 1 the "parallel" figures would just duplicate the
+//! sequential timings, so they are reported as `null` instead — CI pins
+//! `--workers 2` to keep the parallel numbers meaningful.
 
 use diffusionpipe_core::Planner;
-use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use dpipe_cluster::{ClusterSpec, DataParallelLayout, DeviceClass};
 use dpipe_model::zoo;
 use dpipe_model::ModelSpec;
 use dpipe_partition::{DpStats, PartitionConfig, Partitioner};
@@ -35,6 +44,14 @@ const BATCH: u32 = 256;
 
 fn cluster() -> ClusterSpec {
     ClusterSpec::p4de(GPUS / 8)
+}
+
+/// The heterogeneous scenario's fleet: half A100 boxes, half H100 boxes.
+fn hetero_cluster() -> ClusterSpec {
+    ClusterSpec::mixed(&[
+        (DeviceClass::a100(), GPUS / 16),
+        (DeviceClass::h100(), GPUS / 16),
+    ])
 }
 
 /// Minimum wall time over `reps` runs of `f`.
@@ -60,7 +77,10 @@ struct ModelReport {
     plan_dp_stats: DpStats,
     plan_reference_s: f64,
     plan_fast_s: f64,
-    plan_parallel_s: f64,
+    /// `None` when the run has a single worker: a "parallel" timing with
+    /// one worker is just the sequential timing again, so it is reported
+    /// as `null` rather than pretending to be a parallel speedup.
+    plan_parallel_s: Option<f64>,
     parallel_workers: usize,
     plan_id: String,
     plans_per_s_warm: f64,
@@ -68,13 +88,19 @@ struct ModelReport {
     mismatch: Option<String>,
 }
 
+/// `Some(num)` → JSON number, `None` → `null`.
+fn opt_num(v: Option<f64>) -> JsonValue {
+    v.map_or(JsonValue::Null, JsonValue::Num)
+}
+
 impl ModelReport {
     fn speedup_seq(&self) -> f64 {
         self.plan_reference_s / self.plan_fast_s.max(1e-12)
     }
 
-    fn speedup_parallel(&self) -> f64 {
-        self.plan_reference_s / self.plan_parallel_s.max(1e-12)
+    fn speedup_parallel(&self) -> Option<f64> {
+        self.plan_parallel_s
+            .map(|p| self.plan_reference_s / p.max(1e-12))
     }
 
     fn to_json(&self) -> JsonValue {
@@ -113,10 +139,7 @@ impl ModelReport {
                         JsonValue::Num(self.plan_reference_s),
                     ),
                     ("fast_s".to_owned(), JsonValue::Num(self.plan_fast_s)),
-                    (
-                        "parallel_s".to_owned(),
-                        JsonValue::Num(self.plan_parallel_s),
-                    ),
+                    ("parallel_s".to_owned(), opt_num(self.plan_parallel_s)),
                     (
                         "parallel_workers".to_owned(),
                         JsonValue::UInt(self.parallel_workers as u64),
@@ -124,11 +147,11 @@ impl ModelReport {
                     ("speedup".to_owned(), JsonValue::Num(self.speedup_seq())),
                     (
                         "speedup_parallel".to_owned(),
-                        JsonValue::Num(self.speedup_parallel()),
+                        opt_num(self.speedup_parallel()),
                     ),
                     (
                         "plans_per_s".to_owned(),
-                        JsonValue::Num(1.0 / self.plan_parallel_s.max(1e-12)),
+                        opt_num(self.plan_parallel_s.map(|p| 1.0 / p.max(1e-12))),
                     ),
                     (
                         "candidates".to_owned(),
@@ -168,6 +191,7 @@ fn bench_model(
     model: ModelSpec,
     reps: usize,
     warm_iters: usize,
+    parallel_workers: usize,
 ) -> ModelReport {
     let cluster = cluster();
     let backbone = model.backbones().next().expect("zoo model has backbone").0;
@@ -189,20 +213,24 @@ fn bench_model(
     // This one config's own DP counters (the full plan call's aggregate
     // counters are reported separately under `full_plan`).
     let mut dp_stats = DpStats::default();
-    let prefix = part.build_prefix(backbone, &cfg);
-    part.partition_single_with(backbone, &cfg, &prefix, &mut dp_stats)
+    let prefixes = part.build_prefixes(backbone, &cfg);
+    part.partition_single_with(backbone, &cfg, &prefixes, &mut dp_stats)
         .expect("feasible cfg");
 
-    // 2. Full plan calls: reference vs fast (sequential and parallel).
-    let parallel_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // 2. Full plan calls: reference vs fast (sequential and, with >= 2
+    //    workers, parallel — a 1-worker "parallel" run would only repeat
+    //    the sequential timing, so it is skipped and reported as null).
     let planner = Planner::new(model.clone(), cluster.clone());
     let (plan_reference_s, reference) = time_min(reps, || planner.plan_reference(BATCH).unwrap());
     let (plan_fast_s, (fast, stats)) = time_min(reps, || planner.plan_with_stats(BATCH).unwrap());
-    let parallel_planner =
-        Planner::new(model.clone(), cluster.clone()).with_parallelism(parallel_workers);
-    let (plan_parallel_s, parallel) = time_min(reps, || parallel_planner.plan(BATCH).unwrap());
+    let (plan_parallel_s, parallel) = if parallel_workers >= 2 {
+        let parallel_planner =
+            Planner::new(model.clone(), cluster.clone()).with_parallelism(parallel_workers);
+        let (secs, plan) = time_min(reps, || parallel_planner.plan(BATCH).unwrap());
+        (Some(secs), Some(plan))
+    } else {
+        (None, None)
+    };
 
     let mut mismatch = None;
     if fast.summary() != reference.summary() {
@@ -211,16 +239,18 @@ fn bench_model(
             fast.summary(),
             reference.summary()
         ));
-    } else if parallel.summary() != reference.summary() {
-        mismatch = Some(format!(
-            "parallel fast plan diverged:\n  par: {}\n  ref: {}",
-            parallel.summary(),
-            reference.summary()
-        ));
+    } else if let Some(parallel) = &parallel {
+        if parallel.summary() != reference.summary() {
+            mismatch = Some(format!(
+                "parallel fast plan diverged:\n  par: {}\n  ref: {}",
+                parallel.summary(),
+                reference.summary()
+            ));
+        }
     }
 
     // 3. Warm-cache serve throughput.
-    let service = PlanService::new(ServiceConfig::with_workers(parallel_workers));
+    let service = PlanService::new(ServiceConfig::with_workers(parallel_workers.max(1)));
     let request = PlanRequest::new(model, cluster, BATCH);
     let cold = service.plan_one(request.clone());
     assert!(cold.outcome.is_ok(), "cold serve plan failed");
@@ -249,6 +279,77 @@ fn bench_model(
     }
 }
 
+/// The heterogeneous scenario: SD v2.1 on a mixed A100/H100 fleet, fast vs
+/// reference (byte-identity gated) plus a serve-fingerprint cross-check
+/// against the homogeneous cluster of the same shape.
+struct HeteroReport {
+    classes: String,
+    plan_fast_s: f64,
+    plan_reference_s: f64,
+    plan_id: String,
+    /// The serve-cache key of the mixed request differs from the
+    /// homogeneous request's (a hard requirement: a heterogeneous cluster
+    /// must never hit a homogeneous cache entry).
+    fingerprint_differs: bool,
+    mismatch: Option<String>,
+}
+
+impl HeteroReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "model".to_owned(),
+                JsonValue::Str("stable-diffusion-v2.1".to_owned()),
+            ),
+            ("classes".to_owned(), JsonValue::Str(self.classes.clone())),
+            ("gpus".to_owned(), JsonValue::UInt(GPUS as u64)),
+            ("fast_s".to_owned(), JsonValue::Num(self.plan_fast_s)),
+            (
+                "reference_s".to_owned(),
+                JsonValue::Num(self.plan_reference_s),
+            ),
+            (
+                "speedup".to_owned(),
+                JsonValue::Num(self.plan_reference_s / self.plan_fast_s.max(1e-12)),
+            ),
+            ("plan_id".to_owned(), JsonValue::Str(self.plan_id.clone())),
+            (
+                "fingerprint_differs".to_owned(),
+                JsonValue::Bool(self.fingerprint_differs),
+            ),
+            (
+                "byte_identical".to_owned(),
+                JsonValue::Bool(self.mismatch.is_none()),
+            ),
+        ])
+    }
+}
+
+fn bench_hetero(reps: usize) -> HeteroReport {
+    let model = zoo::stable_diffusion_v2_1();
+    let mixed = hetero_cluster();
+    let planner = Planner::new(model.clone(), mixed.clone());
+    let (plan_fast_s, fast) = time_min(reps, || planner.plan(BATCH).unwrap());
+    let (plan_reference_s, reference) = time_min(reps, || planner.plan_reference(BATCH).unwrap());
+    let mismatch = (fast.summary() != reference.summary()).then(|| {
+        format!(
+            "hetero fast plan diverged:\n  fast: {}\n  ref : {}",
+            fast.summary(),
+            reference.summary()
+        )
+    });
+    let mixed_req = PlanRequest::new(model.clone(), mixed, BATCH).fingerprint();
+    let homo_req = PlanRequest::new(model, cluster(), BATCH).fingerprint();
+    HeteroReport {
+        classes: format!("a100:{},h100:{}", GPUS / 16, GPUS / 16),
+        plan_fast_s,
+        plan_reference_s,
+        plan_id: format!("{:016x}", fast.fingerprint()),
+        fingerprint_differs: mixed_req != homo_req,
+        mismatch,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -258,6 +359,21 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_plan.json".to_owned());
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // An unparseable --workers must fail loudly: silently falling back to
+    // all cores would un-pin the parallel figures CI relies on.
+    let parallel_workers: usize = match args.iter().position(|a| a == "--workers") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) => n.max(1),
+            _ => {
+                eprintln!("--workers requires a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => default_workers,
+    };
     let (reps, warm_iters) = if quick { (1, 40) } else { (3, 200) };
 
     let models: Vec<(&'static str, ModelSpec)> = vec![
@@ -281,7 +397,7 @@ fn main() -> ExitCode {
         "ident"
     );
     for (name, model) in models {
-        let r = bench_model(name, model, reps, warm_iters);
+        let r = bench_model(name, model, reps, warm_iters, parallel_workers);
         println!(
             "{:<22} {:>10.2} {:>10.2} {:>8.0}% {:>10.1} {:>10.1} {:>8.1}x {:>10.0} {:>8}",
             r.name,
@@ -301,6 +417,32 @@ fn main() -> ExitCode {
         reports.push(r);
     }
 
+    let hetero = bench_hetero(reps);
+    println!(
+        "{:<22} {:>10} {:>10} {:>9} {:>10.1} {:>10.1} {:>8.1}x {:>10} {:>8}",
+        format!("sd-mixed[{}]", hetero.classes),
+        "-",
+        "-",
+        "-",
+        hetero.plan_reference_s * 1e3,
+        hetero.plan_fast_s * 1e3,
+        hetero.plan_reference_s / hetero.plan_fast_s.max(1e-12),
+        "-",
+        if hetero.mismatch.is_none() {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
+    if let Some(m) = &hetero.mismatch {
+        eprintln!("golden mismatch for heterogeneous scenario:\n{m}");
+        failed = true;
+    }
+    if !hetero.fingerprint_differs {
+        eprintln!("heterogeneous request fingerprint collides with the homogeneous one");
+        failed = true;
+    }
+
     let headline = reports
         .iter()
         .find(|r| r.name == "sdxl-base")
@@ -318,7 +460,7 @@ fn main() -> ExitCode {
                 ("speedup".to_owned(), JsonValue::Num(headline.speedup_seq())),
                 (
                     "speedup_parallel".to_owned(),
-                    JsonValue::Num(headline.speedup_parallel()),
+                    opt_num(headline.speedup_parallel()),
                 ),
                 ("target_speedup".to_owned(), JsonValue::Num(5.0)),
             ]),
@@ -327,19 +469,28 @@ fn main() -> ExitCode {
             "models".to_owned(),
             JsonValue::Array(reports.iter().map(ModelReport::to_json).collect()),
         ),
+        ("hetero".to_owned(), hetero.to_json()),
     ]);
     if let Err(e) = std::fs::write(&out_path, format!("{doc}\n")) {
         eprintln!("writing {out_path} failed: {e}");
         return ExitCode::FAILURE;
     }
-    println!(
-        "\nheadline: {} full-plan speedup {:.1}x sequential / {:.1}x with {} workers -> {}",
-        headline.name,
-        headline.speedup_seq(),
-        headline.speedup_parallel(),
-        headline.parallel_workers,
-        out_path
-    );
+    match headline.speedup_parallel() {
+        Some(par) => println!(
+            "\nheadline: {} full-plan speedup {:.1}x sequential / {:.1}x with {} workers -> {}",
+            headline.name,
+            headline.speedup_seq(),
+            par,
+            headline.parallel_workers,
+            out_path
+        ),
+        None => println!(
+            "\nheadline: {} full-plan speedup {:.1}x sequential (parallel skipped: 1 worker) -> {}",
+            headline.name,
+            headline.speedup_seq(),
+            out_path
+        ),
+    }
     if failed {
         eprintln!("plan equivalence golden check FAILED");
         return ExitCode::from(2);

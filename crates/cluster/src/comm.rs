@@ -25,15 +25,29 @@ impl LinkParams {
 /// Provides the `R_x` / `L_x` quantities of the paper's Table 4 for
 /// point-to-point (`p2p`) transfers between pipeline stages and ring /
 /// hierarchical all-reduce (`ar`) for gradient synchronisation.
+///
+/// Device classes scale the *intra-node* fabric: a machine whose class has
+/// `link_scale != 1.0` multiplies the NVSwitch-class bandwidth by that
+/// factor for p2p transfers within it and for the intra-node leg of
+/// collectives it participates in (the slowest spanned machine governs a
+/// collective). Inter-node links are a property of the network fabric, not
+/// the GPU generation, and stay class-independent. Homogeneous clusters
+/// scale by exactly 1.0, which is bit-identical to the unscaled model.
 #[derive(Debug, Clone)]
 pub struct CommModel {
     cluster: ClusterSpec,
+    /// Cached per-machine intra-link scales (all 1.0 when homogeneous).
+    machine_link_scales: Vec<f64>,
 }
 
 impl CommModel {
     /// Creates a model for the given cluster.
     pub fn new(cluster: ClusterSpec) -> Self {
-        CommModel { cluster }
+        let machine_link_scales = cluster.machine_link_scales();
+        CommModel {
+            cluster,
+            machine_link_scales,
+        }
     }
 
     /// The underlying cluster.
@@ -41,10 +55,38 @@ impl CommModel {
         &self.cluster
     }
 
-    /// Link parameters between two specific devices.
+    /// Intra-node link scale of the machine hosting `d` (1.0 when the
+    /// cluster is homogeneous or the rank is out of range).
+    fn link_scale_of(&self, d: DeviceId) -> f64 {
+        let machine = d.rank() / self.cluster.devices_per_machine.max(1);
+        self.machine_link_scales
+            .get(machine)
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// The slowest intra-node link scale among the machines spanned by the
+    /// given devices (1.0 for an empty set).
+    pub fn min_intra_link_scale(&self, devices: &[DeviceId]) -> f64 {
+        let min = devices
+            .iter()
+            .map(|&d| self.link_scale_of(d))
+            .fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            min
+        } else {
+            1.0
+        }
+    }
+
+    /// Link parameters between two specific devices. Same-machine transfers
+    /// run on that machine's (class-scaled) intra-node fabric.
     pub fn p2p_link(&self, a: DeviceId, b: DeviceId) -> LinkParams {
         if self.cluster.same_machine(a, b) {
-            self.cluster.intra_link
+            LinkParams {
+                bandwidth: self.cluster.intra_link.bandwidth * self.link_scale_of(a),
+                latency: self.cluster.intra_link.latency,
+            }
         } else {
             self.cluster.inter_link
         }
@@ -70,7 +112,9 @@ impl CommModel {
     }
 
     /// All-reduce time of `bytes` across the given devices, using a
-    /// hierarchical (intra-node ring, then inter-node ring) schedule.
+    /// hierarchical (intra-node ring, then inter-node ring) schedule. The
+    /// intra-node leg runs at the slowest spanned machine's class-scaled
+    /// bandwidth (exactly the reference bandwidth when homogeneous).
     ///
     /// Degenerates to a plain intra-node ring when all devices share a
     /// machine and to zero for groups of one.
@@ -80,15 +124,29 @@ impl CommModel {
             return 0.0;
         }
         let nodes = self.cluster.machines_spanned(devices);
-        self.allreduce_time_shape(bytes, g, nodes)
+        self.allreduce_time_shape_scaled(bytes, g, nodes, self.min_intra_link_scale(devices))
     }
 
     /// [`CommModel::allreduce_time`] for a group whose *shape* — device
-    /// count and machines spanned — is already known. The partitioning hot
-    /// path caches the shape per candidate device range so it can skip
-    /// materialising the device list on every query; the arithmetic is
-    /// identical to [`CommModel::allreduce_time`] by construction.
+    /// count and machines spanned — is already known, assuming
+    /// reference-class intra-node links. The arithmetic is identical to
+    /// [`CommModel::allreduce_time`] on a homogeneous cluster by
+    /// construction.
     pub fn allreduce_time_shape(&self, bytes: u64, group: usize, nodes: usize) -> f64 {
+        self.allreduce_time_shape_scaled(bytes, group, nodes, 1.0)
+    }
+
+    /// [`CommModel::allreduce_time_shape`] with an explicit intra-node link
+    /// scale (the slowest spanned machine's class scale, cached by the
+    /// partitioning hot path alongside the group shape). A scale of exactly
+    /// 1.0 is bit-identical to the unscaled form.
+    pub fn allreduce_time_shape_scaled(
+        &self,
+        bytes: u64,
+        group: usize,
+        nodes: usize,
+        intra_scale: f64,
+    ) -> f64 {
         let g = group;
         if g <= 1 {
             return 0.0;
@@ -97,7 +155,8 @@ impl CommModel {
         // Intra-node ring over the local group.
         let local = g.div_ceil(nodes); // devices per node (ceil)
         let intra = if local > 1 {
-            2.0 * (local as f64 - 1.0) / local as f64 * bytes_f / self.cluster.intra_link.bandwidth
+            2.0 * (local as f64 - 1.0) / local as f64 * bytes_f
+                / (self.cluster.intra_link.bandwidth * intra_scale)
                 + 2.0 * (local as f64 - 1.0) * self.cluster.intra_link.latency
         } else {
             0.0
@@ -212,6 +271,41 @@ mod tests {
         assert!(eff.latency >= 0.0);
         let single = m.allreduce_effective(&[DeviceId(0)]);
         assert!(single.bandwidth.is_infinite());
+    }
+
+    #[test]
+    fn shape_scaled_with_unit_scale_is_bit_identical() {
+        let m = model(4);
+        for (g, nodes) in [(8usize, 1usize), (16, 2), (24, 3)] {
+            for bytes in [0u64, 1 << 20, 3_550_000_000] {
+                assert_eq!(
+                    m.allreduce_time_shape(bytes, g, nodes),
+                    m.allreduce_time_shape_scaled(bytes, g, nodes, 1.0),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_class_machines_slow_collectives_and_p2p() {
+        use crate::class::DeviceClass;
+        let homo = ClusterSpec::p4de(2).comm_model();
+        let mixed =
+            ClusterSpec::mixed(&[(DeviceClass::a100(), 1), (DeviceClass::a10g(), 1)]).comm_model();
+        let devs: Vec<DeviceId> = (0..16).map(DeviceId).collect();
+        let bytes = 1u64 << 30;
+        // The a10g machine's PCIe-class fabric throttles the intra leg.
+        assert!(mixed.allreduce_time(bytes, &devs) > homo.allreduce_time(bytes, &devs));
+        assert_eq!(mixed.min_intra_link_scale(&devs[..8]), 1.0);
+        assert!(mixed.min_intra_link_scale(&devs) < 1.0);
+        // p2p inside the a10g box is slower than inside the a100 box.
+        let fast = mixed.p2p_time(bytes, DeviceId(0), DeviceId(1));
+        let slow = mixed.p2p_time(bytes, DeviceId(8), DeviceId(9));
+        assert!(slow > fast);
+        // A fast-fabric class speeds collectives up.
+        let h100 = ClusterSpec::mixed(&[(DeviceClass::h100(), 2)]).comm_model();
+        let g16: Vec<DeviceId> = (0..16).map(DeviceId).collect();
+        assert!(h100.allreduce_time(bytes, &g16) < homo.allreduce_time(bytes, &g16));
     }
 
     #[test]

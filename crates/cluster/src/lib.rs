@@ -21,11 +21,13 @@
 //! assert!(inter > intra);
 //! ```
 
+mod class;
 mod comm;
 mod device;
 mod groups;
 mod topology;
 
+pub use class::{ClassMap, DeviceClass};
 pub use comm::{CommModel, LinkParams};
 pub use device::{DeviceId, MachineId};
 pub use groups::{DataParallelLayout, PipelineGroup};

@@ -1,32 +1,44 @@
 //! Cluster shape and hardware parameters.
 
+use crate::class::{ClassMap, DeviceClass};
 use crate::comm::{CommModel, LinkParams};
 use crate::device::{DeviceId, MachineId};
 use dpipe_stablehash::StableHasher;
 use serde::{Deserialize, Serialize};
 
-/// Description of a homogeneous GPU cluster.
+/// Description of a GPU cluster — homogeneous by default, optionally with a
+/// per-machine [`DeviceClass`] for mixed-generation fleets.
 ///
 /// Calibrated defaults model the paper's testbed: AWS p4de.24xlarge machines
 /// with 8× A100-80GB, 600 GB/s NVSwitch intra-node and 400 Gb/s EFA
 /// inter-node. Effective (achievable) bandwidths are lower than the marketing
 /// peaks; the defaults are fit so the DDP synchronisation shares of Table 2
 /// (≈5% at 8 GPUs growing to ≈40% at 64 GPUs) are reproduced.
+///
+/// When [`machine_classes`](ClusterSpec::machine_classes) is empty (every
+/// constructor's default) all machines are the implicit reference class —
+/// compute scale 1.0, memory [`device_memory_bytes`](ClusterSpec::device_memory_bytes),
+/// link scale 1.0 — and every cost query is bit-identical to the original
+/// homogeneous model. A non-empty vector assigns one class per machine; see
+/// [`ClusterSpec::mixed`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
     /// Number of machines (nodes).
     pub machines: usize,
     /// Devices (GPUs) per machine.
     pub devices_per_machine: usize,
-    /// Intra-node link (NVSwitch-class).
+    /// Intra-node link (NVSwitch-class) of the reference device class.
     pub intra_link: LinkParams,
     /// Inter-node link (EFA-class), full bandwidth within a rack pair.
     pub inter_link: LinkParams,
     /// Bandwidth divisor applied to inter-node collectives spanning more
     /// than two machines (spine oversubscription).
     pub spine_oversubscription: f64,
-    /// Device memory in bytes (A100-80GB default).
+    /// Device memory in bytes (A100-80GB default) of the reference class.
     pub device_memory_bytes: u64,
+    /// Optional per-machine device class. Empty = homogeneous reference
+    /// class on every machine (the byte-identical legacy behaviour).
+    pub machine_classes: Vec<DeviceClass>,
 }
 
 impl ClusterSpec {
@@ -45,6 +57,7 @@ impl ClusterSpec {
             },
             spine_oversubscription: 1.84,
             device_memory_bytes: 80 * (1 << 30),
+            machine_classes: Vec::new(),
         }
     }
 
@@ -54,6 +67,117 @@ impl ClusterSpec {
             devices_per_machine: devices,
             ..ClusterSpec::p4de(1)
         }
+    }
+
+    /// A mixed-generation cluster: p4de-class links and node shape, with the
+    /// given `(class, machine_count)` groups laid out in order. E.g.
+    /// `mixed(&[(DeviceClass::a100(), 4), (DeviceClass::h100(), 4)])` is an
+    /// 8-machine, 64-GPU fleet whose first 4 nodes are A100 boxes.
+    pub fn mixed(groups: &[(DeviceClass, usize)]) -> Self {
+        let machines: usize = groups.iter().map(|(_, n)| n).sum();
+        let machine_classes = groups
+            .iter()
+            .flat_map(|(class, n)| std::iter::repeat_n(class.clone(), *n))
+            .collect();
+        ClusterSpec {
+            machine_classes,
+            ..ClusterSpec::p4de(machines.max(1))
+        }
+    }
+
+    /// Assigns one [`DeviceClass`] per machine (the heterogeneous mode).
+    /// The vector length should equal [`machines`](ClusterSpec::machines);
+    /// planners reject mismatches via [`ClusterSpec::validate_classes`].
+    pub fn with_machine_classes(mut self, classes: Vec<DeviceClass>) -> Self {
+        self.machine_classes = classes;
+        self
+    }
+
+    /// Checks the class assignment is usable: empty (homogeneous) or exactly
+    /// one class per machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on a length mismatch.
+    pub fn validate_classes(&self) -> Result<(), String> {
+        if self.machine_classes.is_empty() || self.machine_classes.len() == self.machines {
+            Ok(())
+        } else {
+            Err(format!(
+                "cluster has {} machines but {} device classes",
+                self.machines,
+                self.machine_classes.len()
+            ))
+        }
+    }
+
+    /// The implicit class of every machine when no explicit classes are set:
+    /// compute scale 1.0, the cluster's default memory, link scale 1.0.
+    pub fn default_class(&self) -> DeviceClass {
+        DeviceClass {
+            name: "a100".to_owned(),
+            compute_scale: 1.0,
+            memory_bytes: self.device_memory_bytes,
+            link_scale: 1.0,
+        }
+    }
+
+    /// True when machines are not all the same device class.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.machine_classes
+            .windows(2)
+            .any(|pair| pair[0] != pair[1])
+    }
+
+    /// The class of one machine (the default class when no classes are set
+    /// or the machine index is out of the class vector's range).
+    pub fn class_of_machine(&self, m: MachineId) -> DeviceClass {
+        self.machine_classes
+            .get(m.index())
+            .cloned()
+            .unwrap_or_else(|| self.default_class())
+    }
+
+    /// Resolves the per-machine class assignment into a [`ClassMap`]:
+    /// distinct classes in first-appearance order plus each machine's class
+    /// index. Homogeneous clusters resolve to a single class.
+    pub fn class_map(&self) -> ClassMap {
+        let mut classes: Vec<DeviceClass> = Vec::new();
+        let mut machine_class = Vec::with_capacity(self.machines);
+        for m in 0..self.machines {
+            let class = self.class_of_machine(MachineId(m));
+            let idx = match classes.iter().position(|c| *c == class) {
+                Some(i) => i,
+                None => {
+                    classes.push(class);
+                    classes.len() - 1
+                }
+            };
+            machine_class.push(idx);
+        }
+        if classes.is_empty() {
+            classes.push(self.default_class());
+        }
+        ClassMap {
+            classes,
+            machine_class,
+            devices_per_machine: self.devices_per_machine,
+        }
+    }
+
+    /// Per-machine intra-node link scales (1.0 everywhere when homogeneous).
+    pub fn machine_link_scales(&self) -> Vec<f64> {
+        (0..self.machines)
+            .map(|m| self.class_of_machine(MachineId(m)).link_scale)
+            .collect()
+    }
+
+    /// Device memory of one device, honouring its machine's class.
+    pub fn device_memory_of(&self, d: DeviceId) -> u64 {
+        let machine = d.rank() / self.devices_per_machine.max(1);
+        self.machine_classes
+            .get(machine)
+            .map_or(self.device_memory_bytes, |c| c.memory_bytes)
     }
 
     /// Total number of devices.
@@ -114,6 +238,20 @@ impl ClusterSpec {
         }
         h.write_f64(self.spine_oversubscription);
         h.write_u64(self.device_memory_bytes);
+        // Homogeneous clusters hash exactly as before the device-class
+        // extension; any explicit class assignment extends the digest, so a
+        // heterogeneous cluster can never collide with the homogeneous one
+        // of the same shape.
+        if !self.machine_classes.is_empty() {
+            h.write_str("machine_classes");
+            h.write_usize(self.machine_classes.len());
+            for class in &self.machine_classes {
+                h.write_str(&class.name);
+                h.write_f64(class.compute_scale);
+                h.write_u64(class.memory_bytes);
+                h.write_f64(class.link_scale);
+            }
+        }
         h.finish()
     }
 }
@@ -165,6 +303,68 @@ mod tests {
         let mut slow = ClusterSpec::p4de(2);
         slow.inter_link.bandwidth /= 2.0;
         assert_ne!(slow.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn mixed_cluster_shape_and_classes() {
+        let c = ClusterSpec::mixed(&[(DeviceClass::a100(), 2), (DeviceClass::h100(), 2)]);
+        assert_eq!(c.machines, 4);
+        assert_eq!(c.world_size(), 32);
+        assert!(c.is_heterogeneous());
+        assert!(c.validate_classes().is_ok());
+        assert_eq!(c.class_of_machine(MachineId(0)).name, "a100");
+        assert_eq!(c.class_of_machine(MachineId(3)).name, "h100");
+        let map = c.class_map();
+        assert_eq!(map.num_classes(), 2);
+        assert_eq!(map.machine_class, vec![0, 0, 1, 1]);
+        assert_eq!(map.class_of_device(DeviceId(17)), 1);
+    }
+
+    #[test]
+    fn homogeneous_class_map_is_single_class() {
+        let c = ClusterSpec::p4de(2);
+        assert!(!c.is_heterogeneous());
+        let map = c.class_map();
+        assert_eq!(map.num_classes(), 1);
+        assert_eq!(map.compute_scales(), vec![1.0]);
+        assert_eq!(c.device_memory_of(DeviceId(5)), c.device_memory_bytes);
+        assert_eq!(c.machine_link_scales(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn class_mismatch_is_rejected() {
+        let c = ClusterSpec::p4de(4).with_machine_classes(vec![DeviceClass::a100()]);
+        assert!(c.validate_classes().is_err());
+        // Non-panicking fallbacks: machines past the class vector resolve to
+        // the default class.
+        assert_eq!(c.class_of_machine(MachineId(3)).compute_scale, 1.0);
+    }
+
+    #[test]
+    fn hetero_fingerprint_differs_homogeneous_unchanged() {
+        let homo = ClusterSpec::p4de(2);
+        let explicit = ClusterSpec::p4de(2).with_machine_classes(vec![DeviceClass::a100(); 2]);
+        let mixed = ClusterSpec::p4de(2)
+            .with_machine_classes(vec![DeviceClass::a100(), DeviceClass::h100()]);
+        assert_ne!(homo.fingerprint(), mixed.fingerprint());
+        assert_ne!(explicit.fingerprint(), mixed.fingerprint());
+        // Classes hash in order, so swapping machines changes the digest.
+        let swapped = ClusterSpec::p4de(2)
+            .with_machine_classes(vec![DeviceClass::h100(), DeviceClass::a100()]);
+        assert_ne!(mixed.fingerprint(), swapped.fingerprint());
+    }
+
+    #[test]
+    fn device_memory_honours_classes() {
+        let c = ClusterSpec::mixed(&[(DeviceClass::a100(), 1), (DeviceClass::a10g(), 1)]);
+        assert_eq!(c.device_memory_of(DeviceId(0)), 80 * (1 << 30));
+        assert_eq!(c.device_memory_of(DeviceId(8)), 24 * (1 << 30));
+        let map = c.class_map();
+        assert_eq!(map.slowest_class(), 1);
+        assert_eq!(
+            map.min_memory(c.devices().collect::<Vec<_>>()),
+            24 * (1 << 30)
+        );
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub enum PlanError {
     /// devices or a zero batch), or planning it died unexpectedly. Raised
     /// by serving layers that must never panic on caller input.
     InvalidRequest(String),
+    /// Record-backed profiling did not cover the model (a model/profile
+    /// mismatch). Wraps [`dpipe_profile::ProfileError`]; callers inside
+    /// serve workers receive this instead of a panic.
+    Profile(String),
 }
 
 impl fmt::Display for PlanError {
@@ -32,7 +36,14 @@ impl fmt::Display for PlanError {
                 write!(f, "{n} backbones unsupported (max 2)")
             }
             PlanError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            PlanError::Profile(m) => write!(f, "profile error: {m}"),
         }
+    }
+}
+
+impl From<dpipe_profile::ProfileError> for PlanError {
+    fn from(e: dpipe_profile::ProfileError) -> Self {
+        PlanError::Profile(e.to_string())
     }
 }
 
@@ -49,5 +60,16 @@ mod tests {
         assert!(PlanError::InvalidRequest("no devices".to_owned())
             .to_string()
             .contains("no devices"));
+    }
+
+    #[test]
+    fn profile_errors_convert() {
+        let e = dpipe_profile::ProfileError::MissingLayer {
+            component: dpipe_model::ComponentId(1),
+            layer: dpipe_model::LayerId(2),
+        };
+        let p: PlanError = e.into();
+        assert!(matches!(&p, PlanError::Profile(m) if m.contains("not profiled")));
+        assert!(p.to_string().contains("profile error"));
     }
 }

@@ -3,14 +3,14 @@
 use crate::error::PlanError;
 use crate::plan::{BackbonePartition, Plan, PreprocessingReport};
 use dpipe_baselines::MemoryModel;
-use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use dpipe_cluster::{ClassMap, ClusterSpec, DataParallelLayout};
 use dpipe_fill::{FillConfig, Filler};
 use dpipe_model::{ComponentId, ModelSpec};
 use dpipe_partition::{
     enumerate_configs, DpStats, HyperParams, PartitionConfig, Partitioner, SearchSpace,
 };
-use dpipe_profile::{CostPrefix, DeviceModel, ProfileDb, Profiler};
-use dpipe_schedule::{PipelineSchedule, ScheduleBuilder, ScheduleKind};
+use dpipe_profile::{CostPrefix, DeviceModel, ProfileDb, Profiler, ProfilingReport};
+use dpipe_schedule::{ScheduleBuilder, ScheduleKind};
 use dpipe_sim::CombinedIteration;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -119,6 +119,14 @@ impl WorkerResult {
 }
 
 /// The DiffusionPipe planner. See the crate docs for the workflow.
+///
+/// Heterogeneous clusters ([`ClusterSpec::machine_classes`]) are planned
+/// end to end: one profile database per device class, stage costs looked up
+/// against the class of the devices each stage lands on, per-stage device
+/// memory limits, class-scaled intra-node collectives, and a bubble-filling
+/// tail timed on the slowest class (the data-parallel frozen part waits for
+/// it). Homogeneous clusters take the exact same code path with a single
+/// class, bit-identical to the pre-heterogeneity planner.
 #[derive(Debug)]
 pub struct Planner {
     model: ModelSpec,
@@ -128,6 +136,7 @@ pub struct Planner {
     options: PlannerOptions,
     fill_cfg: FillConfig,
     parallelism: usize,
+    record_backed: bool,
 }
 
 impl Planner {
@@ -142,6 +151,7 @@ impl Planner {
             options: PlannerOptions::default(),
             fill_cfg: FillConfig::default(),
             parallelism: 1,
+            record_backed: false,
         }
     }
 
@@ -178,6 +188,49 @@ impl Planner {
         self
     }
 
+    /// Switches planning onto *record-backed* profiling: timing queries are
+    /// answered by piecewise-linear interpolation over profiled samples
+    /// (the paper's mode of operation) instead of the analytic device
+    /// model. A model/profile mismatch surfaces as [`PlanError::Profile`]
+    /// — a typed error, never a panic — so serving layers can forward it.
+    pub fn with_record_backed_profiles(mut self, record_backed: bool) -> Self {
+        self.record_backed = record_backed;
+        self
+    }
+
+    /// Builds one profile database per device class (analytic or
+    /// record-backed), plus the profiling report of the reference pass.
+    fn profile_class_dbs(
+        &self,
+        compute_scales: &[f64],
+        global_batch: u32,
+    ) -> Result<(Vec<ProfileDb>, ProfilingReport), PlanError> {
+        let world = self.cluster.world_size();
+        if !self.record_backed {
+            let profiler = Profiler::new(self.device.clone()).with_world_size(world);
+            return Ok(profiler.profile_classes(&self.model, global_batch, compute_scales));
+        }
+        let mut dbs = Vec::with_capacity(compute_scales.len());
+        let mut report = None;
+        for &scale in compute_scales {
+            let device = if scale == 1.0 {
+                self.device.clone()
+            } else {
+                self.device.scaled(scale)
+            };
+            let profiler = Profiler::new(device).with_world_size(world);
+            let (db, r) = profiler.profile_records(&self.model, global_batch)?;
+            if report.is_none() {
+                report = Some(r);
+            }
+            dbs.push(db);
+        }
+        let report = report.ok_or_else(|| {
+            PlanError::InvalidRequest("cluster resolves to zero device classes".to_owned())
+        })?;
+        Ok((dbs, report))
+    }
+
     /// Runs the full workflow for a global batch size, returning the best
     /// plan by simulated cluster throughput.
     ///
@@ -201,15 +254,19 @@ impl Planner {
         self.model
             .validate()
             .map_err(|e| PlanError::InvalidModel(e.to_string()))?;
+        self.cluster
+            .validate_classes()
+            .map_err(PlanError::InvalidRequest)?;
         let backbones: Vec<_> = self.model.backbones().map(|(id, _)| id).collect();
         if backbones.len() > 2 {
             return Err(PlanError::TooManyBackbones(backbones.len()));
         }
 
-        // Step 1: profile (simulated wall time reported).
-        let profiler =
-            Profiler::new(self.device.clone()).with_world_size(self.cluster.world_size());
-        let (db, profile_report) = profiler.profile(&self.model, global_batch);
+        // Step 1: profile once per device class (simulated wall time
+        // reported). Homogeneous clusters resolve to a single class.
+        let class_map = self.cluster.class_map();
+        let (dbs, profile_report) =
+            self.profile_class_dbs(&class_map.compute_scales(), global_batch)?;
 
         let min_layers = backbones
             .iter()
@@ -223,22 +280,27 @@ impl Planner {
         fill_cfg.partial_batch = self.options.partial_batch;
         let world = self.cluster.world_size();
 
-        // One CostPrefix per backbone, shared (read-only) by every config
-        // of this call: rows for every local batch the uniform DPs query.
-        let prefixes: Vec<CostPrefix> = backbones
+        // One CostPrefix per (backbone, device class), shared (read-only)
+        // by every config of this call: rows for every local batch the
+        // uniform DPs query, built from the class's own database.
+        let prefixes: Vec<Vec<CostPrefix>> = backbones
             .iter()
             .map(|&bb| {
-                let mut prefix = CostPrefix::new(&db, bb);
-                for hp in &configs {
-                    let cfg = PartitionConfig::new(
-                        hp.num_stages,
-                        hp.num_micro_batches,
-                        hp.group_batch(global_batch, world),
-                    );
-                    let r = hp.group_size / hp.num_stages;
-                    prefix.ensure_batch(&db, cfg.micro_batch() / r as f64);
-                }
-                prefix
+                dbs.iter()
+                    .map(|class_db| {
+                        let mut prefix = CostPrefix::new(class_db, bb);
+                        for hp in &configs {
+                            let cfg = PartitionConfig::new(
+                                hp.num_stages,
+                                hp.num_micro_batches,
+                                hp.group_batch(global_batch, world),
+                            );
+                            let r = hp.group_size / hp.num_stages;
+                            prefix.ensure_batch(class_db, cfg.micro_batch() / r as f64);
+                        }
+                        prefix
+                    })
+                    .collect()
             })
             .collect();
 
@@ -250,11 +312,12 @@ impl Planner {
                 index,
                 configs[index],
                 global_batch,
-                &db,
+                &dbs,
                 &backbones,
                 &prefixes,
                 &fill_cfg,
                 &mm,
+                &class_map,
                 best_so_far,
             )
         };
@@ -333,11 +396,12 @@ impl Planner {
         index: usize,
         hp: HyperParams,
         global_batch: u32,
-        db: &ProfileDb,
+        dbs: &[ProfileDb],
         backbones: &[ComponentId],
-        prefixes: &[CostPrefix],
+        prefixes: &[Vec<CostPrefix>],
         fill_cfg: &FillConfig,
         mm: &MemoryModel<'_>,
+        class_map: &ClassMap,
         best_so_far: f64,
     ) -> ConfigOutcome {
         let mut outcome = ConfigOutcome {
@@ -357,7 +421,7 @@ impl Planner {
             hp.num_micro_batches,
             hp.group_batch(global_batch, world),
         );
-        let part = Partitioner::new(db, &self.cluster, &layout);
+        let part = Partitioner::new(&dbs[0], &self.cluster, &layout).with_class_dbs(dbs);
 
         let t0 = Instant::now();
         let partition = if backbones.len() == 1 {
@@ -381,7 +445,7 @@ impl Planner {
         outcome.partition_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let builder = ScheduleBuilder::new(db, &self.cluster, &layout);
+        let builder = ScheduleBuilder::new(&dbs[0], &self.cluster, &layout).with_class_dbs(dbs);
         let schedule = match &partition {
             BackbonePartition::Single(p) => builder.build_single(p, ScheduleKind::Fifo1F1B),
             BackbonePartition::Bidirectional(p) => builder.build_bidirectional(p),
@@ -401,7 +465,12 @@ impl Planner {
         }
 
         let bubbles = schedule.bubbles(fill_cfg.min_bubble_seconds);
-        let filler = Filler::new(db, fill_cfg.clone());
+        // The frozen part runs data-parallel on every device; its tail is
+        // gated by the slowest device class.
+        let filler = Filler::new(
+            &dbs[class_map.slowest_class().min(dbs.len() - 1)],
+            fill_cfg.clone(),
+        );
         let fill = if self.options.bubble_filling {
             match filler.fill(&bubbles, schedule.group_batch, hp.group_size) {
                 Ok(f) => f,
@@ -417,10 +486,9 @@ impl Planner {
         let combined = CombinedIteration::new(&schedule, &bubbles, &fill);
         outcome.fill_seconds = t1.elapsed().as_secs_f64();
 
-        let peak = self.peak_memory(mm, &partition, &schedule);
-        if peak > self.cluster.device_memory_bytes {
+        let Some(peak) = self.check_memory(mm, &partition, &layout, class_map) else {
             return outcome;
-        }
+        };
         let throughput = combined.cluster_throughput(dp_groups);
         outcome.plan = Some(Plan {
             hyper: hp,
@@ -455,13 +523,16 @@ impl Planner {
         self.model
             .validate()
             .map_err(|e| PlanError::InvalidModel(e.to_string()))?;
+        self.cluster
+            .validate_classes()
+            .map_err(PlanError::InvalidRequest)?;
         let backbones: Vec<_> = self.model.backbones().map(|(id, _)| id).collect();
         if backbones.len() > 2 {
             return Err(PlanError::TooManyBackbones(backbones.len()));
         }
-        let profiler =
-            Profiler::new(self.device.clone()).with_world_size(self.cluster.world_size());
-        let (db, profile_report) = profiler.profile(&self.model, global_batch);
+        let class_map = self.cluster.class_map();
+        let (dbs, profile_report) =
+            self.profile_class_dbs(&class_map.compute_scales(), global_batch)?;
         let min_layers = backbones
             .iter()
             .map(|&b| self.model.component(b).num_layers())
@@ -487,7 +558,7 @@ impl Planner {
                 hp.num_micro_batches,
                 hp.group_batch(global_batch, world),
             );
-            let part = Partitioner::new(&db, &self.cluster, &layout);
+            let part = Partitioner::new(&dbs[0], &self.cluster, &layout).with_class_dbs(&dbs);
             let t0 = Instant::now();
             let partition = if backbones.len() == 1 {
                 match part.partition_single_reference(backbones[0], &cfg) {
@@ -503,14 +574,18 @@ impl Planner {
             partition_seconds += t0.elapsed().as_secs_f64();
 
             let t1 = Instant::now();
-            let builder = ScheduleBuilder::new(&db, &self.cluster, &layout);
+            let builder =
+                ScheduleBuilder::new(&dbs[0], &self.cluster, &layout).with_class_dbs(&dbs);
             let schedule = match &partition {
                 BackbonePartition::Single(p) => builder.build_single(p, ScheduleKind::Fifo1F1B),
                 BackbonePartition::Bidirectional(p) => builder.build_bidirectional(p),
             };
             let Ok(schedule) = schedule else { continue };
             let bubbles = schedule.bubbles(fill_cfg.min_bubble_seconds);
-            let filler = Filler::new(&db, fill_cfg.clone());
+            let filler = Filler::new(
+                &dbs[class_map.slowest_class().min(dbs.len() - 1)],
+                fill_cfg.clone(),
+            );
             let fill = if self.options.bubble_filling {
                 match filler.fill(&bubbles, schedule.group_batch, hp.group_size) {
                     Ok(f) => f,
@@ -525,10 +600,9 @@ impl Planner {
             let combined = CombinedIteration::new(&schedule, &bubbles, &fill);
             fill_seconds += t1.elapsed().as_secs_f64();
 
-            let peak = self.peak_memory(&mm, &partition, &schedule);
-            if peak > self.cluster.device_memory_bytes {
+            let Some(peak) = self.check_memory(&mm, &partition, &layout, &class_map) else {
                 continue;
-            }
+            };
             let dp_groups = world / hp.group_size;
             let throughput = combined.cluster_throughput(dp_groups);
             let plan = Plan {
@@ -566,34 +640,64 @@ impl Planner {
             .0
     }
 
-    fn peak_memory(
+    /// Memory feasibility under per-class device memory limits. Returns the
+    /// reported peak (max per-stage peak; bidirectional plans sum the two
+    /// pipelines' peaks, as each device holds one stage of each backbone)
+    /// when every stage fits the tightest memory budget among its devices,
+    /// `None` otherwise. On homogeneous clusters every budget equals
+    /// `device_memory_bytes`, reproducing the original single-limit check
+    /// decision for decision.
+    fn check_memory(
         &self,
         mm: &MemoryModel<'_>,
         partition: &BackbonePartition,
-        schedule: &PipelineSchedule,
-    ) -> u64 {
-        let stage_peaks = |p: &dpipe_partition::PartitionPlan| -> u64 {
-            let s_count = p.stages.len();
-            p.stages
-                .iter()
-                .enumerate()
-                .map(|(s, st)| {
-                    let in_flight = p.num_micro_batches.min(s_count - s).max(1);
-                    mm.pipeline_stage_peak(
-                        st.component,
-                        st.layers.clone(),
-                        st.local_batch(p.micro_batch),
-                        in_flight,
-                    )
-                })
-                .max()
-                .unwrap_or(0)
+        layout: &DataParallelLayout,
+        class_map: &ClassMap,
+    ) -> Option<u64> {
+        let stage_limit = |st: &dpipe_partition::StagePlan| -> u64 {
+            class_map.min_memory(layout.groups.iter().flat_map(|g| st.devices_in_group(g)))
         };
-        let _ = schedule;
+        let stage_peak = |p: &dpipe_partition::PartitionPlan, s: usize| -> u64 {
+            let st = &p.stages[s];
+            let in_flight = p.num_micro_batches.min(p.stages.len() - s).max(1);
+            mm.pipeline_stage_peak(
+                st.component,
+                st.layers.clone(),
+                st.local_batch(p.micro_batch),
+                in_flight,
+            )
+        };
         match partition {
-            BackbonePartition::Single(p) => stage_peaks(p),
-            // Bidirectional: each device holds one stage of each backbone.
-            BackbonePartition::Bidirectional(p) => stage_peaks(&p.down) + stage_peaks(&p.up),
+            BackbonePartition::Single(p) => {
+                let mut peak = 0u64;
+                for s in 0..p.stages.len() {
+                    let this = stage_peak(p, s);
+                    if this > stage_limit(&p.stages[s]) {
+                        return None;
+                    }
+                    peak = peak.max(this);
+                }
+                Some(peak)
+            }
+            // Bidirectional: each device holds one stage of each backbone;
+            // the (conservative) budget is the tightest memory among all
+            // chain devices, checked against the two pipelines' peak sum.
+            BackbonePartition::Bidirectional(p) => {
+                let peaks = |plan: &dpipe_partition::PartitionPlan| -> u64 {
+                    (0..plan.stages.len())
+                        .map(|s| stage_peak(plan, s))
+                        .max()
+                        .unwrap_or(0)
+                };
+                let total = peaks(&p.down) + peaks(&p.up);
+                let limit = class_map
+                    .min_memory(layout.groups.iter().flat_map(|g| g.devices.iter().copied()));
+                if total > limit {
+                    None
+                } else {
+                    Some(total)
+                }
+            }
         }
     }
 }

@@ -35,10 +35,25 @@ pub use sd::stable_diffusion_v2_1;
 pub use sdxl::{imagen_base, sdxl_base};
 pub use synthetic::{synthetic_backbone, synthetic_model, tiny_model};
 
-use crate::{LayerKind, LayerSpec};
+use crate::{LayerKind, LayerSpec, ModelSpec};
 
 /// FLOPs that take one millisecond at the default device peak of 1e14 FLOP/s.
 pub(crate) const FLOPS_PER_MS: f64 = 1.0e11;
+
+/// Debug-asserts a zoo spec passes [`ModelSpec::validate`], so a structural
+/// mistake in a zoo constructor fails at test time (tests build with debug
+/// assertions) instead of surfacing later inside a caller's planning run.
+/// Release builds return the spec untouched. (Parameterised synthetic
+/// builders are exempt: their validity depends on caller arguments.)
+pub(crate) fn validated(spec: ModelSpec) -> ModelSpec {
+    debug_assert!(
+        spec.validate().is_ok(),
+        "zoo model `{}` failed validation: {:?}",
+        spec.name,
+        spec.validate().err()
+    );
+    spec
+}
 
 /// Builds a layer whose forward pass takes roughly `ms_at_64` milliseconds
 /// for a 64-sample batch on the default device (ignoring the fixed overhead,
@@ -74,6 +89,8 @@ mod tests {
 
     #[test]
     fn all_zoo_models_validate() {
+        // Constructors also run `validated()` under debug assertions; this
+        // checks the release-mode contract through the public API.
         for m in [
             stable_diffusion_v2_1(),
             controlnet_v1_0(),
@@ -84,7 +101,8 @@ mod tests {
             imagen_base(),
             tiny_model(),
         ] {
-            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let result = m.validate();
+            assert!(result.is_ok(), "{}: {:?}", m.name, result.err());
         }
     }
 

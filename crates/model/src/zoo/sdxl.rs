@@ -2,7 +2,7 @@
 //! the paper's introduction motivates).
 
 use super::sd::{unet_blocks, vae_encoder};
-use super::{layer_ms64, spread};
+use super::{layer_ms64, spread, validated};
 use crate::{ComponentBuilder, LayerKind, ModelSpec, ModelSpecBuilder, Role, SelfConditioning};
 
 const MB: u64 = 1 << 20;
@@ -58,9 +58,11 @@ pub fn sdxl_base() -> ModelSpec {
     unet.deps = vec![clip_l, big_g, vae];
     b.push_component(unet);
 
-    b.self_conditioning(SelfConditioning::default())
-        .input_shape(1024, 1024)
-        .build()
+    validated(
+        b.self_conditioning(SelfConditioning::default())
+            .input_shape(1024, 1024)
+            .build(),
+    )
 }
 
 /// Imagen-style base model: a 2 B-parameter 64×64 backbone conditioned on a
@@ -95,7 +97,7 @@ pub fn imagen_base() -> ModelSpec {
     backbone.deps = vec![t5];
     b.push_component(backbone);
 
-    b.input_shape(64, 64).build()
+    validated(b.input_shape(64, 64).build())
 }
 
 #[cfg(test)]

@@ -101,18 +101,27 @@ impl<'a> Partitioner<'a> {
         cfg: &PartitionConfig,
     ) -> Result<BidirectionalPlan, PartitionError> {
         let (_, _, r) = self.validate_bidirectional(down, up, cfg)?;
-        let db = self.cost().db();
         let batch = cfg.micro_batch() / r as f64;
-        let mut prefix_down = CostPrefix::new(db, down);
-        prefix_down.ensure_batch(db, batch);
-        let mut prefix_up = CostPrefix::new(db, up);
-        prefix_up.ensure_batch(db, batch);
+        let build = |comp: ComponentId| -> Vec<CostPrefix> {
+            (0..self.cost().num_classes())
+                .map(|class| {
+                    let db = self.cost().db_for(class);
+                    let mut prefix = CostPrefix::new(db, comp);
+                    prefix.ensure_batch(db, batch);
+                    prefix
+                })
+                .collect()
+        };
+        let prefixes_down = build(down);
+        let prefixes_up = build(up);
         let mut stats = DpStats::default();
-        self.partition_bidirectional_with(down, up, cfg, &prefix_down, &prefix_up, &mut stats)
+        self.partition_bidirectional_with(down, up, cfg, &prefixes_down, &prefixes_up, &mut stats)
     }
 
     /// [`Partitioner::partition_bidirectional`] against caller-supplied
-    /// [`CostPrefix`] tables, accumulating DP counters into `stats`.
+    /// per-class [`CostPrefix`] tables (index = device-class index, one
+    /// element on homogeneous clusters), accumulating DP counters into
+    /// `stats`.
     ///
     /// # Errors
     ///
@@ -128,30 +137,35 @@ impl<'a> Partitioner<'a> {
         down: ComponentId,
         up: ComponentId,
         cfg: &PartitionConfig,
-        prefix_down: &CostPrefix,
-        prefix_up: &CostPrefix,
+        prefixes_down: &[CostPrefix],
+        prefixes_up: &[CostPrefix],
         stats: &mut DpStats,
     ) -> Result<BidirectionalPlan, PartitionError> {
         let (l_down, l_up, r) = self.validate_bidirectional(down, up, cfg)?;
+        if prefixes_down.is_empty() || prefixes_up.is_empty() {
+            return Err(PartitionError::NoCostTables);
+        }
         let s_total = cfg.num_stages;
         let micro = cfg.micro_batch();
         let sc_prob = self.self_cond_prob();
         let m_cdm = (2 * cfg.num_micro_batches) as f64;
         let coeff = m_cdm + 2.0 * s_total as f64 - 2.0;
 
-        // Resolved cost views — one row lookup per backbone for the whole
-        // DP (uniform replication means a single local batch).
+        // Resolved cost views — one row lookup per (backbone, class) for
+        // the whole DP (uniform replication means a single local batch).
         let batch = micro / r as f64;
-        let costs_down = prefix_down.batch_view(batch);
-        let costs_up = prefix_up.batch_view(batch);
+        let costs_down: Vec<_> = prefixes_down.iter().map(|p| p.batch_view(batch)).collect();
+        let costs_up: Vec<_> = prefixes_up.iter().map(|p| p.batch_view(batch)).collect();
 
         // Per-level stage terms for every candidate interval of both
         // backbones. `down_at(s)[i * (l_down + 1) + i2]` holds the terms of
         // down-stage `i..i2` placed at level-`s` offsets; likewise for up
-        // with its reversed layer mapping.
+        // with its reversed layer mapping. The level's offsets determine
+        // its device class (both pipelines share the same devices).
         let level_terms = |s: usize| -> (Vec<StageTerms>, Vec<StageTerms>) {
             let link = self.cost().input_link((s - 1) * r);
             let shape = self.cost().sync_shape((s - 1) * r..s * r);
+            let class = self.cost().class_of_offsets((s - 1) * r..s * r);
             let zero = StageTerms {
                 t0: 0.0,
                 sync_gap: 0.0,
@@ -160,7 +174,7 @@ impl<'a> Partitioner<'a> {
             for i in 0..l_down {
                 for i2 in (i + 1)..=l_down {
                     dt[i * (l_down + 1) + i2] = self.cost().stage_terms_prefixed(
-                        &costs_down,
+                        &costs_down[class.min(costs_down.len() - 1)],
                         i..i2,
                         link,
                         sc_prob,
@@ -173,7 +187,7 @@ impl<'a> Partitioner<'a> {
             for j in 0..l_up {
                 for j2 in (j + 1)..=l_up {
                     ut[j * (l_up + 1) + j2] = self.cost().stage_terms_prefixed(
-                        &costs_up,
+                        &costs_up[class.min(costs_up.len() - 1)],
                         (l_up - j2)..(l_up - j),
                         link,
                         sc_prob,
@@ -195,10 +209,11 @@ impl<'a> Partitioner<'a> {
             for k in 1..=s_total {
                 let link = self.cost().input_link((k - 1) * r);
                 let shape = self.cost().sync_shape((k - 1) * r..k * r);
+                let class = self.cost().class_of_offsets((k - 1) * r..k * r);
                 let (i, i2) = ((k - 1) * l_down / s_total, k * l_down / s_total);
                 let (j, j2) = ((k - 1) * l_up / s_total, k * l_up / s_total);
                 let d = self.cost().stage_terms_prefixed(
-                    &costs_down,
+                    &costs_down[class.min(costs_down.len() - 1)],
                     i..i2,
                     link,
                     sc_prob,
@@ -206,7 +221,7 @@ impl<'a> Partitioner<'a> {
                     shape,
                 );
                 let u = self.cost().stage_terms_prefixed(
-                    &costs_up,
+                    &costs_up[class.min(costs_up.len() - 1)],
                     (l_up - j2)..(l_up - j),
                     link,
                     sc_prob,

@@ -31,6 +31,9 @@ pub enum PartitionError {
     NotABackbone(usize),
     /// Zero micro-batches or zero batch size.
     DegenerateConfig,
+    /// An empty per-class [`CostPrefix`](dpipe_profile::CostPrefix) slice
+    /// was supplied; every cluster has at least one device class.
+    NoCostTables,
 }
 
 impl fmt::Display for PartitionError {
@@ -56,6 +59,9 @@ impl fmt::Display for PartitionError {
             }
             PartitionError::DegenerateConfig => {
                 f.write_str("batch size and micro-batch count must be positive")
+            }
+            PartitionError::NoCostTables => {
+                f.write_str("at least one per-class cost table is required")
             }
         }
     }

@@ -31,8 +31,10 @@
 //!   precomputed [`dpipe_profile::CostPrefix`] whose triangular tables
 //!   reproduce the naive left-to-right summation exactly, so the fast path
 //!   rounds identically. Gradient-sync all-reduce costs use a cached
-//!   [`SyncShape`] (device count + machines spanned) instead of
-//!   materialising device lists.
+//!   [`SyncShape`] (device count, machines spanned, slowest intra-link
+//!   scale) instead of materialising device lists. On heterogeneous
+//!   clusters there is one table set per device class and each stage is
+//!   looked up against the effective class of its devices.
 //! * **Parent pointers instead of payload clones.** A DP state is a cell
 //!   on a flat grid — `(layers_used, devices_used)` for the single DP,
 //!   `(down_layers, up_layers)` for the bidirectional one — and each

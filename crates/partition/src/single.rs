@@ -40,6 +40,15 @@ impl<'a> Partitioner<'a> {
         }
     }
 
+    /// Supplies one [`ProfileDb`] per distinct device class of the cluster
+    /// (class order of [`ClusterSpec::class_map`]); stage costs are then
+    /// looked up against the class of the devices each stage lands on. See
+    /// [`StageCost::with_class_dbs`].
+    pub fn with_class_dbs(mut self, class_dbs: &'a [ProfileDb]) -> Self {
+        self.cost = self.cost.with_class_dbs(class_dbs);
+        self
+    }
+
     /// The stage-cost evaluator (exposed for baselines that reuse the cost
     /// terms, e.g. SPP).
     pub fn cost(&self) -> &StageCost<'a> {
@@ -94,28 +103,33 @@ impl<'a> Partitioner<'a> {
         Ok((layers, devices))
     }
 
-    /// Builds a [`CostPrefix`] covering every local batch this config's DP
-    /// can query: `micro / r` for the single uniform replication, or for
-    /// every feasible `r` when non-uniform replication is allowed. Callers
-    /// of [`Partitioner::partition_single_with`] can build one per
-    /// backbone and reuse it across configurations that share batch rows.
-    pub fn build_prefix(&self, backbone: ComponentId, cfg: &PartitionConfig) -> CostPrefix {
-        let db = self.cost.db();
-        let mut prefix = CostPrefix::new(db, backbone);
+    /// Builds one [`CostPrefix`] per device class covering every local
+    /// batch this config's DP can query: `micro / r` for the single uniform
+    /// replication, or for every feasible `r` when non-uniform replication
+    /// is allowed. Callers of [`Partitioner::partition_single_with`] can
+    /// build one set per backbone and reuse it across configurations that
+    /// share batch rows. Homogeneous clusters get a single-element vector.
+    pub fn build_prefixes(&self, backbone: ComponentId, cfg: &PartitionConfig) -> Vec<CostPrefix> {
         let micro = cfg.micro_batch();
         let devices = self.cost.layout().group_size;
-        if cfg.force_uniform {
-            let r = devices / cfg.num_stages.max(1);
-            if r > 0 {
-                prefix.ensure_batch(db, micro / r as f64);
-            }
-        } else {
-            let max_r = devices.saturating_sub(cfg.num_stages.saturating_sub(1));
-            for r in 1..=max_r {
-                prefix.ensure_batch(db, micro / r as f64);
-            }
-        }
-        prefix
+        (0..self.cost.num_classes())
+            .map(|class| {
+                let db = self.cost.db_for(class);
+                let mut prefix = CostPrefix::new(db, backbone);
+                if cfg.force_uniform {
+                    let r = devices / cfg.num_stages.max(1);
+                    if r > 0 {
+                        prefix.ensure_batch(db, micro / r as f64);
+                    }
+                } else {
+                    let max_r = devices.saturating_sub(cfg.num_stages.saturating_sub(1));
+                    for r in 1..=max_r {
+                        prefix.ensure_batch(db, micro / r as f64);
+                    }
+                }
+                prefix
+            })
+            .collect()
     }
 
     /// Optimally partitions `backbone` into `cfg.num_stages` stages over the
@@ -131,14 +145,15 @@ impl<'a> Partitioner<'a> {
         cfg: &PartitionConfig,
     ) -> Result<PartitionPlan, PartitionError> {
         self.validate(backbone, cfg)?;
-        let prefix = self.build_prefix(backbone, cfg);
+        let prefixes = self.build_prefixes(backbone, cfg);
         let mut stats = DpStats::default();
-        self.partition_single_with(backbone, cfg, &prefix, &mut stats)
+        self.partition_single_with(backbone, cfg, &prefixes, &mut stats)
     }
 
-    /// [`Partitioner::partition_single`] against a caller-supplied
-    /// [`CostPrefix`] (shared across the configs of one planning call),
-    /// accumulating DP counters into `stats`.
+    /// [`Partitioner::partition_single`] against caller-supplied per-class
+    /// [`CostPrefix`] tables (shared across the configs of one planning
+    /// call; index = device-class index, one element on homogeneous
+    /// clusters), accumulating DP counters into `stats`.
     ///
     /// # Errors
     ///
@@ -146,43 +161,57 @@ impl<'a> Partitioner<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `prefix` lacks a row for a local batch the DP queries; use
+    /// Panics if a prefix lacks a row for a local batch the DP queries; use
     /// [`CostPrefix::ensure_batch`] (or go through
-    /// [`Partitioner::partition_single`], which prepares its own table).
+    /// [`Partitioner::partition_single`], which prepares its own tables).
     pub fn partition_single_with(
         &self,
         backbone: ComponentId,
         cfg: &PartitionConfig,
-        prefix: &CostPrefix,
+        prefixes: &[CostPrefix],
         stats: &mut DpStats,
     ) -> Result<PartitionPlan, PartitionError> {
         let (num_layers, num_devices) = self.validate(backbone, cfg)?;
+        if prefixes.is_empty() {
+            return Err(PartitionError::NoCostTables);
+        }
         let s_total = cfg.num_stages;
         let micro = cfg.micro_batch();
         let sc_prob = self.self_cond_prob();
         let coeff = cfg.critical_path_factor();
 
-        // Per-offset input links, per-replication resolved cost views, and
-        // lazily-filled sync shapes for every contiguous device range, so
-        // the inner loop never rebuilds (or re-looks-up) any of them.
+        // Per-offset input links, per-(class, replication) resolved cost
+        // views, and lazily-filled sync shapes + effective classes for every
+        // contiguous device range, so the inner loop never rebuilds (or
+        // re-looks-up) any of them.
         let links: Vec<Option<LinkParams>> =
             (0..num_devices).map(|o| self.cost.input_link(o)).collect();
-        let mut views: Vec<Option<BatchCosts<'_>>> = vec![None; num_devices + 1];
-        if cfg.force_uniform {
-            let r = num_devices / s_total;
-            views[r] = Some(prefix.batch_view(micro / r as f64));
-        } else {
-            let max_r = num_devices - (s_total - 1);
-            for (r, view) in views.iter_mut().enumerate().take(max_r + 1).skip(1) {
-                *view = Some(prefix.batch_view(micro / r as f64));
+        let num_classes = self.cost.num_classes().min(prefixes.len()).max(1);
+        let mut views: Vec<Vec<Option<BatchCosts<'_>>>> =
+            vec![vec![None; num_devices + 1]; num_classes];
+        for (class, class_views) in views.iter_mut().enumerate() {
+            let prefix = &prefixes[class.min(prefixes.len() - 1)];
+            if cfg.force_uniform {
+                let r = num_devices / s_total;
+                class_views[r] = Some(prefix.batch_view(micro / r as f64));
+            } else {
+                let max_r = num_devices - (s_total - 1);
+                for (r, view) in class_views.iter_mut().enumerate().take(max_r + 1).skip(1) {
+                    *view = Some(prefix.batch_view(micro / r as f64));
+                }
             }
         }
-        let view_for =
-            |r: usize| -> &BatchCosts<'_> { views[r].as_ref().expect("replication view present") };
-        let mut shapes: Vec<Option<SyncShape>> = vec![None; (num_devices + 1) * (num_devices + 1)];
-        let mut shape_for = |cost: &StageCost<'a>, d: usize, d2: usize| -> SyncShape {
+        let view_for = |class: usize, r: usize| -> &BatchCosts<'_> {
+            views[class.min(num_classes - 1)][r]
+                .as_ref()
+                .expect("replication view present")
+        };
+        let mut shapes: Vec<Option<(SyncShape, usize)>> =
+            vec![None; (num_devices + 1) * (num_devices + 1)];
+        let mut shape_for = |cost: &StageCost<'a>, d: usize, d2: usize| -> (SyncShape, usize) {
             let idx = d * (num_devices + 1) + d2;
-            *shapes[idx].get_or_insert_with(|| cost.sync_shape(d..d2))
+            *shapes[idx]
+                .get_or_insert_with(|| (cost.sync_shape(d..d2), cost.class_of_offsets(d..d2)))
         };
 
         // Branch-and-bound seed: the even layer/device split is a complete
@@ -195,9 +224,9 @@ impl<'a> Partitioner<'a> {
             for k in 1..=s_total {
                 let (l, l2) = ((k - 1) * num_layers / s_total, k * num_layers / s_total);
                 let (d, d2) = ((k - 1) * num_devices / s_total, k * num_devices / s_total);
-                let shape = shape_for(&self.cost, d, d2);
+                let (shape, class) = shape_for(&self.cost, d, d2);
                 let terms = self.cost.stage_terms_prefixed(
-                    view_for(d2 - d),
+                    view_for(class, d2 - d),
                     l..l2,
                     links[d],
                     sc_prob,
@@ -264,9 +293,9 @@ impl<'a> Partitioner<'a> {
                                 continue;
                             }
                             let r = d2 - d;
-                            let shape = shape_for(&self.cost, d, d2);
+                            let (shape, class) = shape_for(&self.cost, d, d2);
                             let terms = self.cost.stage_terms_prefixed(
-                                view_for(r),
+                                view_for(class, r),
                                 l..l2,
                                 links[d],
                                 sc_prob,
@@ -498,6 +527,11 @@ mod tests {
             p.partition_single(ComponentId(0), &PartitionConfig::new(2, 2, 16.0)),
             Err(PartitionError::NotABackbone(0))
         ));
+        let mut stats = DpStats::default();
+        assert!(matches!(
+            p.partition_single_with(bb, &PartitionConfig::new(2, 2, 16.0), &[], &mut stats),
+            Err(PartitionError::NoCostTables)
+        ));
     }
 
     #[test]
@@ -548,10 +582,10 @@ mod tests {
         let p = Partitioner::new(&f.db, &f.cluster, &layout);
         let bb = backbone(&f.db);
         let cfg = PartitionConfig::new(4, 4, 64.0);
-        let prefix = p.build_prefix(bb, &cfg);
+        let prefixes = p.build_prefixes(bb, &cfg);
         let mut stats = DpStats::default();
         let plan = p
-            .partition_single_with(bb, &cfg, &prefix, &mut stats)
+            .partition_single_with(bb, &cfg, &prefixes, &mut stats)
             .unwrap();
         assert!(plan.covers(28));
         assert!(stats.candidates > 0);

@@ -1,28 +1,46 @@
 //! Per-stage cost terms: `T0(s)`, `T_S(s)`, `T_C(s)` (Eqns. 3–6, 17).
 
-use dpipe_cluster::{ClusterSpec, CommModel, DataParallelLayout, DeviceId, LinkParams};
+use dpipe_cluster::{ClassMap, ClusterSpec, CommModel, DataParallelLayout, DeviceId, LinkParams};
 use dpipe_model::ComponentId;
 use dpipe_profile::{BatchCosts, ProfileDb};
 use std::ops::Range;
 
-/// The *shape* of a stage's gradient-sync group — device count and machines
-/// spanned — which fully determines the all-reduce cost model for any byte
-/// volume. Precomputed once per candidate device range by the DP hot path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The *shape* of a stage's gradient-sync group — device count, machines
+/// spanned, and the slowest spanned machine's intra-link scale — which
+/// fully determines the all-reduce cost model for any byte volume.
+/// Precomputed once per candidate device range by the DP hot path.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyncShape {
     /// Devices all-reducing together (replicas × pipeline groups).
     pub group: usize,
     /// Machines those devices span.
     pub nodes: usize,
+    /// Slowest spanned machine's intra-node link scale (1.0 homogeneous).
+    pub intra_scale: f64,
 }
 
 /// Evaluates the paper's per-stage cost equations for candidate stages.
+///
+/// On heterogeneous clusters ([`ClusterSpec::machine_classes`]) a stage's
+/// compute terms are looked up against the *effective class* of the devices
+/// it lands on: the slowest class among its replicas across every pipeline
+/// group (replicas split the micro-batch evenly and run in lockstep, so the
+/// slowest device bounds the stage). Supply one [`ProfileDb`] per distinct
+/// class with [`StageCost::with_class_dbs`]; without them every class falls
+/// back to the reference database (compute is treated as homogeneous while
+/// link/memory effects still apply).
 #[derive(Debug)]
 pub struct StageCost<'a> {
     db: &'a ProfileDb,
     cluster: &'a ClusterSpec,
     comm: CommModel,
     layout: &'a DataParallelLayout,
+    /// One profile database per distinct device class, in class order.
+    class_dbs: Option<&'a [ProfileDb]>,
+    /// Resolved device classes of the cluster.
+    class_map: ClassMap,
+    /// Chain offset → effective class index across every pipeline group.
+    offset_class: Vec<usize>,
 }
 
 /// The cost terms of one candidate stage.
@@ -42,17 +60,61 @@ impl<'a> StageCost<'a> {
         cluster: &'a ClusterSpec,
         layout: &'a DataParallelLayout,
     ) -> Self {
+        let class_map = cluster.class_map();
+        let offset_class = (0..layout.group_size)
+            .map(|o| {
+                class_map.effective_class(
+                    layout
+                        .groups
+                        .iter()
+                        .filter_map(|g| g.devices.get(o).copied()),
+                )
+            })
+            .collect();
         StageCost {
             db,
             cluster,
             comm: cluster.comm_model(),
             layout,
+            class_dbs: None,
+            class_map,
+            offset_class,
         }
     }
 
-    /// The profile database in use.
+    /// Supplies one [`ProfileDb`] per distinct device class (class order of
+    /// [`ClusterSpec::class_map`]); stage compute terms are then looked up
+    /// against the class of the devices each stage lands on.
+    pub fn with_class_dbs(mut self, class_dbs: &'a [ProfileDb]) -> Self {
+        self.class_dbs = Some(class_dbs);
+        self
+    }
+
+    /// The reference profile database in use.
     pub fn db(&self) -> &ProfileDb {
         self.db
+    }
+
+    /// Number of distinct device classes on the cluster (≥ 1).
+    pub fn num_classes(&self) -> usize {
+        self.class_map.num_classes()
+    }
+
+    /// The profile database answering for a device class (the reference
+    /// database when no per-class databases were supplied).
+    pub fn db_for(&self, class: usize) -> &ProfileDb {
+        self.class_dbs
+            .and_then(|dbs| dbs.get(class))
+            .unwrap_or(self.db)
+    }
+
+    /// The effective class of a contiguous chain-offset range: the slowest
+    /// class among the devices at those offsets in every pipeline group
+    /// (ties toward the smaller class index, the [`ClassMap`] rule).
+    /// Class 0 for an empty range.
+    pub fn class_of_offsets(&self, offsets: Range<usize>) -> usize {
+        self.class_map
+            .effective_of_indices(offsets.map(|o| self.offset_class.get(o).copied().unwrap_or(0)))
     }
 
     /// The communication model in use.
@@ -73,8 +135,10 @@ impl<'a> StageCost<'a> {
     }
 
     /// Compute part of `T0(s)`: forward + backward of the stage's layers for
-    /// one micro-batch at local batch `micro_batch / r`. With
-    /// `self_cond = true` the forward term doubles (Eqn. 17).
+    /// one micro-batch at local batch `micro_batch / r`, timed on the
+    /// reference device class. With `self_cond = true` the forward term
+    /// doubles (Eqn. 17). ([`StageCost::stage_terms`] resolves the stage's
+    /// device class and times against the matching database.)
     pub fn compute_time(
         &self,
         comp: ComponentId,
@@ -83,9 +147,21 @@ impl<'a> StageCost<'a> {
         micro_batch: f64,
         self_cond: bool,
     ) -> f64 {
+        self.compute_time_on(self.db, comp, layers, replication, micro_batch, self_cond)
+    }
+
+    fn compute_time_on(
+        &self,
+        db: &ProfileDb,
+        comp: ComponentId,
+        layers: Range<usize>,
+        replication: usize,
+        micro_batch: f64,
+        self_cond: bool,
+    ) -> f64 {
         let b = micro_batch / replication as f64;
-        let fwd = self.db.fwd_time_range(comp, layers.clone(), b);
-        let bwd = self.db.bwd_time_range(comp, layers, b);
+        let fwd = db.fwd_time_range(comp, layers.clone(), b);
+        let bwd = db.bwd_time_range(comp, layers, b);
         if self_cond {
             2.0 * fwd + bwd
         } else {
@@ -121,7 +197,8 @@ impl<'a> StageCost<'a> {
         comm_scale * vol / link.bandwidth + lats * link.latency
     }
 
-    /// `T0(s)` — the max of compute and communication (Eqn. 3 / 17).
+    /// `T0(s)` — the max of compute and communication (Eqn. 3 / 17), timed
+    /// on the reference device class.
     #[allow(clippy::too_many_arguments)]
     pub fn t0(
         &self,
@@ -133,7 +210,38 @@ impl<'a> StageCost<'a> {
         self_cond: bool,
         comm_scale: f64,
     ) -> f64 {
-        let compute = self.compute_time(comp, layers.clone(), replication, micro_batch, self_cond);
+        self.t0_on(
+            self.db,
+            comp,
+            layers,
+            replication,
+            micro_batch,
+            link,
+            self_cond,
+            comm_scale,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn t0_on(
+        &self,
+        db: &ProfileDb,
+        comp: ComponentId,
+        layers: Range<usize>,
+        replication: usize,
+        micro_batch: f64,
+        link: Option<LinkParams>,
+        self_cond: bool,
+        comm_scale: f64,
+    ) -> f64 {
+        let compute = self.compute_time_on(
+            db,
+            comp,
+            layers.clone(),
+            replication,
+            micro_batch,
+            self_cond,
+        );
         let comm = if layers.start > 0 || link.is_some() {
             self.comm_time(
                 comp,
@@ -176,7 +284,8 @@ impl<'a> StageCost<'a> {
     }
 
     /// `T_C(s)` — compensation: the backward time of the stage's layers for
-    /// one micro-batch (the paper's lower bound, Eqn. 5).
+    /// one micro-batch (the paper's lower bound, Eqn. 5), timed on the
+    /// reference device class.
     pub fn compensation_time(
         &self,
         comp: ComponentId,
@@ -190,7 +299,8 @@ impl<'a> StageCost<'a> {
 
     /// Full stage terms under an expectation over self-conditioning: with
     /// probability `sc_prob` the iteration pays the Eqn.-17 `T0`, otherwise
-    /// the Eqn.-3 `T0`.
+    /// the Eqn.-3 `T0`. Compute terms are timed on the effective device
+    /// class of the stage's offsets ([`StageCost::class_of_offsets`]).
     #[allow(clippy::too_many_arguments)]
     pub fn stage_terms(
         &self,
@@ -202,8 +312,12 @@ impl<'a> StageCost<'a> {
         sc_prob: f64,
         comm_scale: f64,
     ) -> StageTerms {
-        let link = self.input_link(device_offsets[0]);
-        let t0_plain = self.t0(
+        let first = device_offsets.first().copied().unwrap_or(0);
+        let class = self.class_of_offsets(first..first + device_offsets.len());
+        let db = self.db_for(class);
+        let link = self.input_link(first);
+        let t0_plain = self.t0_on(
+            db,
             comp,
             layers.clone(),
             replication,
@@ -213,7 +327,8 @@ impl<'a> StageCost<'a> {
             comm_scale,
         );
         let t0 = if sc_prob > 0.0 {
-            let t0_sc = self.t0(
+            let t0_sc = self.t0_on(
+                db,
                 comp,
                 layers.clone(),
                 replication,
@@ -227,7 +342,7 @@ impl<'a> StageCost<'a> {
             t0_plain
         };
         let ts = self.sync_time(comp, layers.clone(), device_offsets);
-        let tc = self.compensation_time(comp, layers, replication, micro_batch);
+        let tc = db.bwd_time_range(comp, layers, micro_batch / replication as f64);
         StageTerms {
             t0,
             sync_gap: (ts - tc).max(0.0),
@@ -242,17 +357,19 @@ impl<'a> StageCost<'a> {
         SyncShape {
             group: devs.len(),
             nodes: self.cluster.machines_spanned(&devs),
+            intra_scale: self.comm.min_intra_link_scale(&devs),
         }
     }
 
     /// [`StageCost::stage_terms`] answered in O(1) from a resolved
     /// [`BatchCosts`] view (obtain one with
     /// [`dpipe_profile::CostPrefix::batch_view`] at batch
-    /// `micro_batch / replication`), bit-identical to the naive
-    /// evaluation: every sub-expression mirrors the corresponding naive
-    /// method, with interval sums taken from the prefix table (which
-    /// reproduces `ProfileDb`'s left-to-right folds exactly) and the
-    /// all-reduce answered via the cached [`SyncShape`].
+    /// `micro_batch / replication`; on heterogeneous clusters the view must
+    /// come from the prefix of the stage's effective class), bit-identical
+    /// to the naive evaluation: every sub-expression mirrors the
+    /// corresponding naive method, with interval sums taken from the prefix
+    /// table (which reproduces `ProfileDb`'s left-to-right folds exactly)
+    /// and the all-reduce answered via the cached [`SyncShape`].
     pub fn stage_terms_prefixed(
         &self,
         costs: &BatchCosts<'_>,
@@ -285,10 +402,11 @@ impl<'a> StageCost<'a> {
             t0_plain
         };
         // Mirrors `sync_time` (Eqn. 4) and `compensation_time` (Eqn. 5).
-        let ts = self.comm.allreduce_time_shape(
+        let ts = self.comm.allreduce_time_shape_scaled(
             costs.grad_bytes_range(&layers),
             shape.group,
             shape.nodes,
+            shape.intra_scale,
         );
         StageTerms {
             t0,

@@ -1,7 +1,7 @@
 //! Property tests for the partitioning fast path: prefix-table exactness
 //! and selection-preserving pruning across randomised models and configs.
 
-use dpipe_cluster::{ClusterSpec, DataParallelLayout};
+use dpipe_cluster::{ClusterSpec, DataParallelLayout, DeviceClass};
 use dpipe_model::zoo;
 use dpipe_partition::{DpStats, PartitionConfig, Partitioner};
 use dpipe_profile::{CostPrefix, DeviceModel, NoiseConfig, ProfileDb, Profiler};
@@ -128,13 +128,48 @@ proptest! {
         let part = Partitioner::new(&db, &cluster, &layout);
         let bb = db.model().backbones().next().unwrap().0;
         let cfg = PartitionConfig::new(4, 4, batch as f64);
-        let prefix = part.build_prefix(bb, &cfg);
+        let prefixes = part.build_prefixes(bb, &cfg);
         let mut stats = DpStats::default();
-        let plan = part.partition_single_with(bb, &cfg, &prefix, &mut stats).unwrap();
+        let plan = part.partition_single_with(bb, &cfg, &prefixes, &mut stats).unwrap();
         prop_assert!(plan.covers(layers));
         prop_assert!(stats.candidates > 0);
         prop_assert!(stats.pruned <= stats.candidates);
         prop_assert!((0.0..=1.0).contains(&stats.prune_rate()));
+    }
+
+    /// Heterogeneous clusters: the pruned, prefix-backed DP with per-class
+    /// cost tables selects exactly the partition the naive reference
+    /// (class-dispatching `stage_terms`) selects, on a mixed a100 + h100
+    /// two-machine cluster across random models and configs.
+    #[test]
+    fn pruned_dp_matches_reference_on_mixed_cluster(
+        spec in model_strategy(),
+        stages_pow in 0u32..4,
+        micro in 1usize..6,
+        batch in 8u32..192,
+        fast_first in any::<bool>(),
+    ) {
+        let (layers, ms, self_cond) = spec;
+        let stages = 1usize << stages_pow; // divides the 8-wide group
+        prop_assume!(stages <= layers);
+        let classes = if fast_first {
+            [(DeviceClass::h100(), 1usize), (DeviceClass::a100(), 1)]
+        } else {
+            [(DeviceClass::a100(), 1), (DeviceClass::h100(), 1)]
+        };
+        let mut cluster = ClusterSpec::mixed(&classes);
+        cluster.devices_per_machine = 4; // 8 GPUs total, classes split 4/4
+        let model = zoo::synthetic_model(layers, ms, &[1.0, 2.0], self_cond);
+        let profiler = Profiler::new(DeviceModel::a100_like());
+        let scales = cluster.class_map().compute_scales();
+        let (dbs, _) = profiler.profile_classes(&model, batch, &scales);
+        let layout = DataParallelLayout::new(&cluster, 8).unwrap();
+        let part = Partitioner::new(&dbs[0], &cluster, &layout).with_class_dbs(&dbs);
+        let bb = dbs[0].model().backbones().next().unwrap().0;
+        let cfg = PartitionConfig::new(stages, micro, batch as f64);
+        let fast = part.partition_single(bb, &cfg).unwrap();
+        let reference = part.partition_single_reference(bb, &cfg).unwrap();
+        prop_assert_eq!(fast, reference);
     }
 }
 

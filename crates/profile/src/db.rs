@@ -64,10 +64,17 @@ impl ProfileDb {
 
     /// Switches the database to record-backed timing: every layer query is
     /// answered by piecewise-linear interpolation over the given profiled
-    /// samples.
-    pub fn with_records(mut self, records: RecordTable) -> Self {
+    /// samples. The table is validated against the model up front, so a
+    /// model/profile mismatch is a typed error here rather than a panic
+    /// inside a later timing query.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ProfileError`] if any model layer lacks samples.
+    pub fn with_records(mut self, records: RecordTable) -> Result<Self, crate::ProfileError> {
+        records.validate_covers(&self.model)?;
         self.records = Some(Arc::new(records));
-        self
+        Ok(self)
     }
 
     /// True when timing comes from interpolated records.
@@ -96,10 +103,15 @@ impl ProfileDb {
     }
 
     /// Forward time `P^f_l(B)` of one layer at a (possibly fractional) local
-    /// batch size.
+    /// batch size. Record-backed lookups are total: coverage is validated
+    /// when the records are attached ([`ProfileDb::with_records`]), and a
+    /// layer that somehow still lacks samples falls back to the analytic
+    /// model instead of panicking.
     pub fn fwd_time(&self, c: ComponentId, l: LayerId, batch: f64) -> f64 {
         if let Some(records) = &self.records {
-            return records.layer(c, l).fwd(batch) * self.noise_factor(c, l);
+            if let Some(samples) = records.layer(c, l) {
+                return samples.fwd(batch) * self.noise_factor(c, l);
+            }
         }
         let layer = self.model.component(c).layer(l);
         self.device
@@ -107,10 +119,13 @@ impl ProfileDb {
             * self.noise_factor(c, l)
     }
 
-    /// Backward time `P^b_l(B)`.
+    /// Backward time `P^b_l(B)` (same lookup contract as
+    /// [`ProfileDb::fwd_time`]).
     pub fn bwd_time(&self, c: ComponentId, l: LayerId, batch: f64) -> f64 {
         if let Some(records) = &self.records {
-            return records.layer(c, l).bwd(batch) * self.noise_factor(c, l);
+            if let Some(samples) = records.layer(c, l) {
+                return samples.bwd(batch) * self.noise_factor(c, l);
+            }
         }
         let layer = self.model.component(c).layer(l);
         self.device.kernel_time(

@@ -29,12 +29,14 @@
 
 mod db;
 mod device;
+mod error;
 mod prefix;
 mod profiler;
 mod records;
 
 pub use db::{NoiseConfig, ProfileDb};
 pub use device::DeviceModel;
+pub use error::ProfileError;
 pub use prefix::{BatchCosts, CostPrefix};
 pub use profiler::{ProfileRecord, Profiler, ProfilingReport};
 pub use records::{LayerSamples, RecordTable};

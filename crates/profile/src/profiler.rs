@@ -149,11 +149,18 @@ impl Profiler {
     /// planning queries are answered by interpolating the measured samples
     /// (the paper's mode of operation). Backward times for frozen layers
     /// are profiled too so stage-cost queries remain well-defined.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ProfileError`] if the recorded table fails coverage
+    /// validation against the model (cannot happen for tables built here,
+    /// but the typed contract is shared with
+    /// [`ProfileDb::with_records`]).
     pub fn profile_records(
         &self,
         model: &ModelSpec,
         training_batch: u32,
-    ) -> (ProfileDb, ProfilingReport) {
+    ) -> Result<(ProfileDb, ProfilingReport), crate::ProfileError> {
         let (analytic_db, report) = self.profile(model, training_batch);
         let mut table = RecordTable::new();
         for (cid, comp) in model.components_enumerated() {
@@ -165,7 +172,36 @@ impl Profiler {
                 }
             }
         }
-        (analytic_db.with_records(table), report)
+        Ok((analytic_db.with_records(table)?, report))
+    }
+
+    /// Profiles `model` once per device class, given each class's compute
+    /// scale relative to this profiler's device (the heterogeneous-cluster
+    /// entry point): `dbs[c]` answers timing queries as measured on class
+    /// `c`. A scale of exactly 1.0 reuses the reference database, so the
+    /// single-class call is bit-identical to [`Profiler::profile`].
+    ///
+    /// The report models one profiling pass on the reference class — in a
+    /// real mixed fleet each class profiles its own layers concurrently, so
+    /// the reference wall time is the (conservative) upper bound.
+    pub fn profile_classes(
+        &self,
+        model: &ModelSpec,
+        training_batch: u32,
+        compute_scales: &[f64],
+    ) -> (Vec<ProfileDb>, ProfilingReport) {
+        let (reference, report) = self.profile(model, training_batch);
+        let dbs = compute_scales
+            .iter()
+            .map(|&scale| {
+                if scale == 1.0 {
+                    reference.clone()
+                } else {
+                    ProfileDb::new(Arc::new(model.clone()), self.device.scaled(scale))
+                }
+            })
+            .collect();
+        (dbs, report)
     }
 }
 

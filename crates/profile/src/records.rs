@@ -2,7 +2,8 @@
 //! batch sizes, mirroring the paper's design where all planning algorithms
 //! consume measured profile records rather than a closed-form model.
 
-use dpipe_model::{ComponentId, LayerId};
+use crate::error::ProfileError;
+use dpipe_model::{ComponentId, LayerId, ModelSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -20,9 +21,12 @@ impl LayerSamples {
     }
 
     /// Piecewise-linear interpolation (linear extrapolation at the edges
-    /// through the origin-side anchor).
+    /// through the origin-side anchor). Returns 0 for an empty sample list —
+    /// validated tables ([`RecordTable::validate_covers`]) never contain one.
     fn interp(&self, batch: f64, select: impl Fn(&(f64, f64, f64)) -> f64) -> f64 {
-        assert!(!self.samples.is_empty(), "no samples recorded");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
         if self.samples.len() == 1 {
             // Scale proportionally from the single sample.
             let (b0, _, _) = self.samples[0];
@@ -82,15 +86,45 @@ impl RecordTable {
             .push(batch, fwd, bwd);
     }
 
-    /// Samples for a layer.
+    /// Samples for a layer, or `None` if the layer was never profiled.
+    /// (This lookup used to panic on any model/profile mismatch; use
+    /// [`RecordTable::require_layer`] for a typed error instead.)
+    pub fn layer(&self, c: ComponentId, l: LayerId) -> Option<&LayerSamples> {
+        self.layers.get(&(c.index(), l.index()))
+    }
+
+    /// Samples for a layer as a typed result.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the layer was never profiled.
-    pub fn layer(&self, c: ComponentId, l: LayerId) -> &LayerSamples {
-        self.layers
-            .get(&(c.index(), l.index()))
-            .unwrap_or_else(|| panic!("layer {c}/{l} was not profiled"))
+    /// [`ProfileError::MissingLayer`] if the layer was never profiled,
+    /// [`ProfileError::EmptySamples`] if it was recorded with no samples.
+    pub fn require_layer(&self, c: ComponentId, l: LayerId) -> Result<&LayerSamples, ProfileError> {
+        let samples = self.layer(c, l).ok_or(ProfileError::MissingLayer {
+            component: c,
+            layer: l,
+        })?;
+        if samples.is_empty() {
+            return Err(ProfileError::EmptySamples {
+                component: c,
+                layer: l,
+            });
+        }
+        Ok(samples)
+    }
+
+    /// Checks that every layer of `model` has at least one sample.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ProfileError`] encountered, in component/layer order.
+    pub fn validate_covers(&self, model: &ModelSpec) -> Result<(), ProfileError> {
+        for (cid, comp) in model.components_enumerated() {
+            for (lid, _) in comp.layers_enumerated() {
+                self.require_layer(cid, lid)?;
+            }
+        }
+        Ok(())
     }
 
     /// Number of profiled layers.
@@ -146,9 +180,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not profiled")]
-    fn missing_layer_panics() {
+    fn missing_layer_is_a_typed_error_not_a_panic() {
         let t = RecordTable::new();
-        t.layer(ComponentId(0), LayerId(0));
+        assert!(t.layer(ComponentId(0), LayerId(0)).is_none());
+        assert_eq!(
+            t.require_layer(ComponentId(2), LayerId(5)),
+            Err(ProfileError::MissingLayer {
+                component: ComponentId(2),
+                layer: LayerId(5),
+            })
+        );
+    }
+
+    #[test]
+    fn empty_samples_are_a_typed_error() {
+        let mut t = RecordTable::new();
+        // A recorded-but-empty layer can only arise through deserialisation
+        // or manual construction; emulate it via the entry API.
+        t.layers.insert((0, 0), LayerSamples::default());
+        assert_eq!(
+            t.require_layer(ComponentId(0), LayerId(0)),
+            Err(ProfileError::EmptySamples {
+                component: ComponentId(0),
+                layer: LayerId(0),
+            })
+        );
+        // Interpolation over an empty list is total (0), not a panic.
+        assert_eq!(LayerSamples::default().fwd(8.0), 0.0);
+    }
+
+    #[test]
+    fn validate_covers_flags_partial_tables() {
+        let model = dpipe_model::zoo::tiny_model();
+        let mut t = RecordTable::new();
+        assert!(t.validate_covers(&model).is_err());
+        for (cid, comp) in model.components_enumerated() {
+            for (lid, _) in comp.layers_enumerated() {
+                t.record(cid, lid, 8.0, 0.1, 0.2);
+            }
+        }
+        assert!(t.validate_covers(&model).is_ok());
     }
 }

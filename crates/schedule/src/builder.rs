@@ -45,6 +45,9 @@ pub struct ScheduleBuilder<'a> {
     db: &'a ProfileDb,
     cluster: &'a ClusterSpec,
     layout: &'a DataParallelLayout,
+    /// One profile database per device class (heterogeneous clusters);
+    /// `None` times every stage on the reference database.
+    class_dbs: Option<&'a [ProfileDb]>,
 }
 
 /// One pipeline's op-construction request.
@@ -68,7 +71,22 @@ impl<'a> ScheduleBuilder<'a> {
             db,
             cluster,
             layout,
+            class_dbs: None,
         }
+    }
+
+    /// Supplies one [`ProfileDb`] per distinct device class (class order of
+    /// [`ClusterSpec::class_map`]); stage times are then derived via
+    /// [`StageTimes::from_plan_classed`].
+    pub fn with_class_dbs(mut self, class_dbs: &'a [ProfileDb]) -> Self {
+        self.class_dbs = Some(class_dbs);
+        self
+    }
+
+    /// The class databases, defaulting to the reference database alone.
+    fn dbs(&self) -> &[ProfileDb] {
+        self.class_dbs
+            .unwrap_or_else(|| std::slice::from_ref(self.db))
     }
 
     /// Whether the profiled model trains with self-conditioning.
@@ -90,7 +108,7 @@ impl<'a> ScheduleBuilder<'a> {
         if plan.stages.is_empty() {
             return Err(ScheduleError::EmptyPlan);
         }
-        let times = StageTimes::from_plan(self.db, self.cluster, self.layout, plan);
+        let times = StageTimes::from_plan_classed(self.dbs(), self.cluster, self.layout, plan);
         self.build_from_times(&times, kind, self.self_cond())
     }
 
@@ -136,8 +154,10 @@ impl<'a> ScheduleBuilder<'a> {
         if plan.down.stages.is_empty() || plan.up.stages.is_empty() {
             return Err(ScheduleError::EmptyPlan);
         }
-        let down_times = StageTimes::from_plan(self.db, self.cluster, self.layout, &plan.down);
-        let up_times = StageTimes::from_plan(self.db, self.cluster, self.layout, &plan.up);
+        let down_times =
+            StageTimes::from_plan_classed(self.dbs(), self.cluster, self.layout, &plan.down);
+        let up_times =
+            StageTimes::from_plan_classed(self.dbs(), self.cluster, self.layout, &plan.up);
         let s_count = plan.down.stages.len();
         let slot_of = |sp: &dpipe_partition::StagePlan| sp.device_offsets[0] / sp.replication;
         let down_slots: Vec<usize> = plan.down.stages.iter().map(slot_of).collect();

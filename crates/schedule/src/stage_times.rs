@@ -43,7 +43,29 @@ impl StageTimes {
         layout: &DataParallelLayout,
         plan: &PartitionPlan,
     ) -> Self {
+        Self::from_plan_classed(std::slice::from_ref(db), cluster, layout, plan)
+    }
+
+    /// [`StageTimes::from_plan`] with one [`ProfileDb`] per device class
+    /// (class order of [`dpipe_cluster::ClusterSpec::class_map`]): each
+    /// stage's compute is timed on the effective class of the devices it
+    /// lands on — the slowest class among its replicas across every
+    /// pipeline group, matching the partitioner's cost model. A single-
+    /// element slice reproduces [`StageTimes::from_plan`] exactly.
+    pub fn from_plan_classed(
+        dbs: &[ProfileDb],
+        cluster: &ClusterSpec,
+        layout: &DataParallelLayout,
+        plan: &PartitionPlan,
+    ) -> Self {
+        let db = &dbs[0];
         let comm = cluster.comm_model();
+        let class_map = cluster.class_map();
+        let db_for_stage = |stage: &dpipe_partition::StagePlan| -> &ProfileDb {
+            let class = class_map
+                .effective_class(layout.groups.iter().flat_map(|g| stage.devices_in_group(g)));
+            dbs.get(class).unwrap_or(db)
+        };
         let group0 = &layout.groups[0];
         let s_count = plan.stages.len();
         let mut fwd = Vec::with_capacity(s_count);
@@ -52,9 +74,10 @@ impl StageTimes {
         let mut sync = Vec::with_capacity(s_count);
         let mut replication = Vec::with_capacity(s_count);
         for (i, stage) in plan.stages.iter().enumerate() {
+            let stage_db = db_for_stage(stage);
             let local = stage.local_batch(plan.micro_batch);
-            fwd.push(db.fwd_time_range(stage.component, stage.layers.clone(), local));
-            bwd.push(db.bwd_time_range(stage.component, stage.layers.clone(), local));
+            fwd.push(stage_db.fwd_time_range(stage.component, stage.layers.clone(), local));
+            bwd.push(stage_db.bwd_time_range(stage.component, stage.layers.clone(), local));
             replication.push(stage.replication);
             if i == 0 {
                 comm_in.push(0.0);

@@ -24,6 +24,12 @@ pub struct PlanRequest {
     pub options: PlannerOptions,
     /// Hyper-parameter bounds forwarded to [`Planner::with_search_space`].
     pub search: SearchSpace,
+    /// Plan from record-backed (interpolated-sample) profiles instead of
+    /// the analytic device model; forwarded to
+    /// [`Planner::with_record_backed_profiles`]. A model/profile mismatch
+    /// surfaces as a typed [`PlanError::Profile`] in the response — it can
+    /// never kill a worker.
+    pub record_backed: bool,
 }
 
 impl PlanRequest {
@@ -35,7 +41,14 @@ impl PlanRequest {
             global_batch,
             options: PlannerOptions::default(),
             search: SearchSpace::default(),
+            record_backed: false,
         }
+    }
+
+    /// Switches the request to record-backed profiling.
+    pub fn with_record_backed(mut self, record_backed: bool) -> Self {
+        self.record_backed = record_backed;
+        self
     }
 
     /// Overrides the planner options.
@@ -63,6 +76,7 @@ impl PlanRequest {
         h.write_bool(self.options.partial_batch);
         h.write_usize(self.search.max_stages);
         h.write_usize(self.search.max_micro_batches);
+        h.write_bool(self.record_backed);
         h.finish()
     }
 
@@ -107,10 +121,14 @@ impl PlanRequest {
                 "global batch must be positive".to_owned(),
             ));
         }
+        if let Err(e) = self.cluster.validate_classes() {
+            return Err(PlanError::InvalidRequest(e));
+        }
         Planner::new(self.model.clone(), self.cluster.clone())
             .with_options(self.options)
             .with_search_space(self.search)
             .with_parallelism(workers)
+            .with_record_backed_profiles(self.record_backed)
             .plan(self.global_batch)
     }
 }
@@ -149,6 +167,7 @@ mod tests {
             max_stages: 4,
             max_micro_batches: 8,
         });
+        let other_profiles = base.clone().with_record_backed(true);
         let prints = [
             base.fingerprint(),
             other_model.fingerprint(),
@@ -156,12 +175,54 @@ mod tests {
             other_batch.fingerprint(),
             other_options.fingerprint(),
             other_search.fingerprint(),
+            other_profiles.fingerprint(),
         ];
         for (i, a) in prints.iter().enumerate() {
             for b in prints.iter().skip(i + 1) {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn heterogeneous_cluster_changes_the_cache_key() {
+        use dpipe_cluster::DeviceClass;
+        let model = zoo::stable_diffusion_v2_1();
+        let homo = PlanRequest::new(model.clone(), ClusterSpec::p4de(2), 256);
+        let mixed = PlanRequest::new(
+            model.clone(),
+            ClusterSpec::mixed(&[(DeviceClass::a100(), 1), (DeviceClass::h100(), 1)]),
+            256,
+        );
+        let swapped = PlanRequest::new(
+            model,
+            ClusterSpec::mixed(&[(DeviceClass::h100(), 1), (DeviceClass::a100(), 1)]),
+            256,
+        );
+        assert_ne!(homo.fingerprint(), mixed.fingerprint());
+        assert_ne!(mixed.fingerprint(), swapped.fingerprint());
+    }
+
+    #[test]
+    fn inconsistent_classes_are_an_invalid_request_not_a_panic() {
+        use dpipe_cluster::DeviceClass;
+        let cluster = ClusterSpec::p4de(4).with_machine_classes(vec![DeviceClass::h100()]);
+        let err = PlanRequest::new(zoo::stable_diffusion_v2_1(), cluster, 256)
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, PlanError::InvalidRequest(_)), "{err:?}");
+    }
+
+    #[test]
+    fn record_backed_requests_plan() {
+        let r = PlanRequest::new(
+            zoo::stable_diffusion_v2_1(),
+            ClusterSpec::single_node(8),
+            64,
+        )
+        .with_record_backed(true);
+        let plan = r.plan().unwrap();
+        assert!(plan.throughput > 0.0);
     }
 
     #[test]

@@ -24,19 +24,22 @@ dpipe — DiffusionPipe planner (MLSys 2024 reproduction)
 USAGE:
   dpipe models
       List the model zoo.
-  dpipe plan --model <name> [--machines N] [--gpus-per-machine N]
+  dpipe plan --model <name> [--machines N|SPEC] [--gpus-per-machine N]
              [--batch N] [--workers N] [--no-fill] [--no-partial]
              [--timeline] [--instructions] [--json]
       Plan training and print the chosen configuration. The per-config
       search fans across --workers threads (default: all cores); the plan
-      is identical for any worker count.
-  dpipe baselines --model <name> [--machines N] [--gpus-per-machine N]
+      is identical for any worker count. --machines takes a count (all
+      machines A100-class) or a mixed-fleet spec like `a100:4,h100:4`
+      (classes: a100, h100, a10g).
+  dpipe baselines --model <name> [--machines N|SPEC] [--gpus-per-machine N]
              [--batch N]
       Compare DiffusionPipe against DDP / ZeRO-3 / GPipe / SPP.
   dpipe serve --requests <file|-> [--workers N] [--json]
       Batch-serve planning requests through the worker pool + plan cache.
-      One request per line: model=<name> [machines=N] [gpus=N] [batch=N]
-      [fill=on|off] [partial=on|off]; '#' starts a comment. '-' reads stdin.
+      One request per line: model=<name> [machines=N|SPEC] [gpus=N]
+      [batch=N] [fill=on|off] [partial=on|off]; '#' starts a comment.
+      '-' reads stdin.
   dpipe sweep --models <a,b,..> [--gpus <n,..>] [--batches <n,..>]
              [--workers N] [--best] [--json] [--no-fill] [--no-partial]
       Fan a cartesian configuration grid across the worker pool and print
@@ -97,13 +100,27 @@ impl Args {
     }
 }
 
-fn cluster_from(args: &Args) -> ClusterSpec {
-    let machines: usize = args.get("machines", 1);
-    let gpus: usize = args.get("gpus-per-machine", 8);
-    ClusterSpec {
-        devices_per_machine: gpus,
-        ..ClusterSpec::p4de(machines.max(1))
+/// Builds a cluster from a machine spec: a bare count (`4`, homogeneous
+/// A100-class) or a per-class list (`a100:4,h100:4`).
+fn cluster_from_spec(spec: &str, gpus: usize) -> Result<ClusterSpec, String> {
+    if let Ok(machines) = spec.parse::<usize>() {
+        return Ok(ClusterSpec {
+            devices_per_machine: gpus,
+            ..ClusterSpec::p4de(machines.max(1))
+        });
     }
+    let classes = DeviceClass::parse_machine_spec(spec)?;
+    Ok(ClusterSpec {
+        devices_per_machine: gpus,
+        machine_classes: classes.clone(),
+        ..ClusterSpec::p4de(classes.len())
+    })
+}
+
+fn cluster_from(args: &Args) -> Result<ClusterSpec, String> {
+    let gpus: usize = args.get("gpus-per-machine", 8);
+    let spec = args.flags.get("machines").map_or("1", String::as_str);
+    cluster_from_spec(spec, gpus).map_err(|e| format!("--machines: {e}"))
 }
 
 fn cmd_models() -> ExitCode {
@@ -138,7 +155,13 @@ fn cmd_plan(args: &Args) -> ExitCode {
         eprintln!("unknown or missing --model; run `dpipe models`");
         return ExitCode::FAILURE;
     };
-    let cluster = cluster_from(args);
+    let cluster = match cluster_from(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let batch: u32 = args.get("batch", 32 * cluster.world_size() as u32);
     let options = PlannerOptions {
         bubble_filling: !args.has("no-fill"),
@@ -231,7 +254,13 @@ fn cmd_baselines(args: &Args) -> ExitCode {
         eprintln!("unknown or missing --model; run `dpipe models`");
         return ExitCode::FAILURE;
     };
-    let cluster = cluster_from(args);
+    let cluster = match cluster_from(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let batch: u32 = args.get("batch", 32 * cluster.world_size() as u32);
     let plan = Planner::new(model.clone(), cluster.clone()).plan(batch);
     let db = Profiler::new(DeviceModel::a100_like())
@@ -283,11 +312,11 @@ fn cmd_baselines(args: &Args) -> ExitCode {
 }
 
 /// Parses one `serve` request line: whitespace-separated `key=value` tokens
-/// (`model=` mandatory; `machines`, `gpus`, `batch`, `fill`, `partial`
-/// optional).
+/// (`model=` mandatory; `machines` — a count or an `a100:4,h100:4`-style
+/// class spec — `gpus`, `batch`, `fill`, `partial` optional).
 fn parse_request_line(line: &str) -> Result<PlanRequest, String> {
     let mut model: Option<ModelSpec> = None;
-    let mut machines = 1usize;
+    let mut machines = "1".to_owned();
     let mut gpus = 8usize;
     let mut batch: Option<u32> = None;
     let mut options = PlannerOptions::default();
@@ -300,11 +329,7 @@ fn parse_request_line(line: &str) -> Result<PlanRequest, String> {
                 model =
                     Some(model_by_name(value).ok_or_else(|| format!("unknown model `{value}`"))?);
             }
-            "machines" => {
-                machines = value
-                    .parse()
-                    .map_err(|_| format!("bad machines `{value}`"))?
-            }
+            "machines" => machines = value.to_owned(),
             "gpus" => gpus = value.parse().map_err(|_| format!("bad gpus `{value}`"))?,
             "batch" => batch = Some(value.parse().map_err(|_| format!("bad batch `{value}`"))?),
             "fill" => options.bubble_filling = parse_switch(value)?,
@@ -313,10 +338,7 @@ fn parse_request_line(line: &str) -> Result<PlanRequest, String> {
         }
     }
     let model = model.ok_or_else(|| "missing model=<name>".to_owned())?;
-    let cluster = ClusterSpec {
-        devices_per_machine: gpus,
-        ..ClusterSpec::p4de(machines.max(1))
-    };
+    let cluster = cluster_from_spec(&machines, gpus).map_err(|e| format!("machines: {e}"))?;
     let batch = batch.unwrap_or(32 * cluster.world_size() as u32);
     Ok(PlanRequest::new(model, cluster, batch).with_options(options))
 }

@@ -62,7 +62,7 @@ pub use dpipe_tensor as tensor;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::cluster::{ClusterSpec, DataParallelLayout, DeviceId};
+    pub use crate::cluster::{ClusterSpec, DataParallelLayout, DeviceClass, DeviceId};
     pub use crate::core::{BackbonePartition, Plan, PlanError, Planner, PlannerOptions};
     pub use crate::fill::{FillConfig, Filler};
     pub use crate::model::{zoo, ModelSpec};

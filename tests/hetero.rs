@@ -1,0 +1,179 @@
+//! Heterogeneity golden + end-to-end coverage.
+//!
+//! Two guarantees:
+//!
+//! * **Homogeneous is byte-identical.** A cluster routed through the
+//!   explicit device-class path (one uniform A100-class entry per machine)
+//!   must reproduce the committed `tests/goldens/plan_summaries.txt` lines
+//!   byte for byte — the class machinery is provably inert when every
+//!   machine is the reference class.
+//! * **Mixed fleets genuinely plan.** A mixed A100/H100 sweep produces
+//!   feasible plans whose fingerprints differ from the homogeneous ones,
+//!   whose fast path matches the reference loop bit for bit, and whose
+//!   throughput only improves (no candidate gets slower when half the
+//!   fleet gets faster). Inference-class (A10G) fleets respect their
+//!   per-class 24 GB memory budget.
+
+use diffusionpipe::core::Planner;
+use diffusionpipe::prelude::*;
+use std::collections::HashMap;
+
+const GOLDEN_PATH: &str = "tests/goldens/plan_summaries.txt";
+
+/// Committed golden lines keyed by `model@Ngpu/bB`.
+fn goldens() -> HashMap<String, String> {
+    std::fs::read_to_string(GOLDEN_PATH)
+        .expect("committed goldens present")
+        .lines()
+        .map(|l| {
+            let (key, rest) = l.split_once('\t').expect("golden line shape");
+            (key.to_owned(), rest.to_owned())
+        })
+        .collect()
+}
+
+fn uniform_a100(gpus: usize) -> ClusterSpec {
+    if gpus > 8 && gpus.is_multiple_of(8) {
+        let machines = gpus / 8;
+        ClusterSpec::p4de(machines).with_machine_classes(vec![DeviceClass::a100(); machines])
+    } else {
+        ClusterSpec::single_node(gpus).with_machine_classes(vec![DeviceClass::a100()])
+    }
+}
+
+#[test]
+fn uniform_class_path_reproduces_committed_goldens() {
+    let goldens = goldens();
+    let cases: [(&str, ModelSpec); 3] = [
+        ("sd", zoo::stable_diffusion_v2_1()),
+        ("controlnet", zoo::controlnet_v1_0()),
+        ("cdm-lsun", zoo::cdm_lsun()),
+    ];
+    for (name, model) in cases {
+        for gpus in [8usize, 16] {
+            for batch in [64u32, 256] {
+                let key = format!("{name}@{gpus}gpu/b{batch}");
+                let golden = goldens.get(&key).expect("golden line exists");
+                let plan = Planner::new(model.clone(), uniform_a100(gpus))
+                    .with_parallelism(2)
+                    .plan(batch)
+                    .expect("golden cases are feasible");
+                assert_eq!(
+                    format!("OK\t{}", plan.summary()),
+                    *golden,
+                    "uniform-class plan drifted from the committed golden for {key}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_a100_h100_sweep_is_feasible_and_distinct() {
+    let mixed = ClusterSpec::mixed(&[(DeviceClass::a100(), 1), (DeviceClass::h100(), 1)]);
+    let goldens = goldens();
+    for (name, model) in [
+        ("sd", zoo::stable_diffusion_v2_1()),
+        ("controlnet", zoo::controlnet_v1_0()),
+        ("cdm-lsun", zoo::cdm_lsun()),
+    ] {
+        for batch in [64u32, 256] {
+            let planner = Planner::new(model.clone(), mixed.clone()).with_parallelism(2);
+            let plan = planner.plan(batch).expect("mixed fleet plans");
+            assert!(plan.throughput > 0.0);
+
+            // Fast path stays bit-identical to the reference loop on
+            // heterogeneous inputs.
+            let reference = planner.plan_reference(batch).expect("reference plans");
+            assert_eq!(plan.summary(), reference.summary(), "{name}/b{batch}");
+            assert_eq!(plan.partition, reference.partition, "{name}/b{batch}");
+
+            // Never slower than the all-A100 fleet of the same shape: every
+            // candidate's stage times only improve when half the machines
+            // speed up.
+            let homo = Planner::new(model.clone(), ClusterSpec::p4de(2))
+                .with_parallelism(2)
+                .plan(batch)
+                .expect("homogeneous plans");
+            assert!(
+                plan.throughput >= homo.throughput,
+                "{name}/b{batch}: mixed {} < homo {}",
+                plan.throughput,
+                homo.throughput
+            );
+
+            // The request fingerprint (serve-cache key) must differ from
+            // the homogeneous request's.
+            let mixed_key = PlanRequest::new(model.clone(), mixed.clone(), batch).fingerprint();
+            let homo_key =
+                PlanRequest::new(model.clone(), ClusterSpec::p4de(2), batch).fingerprint();
+            assert_ne!(mixed_key, homo_key, "{name}/b{batch}");
+
+            // And for the D=16-winning golden cases, the *plan* itself
+            // differs: the H100 half shifts the chosen partition/metrics.
+            if let Some(golden) = goldens.get(&format!("{name}@16gpu/b{batch}")) {
+                if golden.contains("D=16") {
+                    assert_ne!(
+                        format!("OK\t{}", plan.summary()),
+                        *golden,
+                        "{name}/b{batch}: mixed plan unexpectedly identical to golden"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_fleet_skews_layers_toward_the_faster_half() {
+    // ControlNet@16/b256 picks S=2 M=1 D=16 (committed golden): stage 0 on
+    // the A100 machine, stage 1 on the H100 machine. The DP must give the
+    // 2.2x-faster stage strictly more layers than the homogeneous split.
+    let mixed = ClusterSpec::mixed(&[(DeviceClass::a100(), 1), (DeviceClass::h100(), 1)]);
+    let plan = Planner::new(zoo::controlnet_v1_0(), mixed)
+        .plan(256)
+        .expect("mixed controlnet plans");
+    let homo = Planner::new(zoo::controlnet_v1_0(), ClusterSpec::p4de(2))
+        .plan(256)
+        .expect("homogeneous controlnet plans");
+    let (
+        diffusionpipe::core::BackbonePartition::Single(mixed_p),
+        diffusionpipe::core::BackbonePartition::Single(homo_p),
+    ) = (&plan.partition, &homo.partition)
+    else {
+        panic!("controlnet partitions are single-backbone");
+    };
+    assert_eq!(plan.hyper.group_size, 16, "winner spans both machines");
+    let last_mixed = mixed_p.stages.last().expect("stages").layers.len();
+    let last_homo = homo_p.stages.last().expect("stages").layers.len();
+    assert!(
+        last_mixed > last_homo,
+        "H100 stage holds {last_mixed} layers, homogeneous split held {last_homo}"
+    );
+}
+
+#[test]
+fn inference_class_fleet_respects_per_class_memory() {
+    // 24 GB A10Gs: SD at batch 256 peaks at ~37 GiB on a single 80 GB A100
+    // node (committed golden), so the A10G fleet must either repartition
+    // under the budget or report infeasibility — never exceed it.
+    let a10g = ClusterSpec::mixed(&[(DeviceClass::a10g(), 2)]);
+    match Planner::new(zoo::stable_diffusion_v2_1(), a10g).plan(256) {
+        Ok(plan) => assert!(
+            plan.peak_memory_bytes <= DeviceClass::a10g().memory_bytes,
+            "peak {} exceeds the a10g budget",
+            plan.peak_memory_bytes
+        ),
+        Err(e) => assert!(
+            matches!(e, PlanError::NoFeasibleConfig),
+            "unexpected error {e:?}"
+        ),
+    }
+    // A mixed A100 + A10G fleet still plans: stages landing on the A10G
+    // machine are held to 24 GB, the A100 machine to 80 GB.
+    let mixed = ClusterSpec::mixed(&[(DeviceClass::a100(), 1), (DeviceClass::a10g(), 1)]);
+    let plan = Planner::new(zoo::stable_diffusion_v2_1(), mixed)
+        .plan(256)
+        .expect("mixed a100/a10g plans");
+    assert!(plan.peak_memory_bytes <= DeviceClass::a100().memory_bytes);
+}

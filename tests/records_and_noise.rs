@@ -17,7 +17,9 @@ fn record_backed_times_interpolate_close_to_analytic() {
     let model = zoo::stable_diffusion_v2_1();
     let profiler = Profiler::new(DeviceModel::a100_like());
     let (analytic, _) = profiler.profile(&model, 64);
-    let (recorded, _) = profiler.profile_records(&model, 64);
+    let (recorded, _) = profiler
+        .profile_records(&model, 64)
+        .expect("complete records");
     assert!(recorded.is_record_backed());
     // At profiled batches: exact. Between them: close (the true curve is
     // mildly convex, the interpolation is piecewise linear).
@@ -46,7 +48,9 @@ fn planning_from_records_matches_analytic_planning() {
     let cluster = ClusterSpec::single_node(8);
     let batch = 256u32;
     let profiler = Profiler::new(DeviceModel::a100_like()).with_world_size(8);
-    let (recorded, _) = profiler.profile_records(&model, batch);
+    let (recorded, _) = profiler
+        .profile_records(&model, batch)
+        .expect("complete records");
 
     // Re-run the per-config pipeline manually with the record-backed db and
     // compare against the planner's analytic result.
