@@ -15,6 +15,10 @@
 //! fast vs reference (byte-identity gated like the homogeneous models) with
 //! its serve-cache fingerprint checked against the homogeneous cluster's.
 //!
+//! Every scenario is loaded from a committed declarative spec file under
+//! `examples/specs/` (the same files `dpipe plan --spec` executes), so the
+//! bench inputs are reviewable data, not code.
+//!
 //! Writes a machine-readable `BENCH_plan.json` (see README "Performance"
 //! for the schema) and exits non-zero if any fast/reference plan pair
 //! diverges, so CI can use it as a golden regression gate.
@@ -29,29 +33,30 @@
 //! `--workers 2` to keep the parallel numbers meaningful.
 
 use diffusionpipe_core::Planner;
-use dpipe_cluster::{ClusterSpec, DataParallelLayout, DeviceClass};
-use dpipe_model::zoo;
-use dpipe_model::ModelSpec;
+use dpipe_cluster::DataParallelLayout;
 use dpipe_partition::{DpStats, PartitionConfig, Partitioner};
 use dpipe_profile::{DeviceModel, Profiler};
 use dpipe_serve::json::JsonValue;
 use dpipe_serve::{PlanRequest, PlanService, ServiceConfig};
+use dpipe_spec::PlanSpec;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const GPUS: usize = 64;
-const BATCH: u32 = 256;
+/// Directory of the committed scenario specs, relative to this crate.
+const SPEC_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/specs");
 
-fn cluster() -> ClusterSpec {
-    ClusterSpec::p4de(GPUS / 8)
-}
-
-/// The heterogeneous scenario's fleet: half A100 boxes, half H100 boxes.
-fn hetero_cluster() -> ClusterSpec {
-    ClusterSpec::mixed(&[
-        (DeviceClass::a100(), GPUS / 16),
-        (DeviceClass::h100(), GPUS / 16),
-    ])
+/// Loads one committed scenario spec and resolves it to a request. The
+/// bench is a correctness gate, so a broken scenario file must fail loudly.
+fn load_scenario(file: &str) -> PlanRequest {
+    let path = format!("{SPEC_DIR}/{file}");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading scenario spec {path} failed: {e}"));
+    let spec = PlanSpec::from_json(&text)
+        .unwrap_or_else(|e| panic!("parsing scenario spec {path} failed: {e}"));
+    spec.validate()
+        .unwrap_or_else(|e| panic!("scenario spec {path} is invalid: {e}"));
+    PlanRequest::from_spec(spec)
+        .unwrap_or_else(|e| panic!("resolving scenario spec {path} failed: {e}"))
 }
 
 /// Minimum wall time over `reps` runs of `f`.
@@ -69,6 +74,8 @@ fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 
 struct ModelReport {
     name: &'static str,
+    gpus: usize,
+    batch: u32,
     dp_fast_s: f64,
     dp_reference_s: f64,
     /// The cold benchmark config's own DP counters.
@@ -106,8 +113,11 @@ impl ModelReport {
     fn to_json(&self) -> JsonValue {
         JsonValue::Object(vec![
             ("model".to_owned(), JsonValue::Str(self.name.to_owned())),
-            ("gpus".to_owned(), JsonValue::UInt(GPUS as u64)),
-            ("global_batch".to_owned(), JsonValue::UInt(u64::from(BATCH))),
+            ("gpus".to_owned(), JsonValue::UInt(self.gpus as u64)),
+            (
+                "global_batch".to_owned(),
+                JsonValue::UInt(u64::from(self.batch)),
+            ),
             (
                 "cold_dp".to_owned(),
                 JsonValue::Object(vec![
@@ -188,21 +198,24 @@ impl ModelReport {
 
 fn bench_model(
     name: &'static str,
-    model: ModelSpec,
+    request: &PlanRequest,
     reps: usize,
     warm_iters: usize,
     parallel_workers: usize,
 ) -> ModelReport {
-    let cluster = cluster();
+    let model = request.model().clone();
+    let cluster = request.cluster().clone();
+    let gpus = cluster.world_size();
+    let batch = request.global_batch();
     let backbone = model.backbones().next().expect("zoo model has backbone").0;
 
     // 1. Cold single-config DP at the widest uniform shape (S=8, M=8).
     let (db, _) = Profiler::new(DeviceModel::a100_like())
         .with_world_size(cluster.world_size())
-        .profile(&model, BATCH);
-    let layout = DataParallelLayout::new(&cluster, GPUS).expect("64-wide layout");
+        .profile(&model, batch);
+    let layout = DataParallelLayout::new(&cluster, gpus).expect("cluster-wide layout");
     let part = Partitioner::new(&db, &cluster, &layout);
-    let cfg = PartitionConfig::new(8, 8, BATCH as f64);
+    let cfg = PartitionConfig::new(8, 8, batch as f64);
     let (dp_fast_s, _) = time_min(reps, || {
         part.partition_single(backbone, &cfg).expect("feasible cfg")
     });
@@ -221,12 +234,12 @@ fn bench_model(
     //    workers, parallel — a 1-worker "parallel" run would only repeat
     //    the sequential timing, so it is skipped and reported as null).
     let planner = Planner::new(model.clone(), cluster.clone());
-    let (plan_reference_s, reference) = time_min(reps, || planner.plan_reference(BATCH).unwrap());
-    let (plan_fast_s, (fast, stats)) = time_min(reps, || planner.plan_with_stats(BATCH).unwrap());
+    let (plan_reference_s, reference) = time_min(reps, || planner.plan_reference(batch).unwrap());
+    let (plan_fast_s, (fast, stats)) = time_min(reps, || planner.plan_with_stats(batch).unwrap());
     let (plan_parallel_s, parallel) = if parallel_workers >= 2 {
         let parallel_planner =
             Planner::new(model.clone(), cluster.clone()).with_parallelism(parallel_workers);
-        let (secs, plan) = time_min(reps, || parallel_planner.plan(BATCH).unwrap());
+        let (secs, plan) = time_min(reps, || parallel_planner.plan(batch).unwrap());
         (Some(secs), Some(plan))
     } else {
         (None, None)
@@ -251,7 +264,6 @@ fn bench_model(
 
     // 3. Warm-cache serve throughput.
     let service = PlanService::new(ServiceConfig::with_workers(parallel_workers.max(1)));
-    let request = PlanRequest::new(model, cluster, BATCH);
     let cold = service.plan_one(request.clone());
     assert!(cold.outcome.is_ok(), "cold serve plan failed");
     let t0 = Instant::now();
@@ -264,6 +276,8 @@ fn bench_model(
 
     ModelReport {
         name,
+        gpus,
+        batch,
         dp_fast_s,
         dp_reference_s,
         dp_stats,
@@ -302,7 +316,6 @@ impl HeteroReport {
                 JsonValue::Str("stable-diffusion-v2.1".to_owned()),
             ),
             ("classes".to_owned(), JsonValue::Str(self.classes.clone())),
-            ("gpus".to_owned(), JsonValue::UInt(GPUS as u64)),
             ("fast_s".to_owned(), JsonValue::Num(self.plan_fast_s)),
             (
                 "reference_s".to_owned(),
@@ -325,12 +338,16 @@ impl HeteroReport {
     }
 }
 
-fn bench_hetero(reps: usize) -> HeteroReport {
-    let model = zoo::stable_diffusion_v2_1();
-    let mixed = hetero_cluster();
-    let planner = Planner::new(model.clone(), mixed.clone());
-    let (plan_fast_s, fast) = time_min(reps, || planner.plan(BATCH).unwrap());
-    let (plan_reference_s, reference) = time_min(reps, || planner.plan_reference(BATCH).unwrap());
+/// Run-length class label of a mixed cluster, e.g. `a100:4,h100:4`.
+fn class_label(request: &PlanRequest) -> String {
+    dpipe_spec::cluster_label(request.cluster())
+}
+
+fn bench_hetero(reps: usize, mixed: &PlanRequest, homo: &PlanRequest) -> HeteroReport {
+    let batch = mixed.global_batch();
+    let planner = Planner::new(mixed.model().clone(), mixed.cluster().clone());
+    let (plan_fast_s, fast) = time_min(reps, || planner.plan(batch).unwrap());
+    let (plan_reference_s, reference) = time_min(reps, || planner.plan_reference(batch).unwrap());
     let mismatch = (fast.summary() != reference.summary()).then(|| {
         format!(
             "hetero fast plan diverged:\n  fast: {}\n  ref : {}",
@@ -338,14 +355,12 @@ fn bench_hetero(reps: usize) -> HeteroReport {
             reference.summary()
         )
     });
-    let mixed_req = PlanRequest::new(model.clone(), mixed, BATCH).fingerprint();
-    let homo_req = PlanRequest::new(model, cluster(), BATCH).fingerprint();
     HeteroReport {
-        classes: format!("a100:{},h100:{}", GPUS / 16, GPUS / 16),
+        classes: class_label(mixed),
         plan_fast_s,
         plan_reference_s,
         plan_id: format!("{:016x}", fast.fingerprint()),
-        fingerprint_differs: mixed_req != homo_req,
+        fingerprint_differs: mixed.fingerprint() != homo.fingerprint(),
         mismatch,
     }
 }
@@ -376,10 +391,12 @@ fn main() -> ExitCode {
     };
     let (reps, warm_iters) = if quick { (1, 40) } else { (3, 200) };
 
-    let models: Vec<(&'static str, ModelSpec)> = vec![
-        ("stable-diffusion-v2.1", zoo::stable_diffusion_v2_1()),
-        ("dit-xl-2", zoo::dit_xl_2()),
-        ("sdxl-base", zoo::sdxl_base()),
+    // Scenarios are committed spec files — the same documents
+    // `dpipe plan --spec` executes.
+    let models: Vec<(&'static str, PlanRequest)> = vec![
+        ("stable-diffusion-v2.1", load_scenario("sd_64gpu_b256.json")),
+        ("dit-xl-2", load_scenario("dit_64gpu_b256.json")),
+        ("sdxl-base", load_scenario("sdxl_64gpu_b256.json")),
     ];
 
     let mut reports = Vec::new();
@@ -396,8 +413,8 @@ fn main() -> ExitCode {
         "warm p/s",
         "ident"
     );
-    for (name, model) in models {
-        let r = bench_model(name, model, reps, warm_iters, parallel_workers);
+    for (name, request) in &models {
+        let r = bench_model(name, request, reps, warm_iters, parallel_workers);
         println!(
             "{:<22} {:>10.2} {:>10.2} {:>8.0}% {:>10.1} {:>10.1} {:>8.1}x {:>10.0} {:>8}",
             r.name,
@@ -417,7 +434,8 @@ fn main() -> ExitCode {
         reports.push(r);
     }
 
-    let hetero = bench_hetero(reps);
+    let mixed_request = load_scenario("sd_mixed_a100_h100_b256.json");
+    let hetero = bench_hetero(reps, &mixed_request, &models[0].1);
     println!(
         "{:<22} {:>10} {:>10} {:>9} {:>10.1} {:>10.1} {:>8.1}x {:>10} {:>8}",
         format!("sd-mixed[{}]", hetero.classes),

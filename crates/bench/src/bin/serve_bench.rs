@@ -53,9 +53,9 @@ fn main() {
         });
 
         let t0 = Instant::now();
-        let cold = grid.run(&service);
+        let cold = grid.run(&service).expect("static grid resolves");
         let cold_s = t0.elapsed().as_secs_f64();
-        let warm = grid.run(&service);
+        let warm = grid.run(&service).expect("static grid resolves");
         let stats = service.cache_stats();
 
         let baseline = *one_worker_cold.get_or_insert(cold_s);

@@ -1,0 +1,79 @@
+//! Machine-readable plan summaries (re-homed from `dpipe_serve` so every
+//! layer above the planner — serve, CLI, bench — shares one encoding
+//! without a dependency cycle; the JSON tree itself lives in
+//! [`dpipe_spec::json`]).
+
+use crate::plan::{BackbonePartition, Plan};
+use dpipe_spec::json::JsonValue;
+
+/// The machine-readable summary of a [`Plan`], shared by `dpipe plan
+/// --json`, `dpipe serve --json` and the sweep report.
+pub fn plan_json(plan: &Plan) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "id".to_owned(),
+            JsonValue::Str(format!("{:016x}", plan.fingerprint())),
+        ),
+        (
+            "num_stages".to_owned(),
+            JsonValue::UInt(plan.hyper.num_stages as u64),
+        ),
+        (
+            "num_micro_batches".to_owned(),
+            JsonValue::UInt(plan.hyper.num_micro_batches as u64),
+        ),
+        (
+            "group_size".to_owned(),
+            JsonValue::UInt(plan.hyper.group_size as u64),
+        ),
+        (
+            "partition".to_owned(),
+            JsonValue::Str(
+                match plan.partition {
+                    BackbonePartition::Single(_) => "single",
+                    BackbonePartition::Bidirectional(_) => "bidirectional",
+                }
+                .to_owned(),
+            ),
+        ),
+        (
+            "iteration_time_s".to_owned(),
+            JsonValue::Num(plan.iteration_time),
+        ),
+        (
+            "throughput_samples_per_s".to_owned(),
+            JsonValue::Num(plan.throughput),
+        ),
+        ("bubble_ratio".to_owned(), JsonValue::Num(plan.bubble_ratio)),
+        (
+            "peak_memory_bytes".to_owned(),
+            JsonValue::UInt(plan.peak_memory_bytes),
+        ),
+        ("summary".to_owned(), JsonValue::Str(plan.summary())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use dpipe_cluster::ClusterSpec;
+    use dpipe_model::zoo;
+
+    #[test]
+    fn plan_json_round_trips_headline_numbers() {
+        let plan = Planner::new(zoo::stable_diffusion_v2_1(), ClusterSpec::single_node(8))
+            .plan(64)
+            .unwrap();
+        let rendered = plan_json(&plan).to_string();
+        assert!(rendered.contains(&format!("\"id\":\"{:016x}\"", plan.fingerprint())));
+        assert!(rendered.contains("\"throughput_samples_per_s\":"));
+        assert!(rendered.contains("\"partition\":\"single\""));
+        // The emission is valid JSON the spec parser reads back.
+        let parsed = dpipe_spec::json::parse(&rendered).unwrap();
+        assert_eq!(
+            parsed.get("num_stages").unwrap().as_u64(),
+            Some(plan.hyper.num_stages as u64)
+        );
+    }
+}

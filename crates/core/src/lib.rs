@@ -31,10 +31,15 @@
 
 mod error;
 mod instructions;
+mod json;
 mod plan;
 mod planner;
 
 pub use error::PlanError;
 pub use instructions::generate_instructions;
+pub use json::plan_json;
 pub use plan::{BackbonePartition, Plan, PreprocessingReport};
 pub use planner::{PlanStats, Planner, PlannerOptions};
+// The declarative spec layer, re-exported so planner callers can stay on
+// one dependency: `Planner::from_spec(&PlanSpec::from_json(text)?)`.
+pub use dpipe_spec::{ModelRef, PlanSpec, SpecError, SweepSpec};

@@ -12,26 +12,11 @@ use dpipe_partition::{
 use dpipe_profile::{CostPrefix, DeviceModel, ProfileDb, Profiler, ProfilingReport};
 use dpipe_schedule::{ScheduleBuilder, ScheduleKind};
 use dpipe_sim::CombinedIteration;
+use dpipe_spec::PlanSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Feature toggles, used for the paper's Fig. 15 ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PlannerOptions {
-    /// Fill bubbles with the frozen part (the core contribution).
-    pub bubble_filling: bool,
-    /// Allow partial-batch layers inside bubbles.
-    pub partial_batch: bool,
-}
-
-impl Default for PlannerOptions {
-    fn default() -> Self {
-        PlannerOptions {
-            bubble_filling: true,
-            partial_batch: true,
-        }
-    }
-}
+pub use dpipe_spec::PlannerOptions;
 
 /// Counters describing one planning call (returned by
 /// [`Planner::plan_with_stats`]).
@@ -135,6 +120,7 @@ pub struct Planner {
     search: SearchSpace,
     options: PlannerOptions,
     fill_cfg: FillConfig,
+    schedule: ScheduleKind,
     parallelism: usize,
     record_backed: bool,
 }
@@ -142,6 +128,12 @@ pub struct Planner {
 impl Planner {
     /// Creates a planner with default device model, search space and
     /// options.
+    ///
+    /// Prefer describing runs as a [`PlanSpec`] and using
+    /// [`Planner::from_spec`]: the spec form is serializable, validated
+    /// and shared with the serving layer, sweeps, the CLI and the bench
+    /// harness. This constructor (and the `with_*` knobs below) remains
+    /// as the imperative escape hatch the spec path itself is built on.
     pub fn new(model: ModelSpec, cluster: ClusterSpec) -> Self {
         Planner {
             model,
@@ -150,9 +142,60 @@ impl Planner {
             search: SearchSpace::default(),
             options: PlannerOptions::default(),
             fill_cfg: FillConfig::default(),
+            schedule: ScheduleKind::Fifo1F1B,
             parallelism: 1,
             record_backed: false,
         }
+    }
+
+    /// Builds a planner from a declarative [`PlanSpec`]: resolves the
+    /// model reference and maps every spec knob onto the corresponding
+    /// builder. The produced plans are byte-identical to configuring the
+    /// same knobs through `Planner::new().with_*` — the spec is a
+    /// *description* of a planner, not a different planner.
+    ///
+    /// The spec's `global_batch` is carried by the spec itself; call
+    /// [`Planner::plan_spec`] for the one-shot form, or
+    /// `from_spec(&spec)?.plan(spec.global_batch)` explicitly.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::InvalidRequest`] for an unsupported `schema_version`
+    /// or an unresolvable zoo reference. Everything else fails exactly
+    /// where the builder path fails: an invalid inline model is
+    /// [`PlanError::InvalidModel`] from [`Planner::plan`], degenerate
+    /// batches and class assignments are `InvalidRequest` from there too.
+    pub fn from_spec(spec: &PlanSpec) -> Result<Self, PlanError> {
+        if spec.schema_version != dpipe_spec::SCHEMA_VERSION {
+            return Err(PlanError::InvalidRequest(
+                dpipe_spec::SpecError::UnsupportedVersion(u64::from(spec.schema_version))
+                    .to_string(),
+            ));
+        }
+        // Resolution failure is an invalid *request*; an inline model that
+        // fails structural validation stays an InvalidModel error from
+        // plan(), exactly like the builder path.
+        let model = spec
+            .model
+            .resolve()
+            .map_err(|e| PlanError::InvalidRequest(e.to_string()))?;
+        Ok(Planner::new(model, spec.cluster.clone())
+            .with_options(spec.options)
+            .with_search_space(spec.search)
+            .with_fill_config(spec.fill.clone())
+            .with_schedule_kind(spec.schedule)
+            .with_parallelism(spec.effective_parallelism())
+            .with_record_backed_profiles(spec.record_backed))
+    }
+
+    /// Plans a declarative [`PlanSpec`] end to end (the batch comes from
+    /// the spec).
+    ///
+    /// # Errors
+    ///
+    /// See [`Planner::from_spec`] and [`PlanError`].
+    pub fn plan_spec(spec: &PlanSpec) -> Result<Plan, PlanError> {
+        Planner::from_spec(spec)?.plan(spec.global_batch)
     }
 
     /// Overrides the device model.
@@ -161,21 +204,32 @@ impl Planner {
         self
     }
 
-    /// Overrides the hyper-parameter search space.
+    /// Overrides the hyper-parameter search space. (Soft-deprecated:
+    /// prefer [`PlanSpec::with_search_space`] + [`Planner::from_spec`].)
     pub fn with_search_space(mut self, search: SearchSpace) -> Self {
         self.search = search;
         self
     }
 
-    /// Sets ablation options (Fig. 15).
+    /// Sets ablation options (Fig. 15). (Soft-deprecated: prefer
+    /// [`PlanSpec::with_options`] + [`Planner::from_spec`].)
     pub fn with_options(mut self, options: PlannerOptions) -> Self {
         self.options = options;
         self
     }
 
-    /// Overrides the bubble-filling configuration.
+    /// Overrides the bubble-filling configuration. (Soft-deprecated:
+    /// prefer [`PlanSpec::with_fill_config`] + [`Planner::from_spec`].)
     pub fn with_fill_config(mut self, cfg: FillConfig) -> Self {
         self.fill_cfg = cfg;
+        self
+    }
+
+    /// Selects the single-backbone pipeline schedule family (default:
+    /// FIFO-1F1B, the paper's schedule). Bidirectional (cascaded-model)
+    /// plans always use the bidirectional schedule and ignore this knob.
+    pub fn with_schedule_kind(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = schedule;
         self
     }
 
@@ -447,7 +501,7 @@ impl Planner {
         let t1 = Instant::now();
         let builder = ScheduleBuilder::new(&dbs[0], &self.cluster, &layout).with_class_dbs(dbs);
         let schedule = match &partition {
-            BackbonePartition::Single(p) => builder.build_single(p, ScheduleKind::Fifo1F1B),
+            BackbonePartition::Single(p) => builder.build_single(p, self.schedule),
             BackbonePartition::Bidirectional(p) => builder.build_bidirectional(p),
         };
         let Ok(schedule) = schedule else {
@@ -577,7 +631,7 @@ impl Planner {
             let builder =
                 ScheduleBuilder::new(&dbs[0], &self.cluster, &layout).with_class_dbs(&dbs);
             let schedule = match &partition {
-                BackbonePartition::Single(p) => builder.build_single(p, ScheduleKind::Fifo1F1B),
+                BackbonePartition::Single(p) => builder.build_single(p, self.schedule),
                 BackbonePartition::Bidirectional(p) => builder.build_bidirectional(p),
             };
             let Ok(schedule) = schedule else { continue };
@@ -842,6 +896,62 @@ mod tests {
             assert_eq!(fast.partition, reference.partition);
             assert_eq!(fast.fill, reference.fill);
         }
+    }
+
+    #[test]
+    fn from_spec_reproduces_the_builder_path_byte_for_byte() {
+        let cluster = ClusterSpec::single_node(8);
+        for spec in [
+            PlanSpec::zoo("sd", cluster.clone(), 256),
+            PlanSpec::new(zoo::stable_diffusion_v2_1(), cluster.clone(), 256),
+        ] {
+            let via_spec = Planner::plan_spec(&spec).unwrap();
+            let direct = Planner::new(zoo::stable_diffusion_v2_1(), cluster.clone())
+                .plan(256)
+                .unwrap();
+            assert_eq!(via_spec.summary(), direct.summary());
+            assert_eq!(via_spec.partition, direct.partition);
+            assert_eq!(via_spec.fill, direct.fill);
+        }
+    }
+
+    #[test]
+    fn from_spec_rejects_unknown_models_and_versions() {
+        let unknown = PlanSpec::zoo("warpdrive", ClusterSpec::single_node(8), 64);
+        let err = Planner::from_spec(&unknown).unwrap_err();
+        assert!(
+            matches!(&err, PlanError::InvalidRequest(m) if m.contains("warpdrive")),
+            "{err:?}"
+        );
+        let mut future = PlanSpec::zoo("sd", ClusterSpec::single_node(8), 64);
+        future.schema_version = 99;
+        let err = Planner::from_spec(&future).unwrap_err();
+        assert!(
+            matches!(&err, PlanError::InvalidRequest(m) if m.contains("schema_version")),
+            "{err:?}"
+        );
+        // An invalid *inline* model still surfaces from plan(), like the
+        // builder path.
+        let mut broken = zoo::stable_diffusion_v2_1();
+        broken.components.retain(|c| !c.is_trainable());
+        let spec = PlanSpec::new(broken, ClusterSpec::single_node(8), 64);
+        let err = Planner::plan_spec(&spec).unwrap_err();
+        assert!(matches!(err, PlanError::InvalidModel(_)), "{err:?}");
+    }
+
+    #[test]
+    fn spec_schedule_kind_is_honoured_and_fast_path_stays_equivalent() {
+        let spec = PlanSpec::zoo("sd", ClusterSpec::single_node(8), 128)
+            .with_schedule(ScheduleKind::GPipe)
+            .with_parallelism(2);
+        let planner = Planner::from_spec(&spec).unwrap();
+        let gpipe = planner.plan(128).unwrap();
+        let reference = planner.plan_reference(128).unwrap();
+        assert_eq!(gpipe.summary(), reference.summary());
+        assert_eq!(gpipe.partition, reference.partition);
+        // GPipe schedules differently than 1F1B for the same inputs.
+        let fifo = Planner::plan_spec(&spec.clone().with_schedule(ScheduleKind::Fifo1F1B)).unwrap();
+        assert!(gpipe.throughput > 0.0 && fifo.throughput > 0.0);
     }
 
     #[test]

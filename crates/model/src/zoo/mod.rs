@@ -37,6 +37,34 @@ pub use synthetic::{synthetic_backbone, synthetic_model, tiny_model};
 
 use crate::{LayerKind, LayerSpec, ModelSpec};
 
+/// Short names of the paper-evaluated zoo models, in `dpipe models` order.
+/// [`by_name`] resolves each of them (and the models' full names).
+pub const NAMES: [&str; 7] = [
+    "sd",
+    "controlnet",
+    "cdm-lsun",
+    "cdm-imagenet",
+    "dit",
+    "sdxl",
+    "imagen",
+];
+
+/// Looks a zoo model up by its short CLI/spec name or its full model name.
+/// This is the single registry behind `dpipe plan --model`, `model=` serve
+/// request lines and `PlanSpec` `{"model":{"zoo":...}}` references.
+pub fn by_name(name: &str) -> Option<ModelSpec> {
+    Some(match name {
+        "sd" | "stable-diffusion" | "stable-diffusion-v2.1" => stable_diffusion_v2_1(),
+        "controlnet" | "controlnet-v1.0" => controlnet_v1_0(),
+        "cdm-lsun" => cdm_lsun(),
+        "cdm-imagenet" => cdm_imagenet(),
+        "dit" | "dit-xl-2" => dit_xl_2(),
+        "sdxl" | "sdxl-base" => sdxl_base(),
+        "imagen" | "imagen-base" => imagen_base(),
+        _ => return None,
+    })
+}
+
 /// FLOPs that take one millisecond at the default device peak of 1e14 FLOP/s.
 pub(crate) const FLOPS_PER_MS: f64 = 1.0e11;
 
@@ -104,6 +132,17 @@ mod tests {
             let result = m.validate();
             assert!(result.is_ok(), "{}: {:?}", m.name, result.err());
         }
+    }
+
+    #[test]
+    fn by_name_resolves_every_listed_model_and_full_names() {
+        for name in NAMES {
+            let m = by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            // The full model name resolves to the same spec.
+            let full = by_name(&m.name).unwrap_or_else(|| panic!("{} must resolve", m.name));
+            assert_eq!(m.fingerprint(), full.fingerprint(), "{name}");
+        }
+        assert!(by_name("nope").is_none());
     }
 
     #[test]

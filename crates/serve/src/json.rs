@@ -1,131 +1,14 @@
-//! A minimal JSON emitter for machine-readable CLI output.
+//! JSON support, re-homed.
 //!
-//! The workspace's `serde` is an inert offline shim (its derives expand to
-//! nothing), so serialization has to be explicit. This module provides the
-//! tiny subset needed by `dpipe plan --json` and `dpipe sweep --json`: a
-//! [`JsonValue`] tree with a spec-conformant `Display` (string escaping,
-//! non-finite numbers as `null`), plus [`plan_json`] — the shared
-//! machine-readable summary of a [`Plan`].
+//! The emitter that used to live here grew a parser and moved down-stack
+//! to [`dpipe_spec::json`] so the core planner (and the declarative spec
+//! API) can use it without depending on the serving layer; the shared
+//! [`plan_json`] plan summary moved to `diffusionpipe_core` for the same
+//! reason. This module re-exports both so existing
+//! `dpipe_serve::json::...` paths keep compiling.
 
-use diffusionpipe_core::{BackbonePartition, Plan};
-use std::fmt;
-
-/// A JSON document fragment.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An unsigned integer.
-    UInt(u64),
-    /// A float; non-finite values render as `null`.
-    Num(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An ordered array.
-    Array(Vec<JsonValue>),
-    /// An object with insertion-ordered keys.
-    Object(Vec<(String, JsonValue)>),
-}
-
-fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
-    f.write_str("\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
-        }
-    }
-    f.write_str("\"")
-}
-
-impl fmt::Display for JsonValue {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            JsonValue::Null => f.write_str("null"),
-            JsonValue::Bool(b) => write!(f, "{b}"),
-            JsonValue::UInt(n) => write!(f, "{n}"),
-            JsonValue::Num(x) if x.is_finite() => write!(f, "{x}"),
-            JsonValue::Num(_) => f.write_str("null"),
-            JsonValue::Str(s) => write_escaped(f, s),
-            JsonValue::Array(items) => {
-                f.write_str("[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                f.write_str("]")
-            }
-            JsonValue::Object(fields) => {
-                f.write_str("{")?;
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write_escaped(f, key)?;
-                    f.write_str(":")?;
-                    write!(f, "{value}")?;
-                }
-                f.write_str("}")
-            }
-        }
-    }
-}
-
-/// The machine-readable summary of a [`Plan`], shared by `dpipe plan --json`
-/// and the sweep report.
-pub fn plan_json(plan: &Plan) -> JsonValue {
-    JsonValue::Object(vec![
-        (
-            "id".to_owned(),
-            JsonValue::Str(format!("{:016x}", plan.fingerprint())),
-        ),
-        (
-            "num_stages".to_owned(),
-            JsonValue::UInt(plan.hyper.num_stages as u64),
-        ),
-        (
-            "num_micro_batches".to_owned(),
-            JsonValue::UInt(plan.hyper.num_micro_batches as u64),
-        ),
-        (
-            "group_size".to_owned(),
-            JsonValue::UInt(plan.hyper.group_size as u64),
-        ),
-        (
-            "partition".to_owned(),
-            JsonValue::Str(
-                match plan.partition {
-                    BackbonePartition::Single(_) => "single",
-                    BackbonePartition::Bidirectional(_) => "bidirectional",
-                }
-                .to_owned(),
-            ),
-        ),
-        (
-            "iteration_time_s".to_owned(),
-            JsonValue::Num(plan.iteration_time),
-        ),
-        (
-            "throughput_samples_per_s".to_owned(),
-            JsonValue::Num(plan.throughput),
-        ),
-        ("bubble_ratio".to_owned(), JsonValue::Num(plan.bubble_ratio)),
-        (
-            "peak_memory_bytes".to_owned(),
-            JsonValue::UInt(plan.peak_memory_bytes),
-        ),
-        ("summary".to_owned(), JsonValue::Str(plan.summary())),
-    ])
-}
+pub use diffusionpipe_core::plan_json;
+pub use dpipe_spec::json::{parse, JsonError, JsonValue};
 
 #[cfg(test)]
 mod tests {
@@ -135,31 +18,7 @@ mod tests {
     use dpipe_model::zoo;
 
     #[test]
-    fn renders_scalars_arrays_and_objects() {
-        let v = JsonValue::Object(vec![
-            ("a".to_owned(), JsonValue::UInt(3)),
-            ("b".to_owned(), JsonValue::Num(0.5)),
-            ("c".to_owned(), JsonValue::Bool(true)),
-            (
-                "d".to_owned(),
-                JsonValue::Array(vec![JsonValue::Null, JsonValue::Str("x".to_owned())]),
-            ),
-        ]);
-        assert_eq!(v.to_string(), r#"{"a":3,"b":0.5,"c":true,"d":[null,"x"]}"#);
-    }
-
-    #[test]
-    fn escapes_strings_and_nulls_non_finite() {
-        let v = JsonValue::Array(vec![
-            JsonValue::Str("a\"b\\c\nd\u{1}".to_owned()),
-            JsonValue::Num(f64::NAN),
-            JsonValue::Num(f64::INFINITY),
-        ]);
-        assert_eq!(v.to_string(), "[\"a\\\"b\\\\c\\nd\\u0001\",null,null]");
-    }
-
-    #[test]
-    fn plan_json_round_trips_headline_numbers() {
+    fn re_exported_emitter_and_parser_cover_plan_summaries() {
         let plan = PlanRequest::new(
             zoo::stable_diffusion_v2_1(),
             ClusterSpec::single_node(8),
@@ -169,9 +28,10 @@ mod tests {
         .unwrap();
         let rendered = plan_json(&plan).to_string();
         assert!(rendered.contains(&format!("\"id\":\"{:016x}\"", plan.fingerprint())));
-        assert!(rendered.contains("\"throughput_samples_per_s\":"));
-        assert!(rendered.contains("\"partition\":\"single\""));
-        // No unescaped control characters and balanced braces.
-        assert_eq!(rendered.matches('{').count(), rendered.matches('}').count());
+        let parsed = parse(&rendered).unwrap();
+        assert_eq!(
+            parsed.get("partition").and_then(JsonValue::as_str),
+            Some("single")
+        );
     }
 }

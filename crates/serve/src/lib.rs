@@ -7,20 +7,24 @@
 //! (profile → partition → schedule → fill → select, paper Fig. 7) a
 //! *serveable* subsystem:
 //!
-//! * [`PlanRequest`] — one planning question (model + cluster + global batch
-//!   plus planner knobs) with a stable content [`fingerprint`] built on
-//!   [`ModelSpec::fingerprint`] / [`ClusterSpec::fingerprint`];
+//! * [`PlanRequest`] — one planning question: a thin wrapper over the
+//!   declarative [`dpipe_spec::PlanSpec`] with a stable content
+//!   [`fingerprint`] derived from the canonical spec (built on
+//!   [`ModelSpec::fingerprint`] / [`ClusterSpec::fingerprint`]);
 //! * [`ShardedCache`] — a sharded plan cache with *single-flight*
 //!   deduplication: a burst of identical requests plans exactly once, and
 //!   every hit returns the very same `Arc<Plan>` as the cold run;
 //! * [`PlanService`] — a worker pool consuming requests from one MPMC
 //!   channel (the crossbeam shim), with in-order batch submission;
 //! * [`SweepGrid`] / [`SweepReport`] — parallel configuration sweeps over a
-//!   cartesian grid (models × GPU counts × batch sizes), ranked
+//!   declarative [`dpipe_spec::SweepSpec`] (template spec + model/cluster/
+//!   batch axes, mixed `a100:4,h100:4` fleets included), ranked
 //!   deterministically so an N-worker sweep reproduces the sequential
 //!   ranking exactly;
-//! * [`json`] — a minimal JSON emitter for the machine-readable CLI output
-//!   (`dpipe plan --json`, `dpipe sweep --json`).
+//! * [`json`] — re-exports of the JSON emitter/parser (now in
+//!   [`dpipe_spec::json`]) and the shared plan summary
+//!   (`diffusionpipe_core::plan_json`) used by the machine-readable CLI
+//!   output (`dpipe plan --json`, `dpipe sweep --json`).
 //!
 //! [`fingerprint`]: PlanRequest::fingerprint
 //! [`ModelSpec::fingerprint`]: dpipe_model::ModelSpec::fingerprint
@@ -56,3 +60,5 @@ pub use cache::{CacheStats, ShardedCache};
 pub use request::PlanRequest;
 pub use service::{PlanOutcome, PlanResponse, PlanService, ServiceConfig};
 pub use sweep::{SweepGrid, SweepPoint, SweepReport};
+// The declarative layer requests and sweeps are built on.
+pub use dpipe_spec::{ClusterAxis, ModelRef, PlanSpec, SpecError, SweepSpec};

@@ -1,92 +1,139 @@
-//! One planning request and its content fingerprint.
+//! One planning request: a thin wrapper over the declarative [`PlanSpec`].
+//!
+//! Since the spec redesign, the request no longer duplicates the planner's
+//! knobs — it *is* a [`PlanSpec`] plus the resolved model, and its cache
+//! fingerprint is derived from the canonical spec
+//! ([`PlanSpec::fingerprint_with_model`]). Homogeneous-cluster requests
+//! keep the exact fingerprints they had before the redesign, so warm
+//! caches and committed goldens survive.
 
 use diffusionpipe_core::{Plan, PlanError, Planner, PlannerOptions};
 use dpipe_cluster::ClusterSpec;
 use dpipe_model::ModelSpec;
 use dpipe_partition::SearchSpace;
-use dpipe_stablehash::StableHasher;
+use dpipe_spec::{PlanSpec, SpecError};
 
-/// Everything the planner needs for one plan: the model, the cluster, the
-/// global batch size and the planner knobs.
+/// Everything the planner needs for one plan, as a submit-able value.
 ///
 /// A request is a *value*; submitting the same value twice yields the same
 /// [`fingerprint`](PlanRequest::fingerprint) and therefore at most one
-/// planning run through the service's cache.
+/// planning run through the service's cache. Zoo-name and inline forms of
+/// the same model are the same value in this sense — they fingerprint
+/// identically.
 #[derive(Debug, Clone)]
 pub struct PlanRequest {
-    /// The model to plan.
-    pub model: ModelSpec,
-    /// The cluster to plan for.
-    pub cluster: ClusterSpec,
-    /// Global batch size (per-backbone batch for cascaded models).
-    pub global_batch: u32,
-    /// Ablation toggles forwarded to [`Planner::with_options`].
-    pub options: PlannerOptions,
-    /// Hyper-parameter bounds forwarded to [`Planner::with_search_space`].
-    pub search: SearchSpace,
-    /// Plan from record-backed (interpolated-sample) profiles instead of
-    /// the analytic device model; forwarded to
-    /// [`Planner::with_record_backed_profiles`]. A model/profile mismatch
-    /// surfaces as a typed [`PlanError::Profile`] in the response — it can
-    /// never kill a worker.
-    pub record_backed: bool,
+    /// The canonical declarative spec (the single source of truth).
+    spec: PlanSpec,
+    /// The resolution of a `ModelRef::Zoo` reference, cached at
+    /// construction so fingerprinting and labelling stay infallible.
+    /// `None` for inline specs — an inline ref resolves to itself, and
+    /// duplicating it would double every request's model memory on the
+    /// serve hot path.
+    zoo_model: Option<ModelSpec>,
 }
 
 impl PlanRequest {
-    /// Creates a request with default planner options and search space.
+    /// Creates a request with default planner options and search space
+    /// (an inline-model spec under the hood).
     pub fn new(model: ModelSpec, cluster: ClusterSpec, global_batch: u32) -> Self {
         PlanRequest {
-            model,
-            cluster,
-            global_batch,
-            options: PlannerOptions::default(),
-            search: SearchSpace::default(),
-            record_backed: false,
+            spec: PlanSpec::new(model, cluster, global_batch),
+            zoo_model: None,
         }
     }
 
-    /// Switches the request to record-backed profiling.
+    /// Wraps a declarative spec, resolving its model reference.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownModel`] when a zoo reference does not resolve.
+    pub fn from_spec(spec: PlanSpec) -> Result<Self, SpecError> {
+        let zoo_model = match &spec.model {
+            dpipe_spec::ModelRef::Zoo(_) => Some(spec.model.resolve()?),
+            dpipe_spec::ModelRef::Inline(_) => None,
+        };
+        Ok(PlanRequest { spec, zoo_model })
+    }
+
+    /// The canonical spec this request wraps.
+    pub fn spec(&self) -> &PlanSpec {
+        &self.spec
+    }
+
+    /// The resolved model.
+    pub fn model(&self) -> &ModelSpec {
+        match (&self.spec.model, &self.zoo_model) {
+            (dpipe_spec::ModelRef::Inline(m), _) => m,
+            (dpipe_spec::ModelRef::Zoo(_), Some(m)) => m,
+            // Both constructors resolve zoo references eagerly.
+            (dpipe_spec::ModelRef::Zoo(_), None) => {
+                unreachable!("zoo reference resolved at construction")
+            }
+        }
+    }
+
+    /// The cluster to plan for.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.spec.cluster
+    }
+
+    /// Global batch size (per-backbone batch for cascaded models).
+    pub fn global_batch(&self) -> u32 {
+        self.spec.global_batch
+    }
+
+    /// Ablation toggles forwarded to the planner.
+    pub fn options(&self) -> PlannerOptions {
+        self.spec.options
+    }
+
+    /// Hyper-parameter bounds forwarded to the planner.
+    pub fn search(&self) -> SearchSpace {
+        self.spec.search
+    }
+
+    /// Whether the request plans from record-backed profiles.
+    pub fn record_backed(&self) -> bool {
+        self.spec.record_backed
+    }
+
+    /// Switches the request to record-backed profiling. (Soft-deprecated:
+    /// prefer setting the field on a [`PlanSpec`] and
+    /// [`PlanRequest::from_spec`].)
     pub fn with_record_backed(mut self, record_backed: bool) -> Self {
-        self.record_backed = record_backed;
+        self.spec.record_backed = record_backed;
         self
     }
 
-    /// Overrides the planner options.
+    /// Overrides the planner options. (Soft-deprecated: prefer
+    /// [`PlanSpec::with_options`].)
     pub fn with_options(mut self, options: PlannerOptions) -> Self {
-        self.options = options;
+        self.spec.options = options;
         self
     }
 
-    /// Overrides the hyper-parameter search space.
+    /// Overrides the hyper-parameter search space. (Soft-deprecated:
+    /// prefer [`PlanSpec::with_search_space`].)
     pub fn with_search_space(mut self, search: SearchSpace) -> Self {
-        self.search = search;
+        self.spec.search = search;
         self
     }
 
-    /// Stable 64-bit content fingerprint of the whole request, combining
-    /// [`ModelSpec::fingerprint`], [`ClusterSpec::fingerprint`], the batch
-    /// size and every planner knob. This is the plan-cache key.
+    /// Stable 64-bit content fingerprint of the whole request — the
+    /// plan-cache key, derived from the canonical spec through
+    /// [`PlanSpec::fingerprint_with_model`]. Pre-redesign fingerprints
+    /// (homogeneous and mixed-class) are preserved bit-for-bit.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = StableHasher::new();
-        h.write_str("dpipe_serve::PlanRequest");
-        h.write_u64(self.model.fingerprint());
-        h.write_u64(self.cluster.fingerprint());
-        h.write_u32(self.global_batch);
-        h.write_bool(self.options.bubble_filling);
-        h.write_bool(self.options.partial_batch);
-        h.write_usize(self.search.max_stages);
-        h.write_usize(self.search.max_micro_batches);
-        h.write_bool(self.record_backed);
-        h.finish()
+        self.spec.fingerprint_with_model(self.model())
     }
 
     /// Short human-readable label, e.g. `stable-diffusion-v2.1@8gpu/b256`.
     pub fn label(&self) -> String {
         format!(
             "{}@{}gpu/b{}",
-            self.model.name,
-            self.cluster.world_size(),
-            self.global_batch
+            self.model().name,
+            self.spec.cluster.world_size(),
+            self.spec.global_batch
         )
     }
 
@@ -97,6 +144,10 @@ impl PlanRequest {
     /// Degenerate requests (no devices, zero batch) return
     /// [`PlanError::InvalidRequest`] instead of reaching the planner's
     /// internal assertions, so serving layers never panic on caller input.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanError`].
     pub fn plan(&self) -> Result<Plan, PlanError> {
         self.plan_with_parallelism(1)
     }
@@ -105,31 +156,33 @@ impl PlanRequest {
     /// fanned across `workers` threads. The plan is identical for any
     /// worker count ([`Planner::with_parallelism`]), so parallelism is a
     /// service-side sizing knob and deliberately *not* part of the
-    /// request's fingerprint.
+    /// request's fingerprint (nor is the spec's own `parallelism` field).
     ///
     /// # Errors
     ///
     /// See [`PlanError`].
     pub fn plan_with_parallelism(&self, workers: usize) -> Result<Plan, PlanError> {
-        if self.cluster.world_size() == 0 {
+        if self.spec.cluster.world_size() == 0 {
             return Err(PlanError::InvalidRequest(
                 "cluster has no devices".to_owned(),
             ));
         }
-        if self.global_batch == 0 {
+        if self.spec.global_batch == 0 {
             return Err(PlanError::InvalidRequest(
                 "global batch must be positive".to_owned(),
             ));
         }
-        if let Err(e) = self.cluster.validate_classes() {
+        if let Err(e) = self.spec.cluster.validate_classes() {
             return Err(PlanError::InvalidRequest(e));
         }
-        Planner::new(self.model.clone(), self.cluster.clone())
-            .with_options(self.options)
-            .with_search_space(self.search)
+        Planner::new(self.model().clone(), self.spec.cluster.clone())
+            .with_options(self.spec.options)
+            .with_search_space(self.spec.search)
+            .with_fill_config(self.spec.fill.clone())
+            .with_schedule_kind(self.spec.schedule)
             .with_parallelism(workers)
-            .with_record_backed_profiles(self.record_backed)
-            .plan(self.global_batch)
+            .with_record_backed_profiles(self.spec.record_backed)
+            .plan(self.spec.global_batch)
     }
 }
 
@@ -137,6 +190,7 @@ impl PlanRequest {
 mod tests {
     use super::*;
     use dpipe_model::zoo;
+    use dpipe_spec::ModelRef;
 
     #[test]
     fn fingerprint_covers_every_knob() {
@@ -147,18 +201,14 @@ mod tests {
         );
         assert_eq!(base.fingerprint(), base.clone().fingerprint());
 
-        let other_model = PlanRequest {
-            model: zoo::dit_xl_2(),
-            ..base.clone()
-        };
-        let other_cluster = PlanRequest {
-            cluster: ClusterSpec::single_node(4),
-            ..base.clone()
-        };
-        let other_batch = PlanRequest {
-            global_batch: 128,
-            ..base.clone()
-        };
+        let other_model =
+            PlanRequest::new(zoo::dit_xl_2(), base.cluster().clone(), base.global_batch());
+        let other_cluster = PlanRequest::new(
+            base.model().clone(),
+            ClusterSpec::single_node(4),
+            base.global_batch(),
+        );
+        let other_batch = PlanRequest::new(base.model().clone(), base.cluster().clone(), 128);
         let other_options = base.clone().with_options(PlannerOptions {
             bubble_filling: false,
             partial_batch: true,
@@ -182,6 +232,31 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn zoo_spec_and_builder_request_share_a_cache_key() {
+        let builder = PlanRequest::new(
+            zoo::stable_diffusion_v2_1(),
+            ClusterSpec::single_node(8),
+            256,
+        );
+        let spec =
+            PlanRequest::from_spec(PlanSpec::zoo("sd", ClusterSpec::single_node(8), 256)).unwrap();
+        assert_eq!(builder.fingerprint(), spec.fingerprint());
+        assert_eq!(builder.label(), spec.label());
+        // And through a JSON round trip of the spec.
+        let reloaded =
+            PlanRequest::from_spec(PlanSpec::from_json(&spec.spec().to_json()).unwrap()).unwrap();
+        assert_eq!(reloaded.fingerprint(), spec.fingerprint());
+    }
+
+    #[test]
+    fn unknown_zoo_reference_is_a_typed_spec_error() {
+        let err =
+            PlanRequest::from_spec(PlanSpec::zoo("warpdrive", ClusterSpec::single_node(8), 64))
+                .unwrap_err();
+        assert_eq!(err, SpecError::UnknownModel("warpdrive".to_owned()));
     }
 
     #[test]
@@ -221,6 +296,7 @@ mod tests {
             64,
         )
         .with_record_backed(true);
+        assert!(r.record_backed());
         let plan = r.plan().unwrap();
         assert!(plan.throughput > 0.0);
     }
@@ -229,6 +305,7 @@ mod tests {
     fn label_is_readable() {
         let r = PlanRequest::new(zoo::dit_xl_2(), ClusterSpec::single_node(4), 64);
         assert_eq!(r.label(), "dit-xl-2@4gpu/b64");
+        assert_eq!(r.spec().model, ModelRef::Inline(zoo::dit_xl_2()));
     }
 
     #[test]
@@ -239,9 +316,12 @@ mod tests {
             64,
         );
         let via_request = r.plan().unwrap();
-        let direct = Planner::new(r.model.clone(), r.cluster.clone())
+        let direct = Planner::new(r.model().clone(), r.cluster().clone())
             .plan(64)
             .unwrap();
         assert_eq!(via_request.summary(), direct.summary());
+        // The spec path is the same plan again.
+        let via_spec = Planner::plan_spec(r.spec()).unwrap();
+        assert_eq!(via_spec.summary(), direct.summary());
     }
 }

@@ -302,8 +302,9 @@ mod tests {
             cache_shards: 1,
             ..ServiceConfig::default()
         });
-        let mut bad = request(64);
-        bad.model.components.retain(|c| !c.is_trainable());
+        let mut broken_model = zoo::stable_diffusion_v2_1();
+        broken_model.components.retain(|c| !c.is_trainable());
+        let bad = PlanRequest::new(broken_model, ClusterSpec::single_node(8), 64);
         let cold = service.plan_one(bad.clone());
         assert!(matches!(cold.outcome, Err(PlanError::InvalidModel(_))));
         assert!(!cold.cache_hit);

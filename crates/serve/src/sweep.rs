@@ -1,122 +1,147 @@
-//! Parallel configuration sweeps: fan a cartesian grid of (model × GPU
-//! count × batch size) across the service and rank the outcomes.
+//! Parallel configuration sweeps: a declarative [`SweepSpec`] (template
+//! spec + axes) fanned across the service and ranked deterministically.
 
-use crate::json::JsonValue;
 use crate::request::PlanRequest;
 use crate::service::{PlanOutcome, PlanService};
-use diffusionpipe_core::PlannerOptions;
+use diffusionpipe_core::plan_json;
 use dpipe_cluster::ClusterSpec;
 use dpipe_model::ModelSpec;
-use dpipe_partition::SearchSpace;
+use dpipe_spec::json::JsonValue;
+use dpipe_spec::{
+    cluster_for_gpus, cluster_label, ClusterAxis, ModelRef, PlanSpec, SpecError, SweepSpec,
+};
 use std::cmp::Ordering;
 use std::fmt::Write as _;
 
-/// A cartesian grid of configurations to evaluate.
-#[derive(Debug, Clone)]
+/// A grid of configurations to evaluate: a thin executable wrapper around
+/// the declarative [`SweepSpec`] (template [`PlanSpec`] + model / cluster /
+/// batch axes). The cluster axis takes GPU counts *and* mixed-fleet machine
+/// specs like `a100:4,h100:4`, so heterogeneous fleets sweep like any other
+/// point.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepGrid {
-    /// Models to plan (each contributes `gpu_counts × batch_sizes` points).
-    pub models: Vec<ModelSpec>,
-    /// Total GPU counts; multiples of 8 above 8 become multi-machine
-    /// p4de-like clusters, anything else a single node with that many GPUs.
-    pub gpu_counts: Vec<usize>,
-    /// Global batch sizes.
-    pub batch_sizes: Vec<u32>,
-    /// Planner options applied to every point.
-    pub options: PlannerOptions,
-    /// Search space applied to every point.
-    pub search: SearchSpace,
+    /// The declarative sweep this grid executes.
+    pub spec: SweepSpec,
 }
 
 impl SweepGrid {
-    /// Creates a grid with default planner options and search space.
+    /// Creates a grid over models × GPU counts × batch sizes with default
+    /// planner options and search space. (Soft-deprecated: prefer
+    /// [`SweepGrid::from_spec`] — this wrapper builds the equivalent
+    /// [`SweepSpec`] for callers with already-constructed models.)
     pub fn new(models: Vec<ModelSpec>, gpu_counts: Vec<usize>, batch_sizes: Vec<u32>) -> Self {
+        let template_model: ModelRef = models
+            .first()
+            .cloned()
+            .map(ModelRef::Inline)
+            .unwrap_or_else(|| ModelRef::Zoo("sd".to_owned()));
+        let template = PlanSpec::new(
+            template_model,
+            cluster_for_gpus(gpu_counts.first().copied().unwrap_or(8)),
+            batch_sizes.first().copied().unwrap_or(64),
+        );
         SweepGrid {
-            models,
-            gpu_counts,
-            batch_sizes,
-            options: PlannerOptions::default(),
-            search: SearchSpace::default(),
+            spec: SweepSpec::new(template)
+                .with_models(models.into_iter().map(ModelRef::Inline).collect())
+                .with_clusters(gpu_counts.into_iter().map(ClusterAxis::GpuCount).collect())
+                .with_batches(batch_sizes),
         }
     }
 
+    /// Wraps a declarative sweep spec.
+    pub fn from_spec(spec: SweepSpec) -> Self {
+        SweepGrid { spec }
+    }
+
     /// The cluster shape used for a GPU count: `p4de(n/8)` for multiples of
-    /// 8 above 8, otherwise one machine with that many devices.
+    /// 8 above 8, otherwise one machine with that many devices. (Delegates
+    /// to [`dpipe_spec::cluster_for_gpus`].)
     pub fn cluster_for(gpus: usize) -> ClusterSpec {
-        if gpus > 8 && gpus.is_multiple_of(8) {
-            ClusterSpec::p4de(gpus / 8)
-        } else {
-            ClusterSpec::single_node(gpus)
-        }
+        cluster_for_gpus(gpus)
     }
 
     /// Number of grid points.
     pub fn len(&self) -> usize {
-        self.models.len() * self.gpu_counts.len() * self.batch_sizes.len()
+        self.spec.len()
     }
 
     /// True when the grid has no points.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.spec.is_empty()
     }
 
     /// Materialises the grid as requests, in deterministic
-    /// model-major / gpu / batch-minor order.
-    pub fn requests(&self) -> Vec<PlanRequest> {
-        let mut out = Vec::with_capacity(self.len());
-        for model in &self.models {
-            for &gpus in &self.gpu_counts {
-                for &batch in &self.batch_sizes {
-                    out.push(
-                        PlanRequest::new(model.clone(), Self::cluster_for(gpus), batch)
-                            .with_options(self.options)
-                            .with_search_space(self.search),
-                    );
-                }
-            }
-        }
-        out
+    /// model-major / cluster / batch-minor order.
+    ///
+    /// # Errors
+    ///
+    /// The first axis point that fails to resolve (unknown zoo model, bad
+    /// machine spec).
+    pub fn requests(&self) -> Result<Vec<PlanRequest>, SpecError> {
+        self.spec
+            .specs()?
+            .into_iter()
+            .map(PlanRequest::from_spec)
+            .collect()
     }
 
     /// Fans the grid across the service's worker pool and returns the
     /// ranked report.
-    pub fn run(&self, service: &PlanService) -> SweepReport {
-        let requests = self.requests();
-        let meta: Vec<(String, usize, u32)> = requests
+    ///
+    /// # Errors
+    ///
+    /// See [`SweepGrid::requests`].
+    pub fn run(&self, service: &PlanService) -> Result<SweepReport, SpecError> {
+        let requests = self.requests()?;
+        let meta: Vec<(String, usize, String, u32)> = requests
             .iter()
-            .map(|r| (r.model.name.clone(), r.cluster.world_size(), r.global_batch))
+            .map(|r| {
+                (
+                    r.model().name.clone(),
+                    r.cluster().world_size(),
+                    cluster_label(r.cluster()),
+                    r.global_batch(),
+                )
+            })
             .collect();
         let responses = service.plan_batch(requests);
         let points = responses
             .into_iter()
             .zip(meta)
-            .map(|(resp, (model, gpus, batch))| SweepPoint {
+            .map(|(resp, (model, gpus, cluster, batch))| SweepPoint {
                 model,
                 gpus,
+                cluster,
                 global_batch: batch,
                 fingerprint: resp.fingerprint,
                 cache_hit: resp.cache_hit,
                 outcome: resp.outcome,
             })
             .collect();
-        SweepReport::ranked(points)
+        Ok(SweepReport::ranked(points))
     }
 
     /// Plans every point on the calling thread with no service and no
     /// cache — the reference a parallel sweep must reproduce exactly.
-    pub fn run_sequential(&self) -> SweepReport {
+    ///
+    /// # Errors
+    ///
+    /// See [`SweepGrid::requests`].
+    pub fn run_sequential(&self) -> Result<SweepReport, SpecError> {
         let points = self
-            .requests()
+            .requests()?
             .into_iter()
             .map(|r| SweepPoint {
-                model: r.model.name.clone(),
-                gpus: r.cluster.world_size(),
-                global_batch: r.global_batch,
+                model: r.model().name.clone(),
+                gpus: r.cluster().world_size(),
+                cluster: cluster_label(r.cluster()),
+                global_batch: r.global_batch(),
                 fingerprint: r.fingerprint(),
                 cache_hit: false,
                 outcome: r.plan().map(std::sync::Arc::new),
             })
             .collect();
-        SweepReport::ranked(points)
+        Ok(SweepReport::ranked(points))
     }
 }
 
@@ -127,6 +152,9 @@ pub struct SweepPoint {
     pub model: String,
     /// Total GPU count.
     pub gpus: usize,
+    /// Cluster label: `16gpu` for homogeneous shapes, the `a100:4,h100:4`
+    /// class spec for mixed fleets.
+    pub cluster: String,
     /// Global batch size.
     pub global_batch: u32,
     /// Request fingerprint (the cache key).
@@ -148,9 +176,10 @@ impl SweepPoint {
         self.outcome.as_ref().ok().map(|p| p.bubble_ratio)
     }
 
-    /// `model × gpus × batch` coordinates as a display string.
+    /// `model × cluster × batch` coordinates as a display string
+    /// (`sd@16gpu/b128`, `sd@a100:2,h100:2/b128`).
     pub fn coords(&self) -> String {
-        format!("{}@{}gpu/b{}", self.model, self.gpus, self.global_batch)
+        format!("{}@{}/b{}", self.model, self.cluster, self.global_batch)
     }
 }
 
@@ -172,7 +201,7 @@ impl SweepReport {
     }
 
     fn rank(a: &SweepPoint, b: &SweepPoint) -> Ordering {
-        let key = |p: &SweepPoint| (p.model.clone(), p.gpus, p.global_batch);
+        let key = |p: &SweepPoint| (p.model.clone(), p.gpus, p.cluster.clone(), p.global_batch);
         match (a.throughput(), b.throughput()) {
             (Some(ta), Some(tb)) => tb
                 .partial_cmp(&ta)
@@ -219,18 +248,18 @@ impl SweepReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<4} {:<28} {:>5} {:>7} {:>12} {:>9} {:>5}",
-            "rank", "model", "gpus", "batch", "samples/s", "bubbles", "hit"
+            "{:<4} {:<28} {:>16} {:>7} {:>12} {:>9} {:>5}",
+            "rank", "model", "cluster", "batch", "samples/s", "bubbles", "hit"
         );
         for (i, p) in self.points.iter().enumerate() {
             match &p.outcome {
                 Ok(plan) => {
                     let _ = writeln!(
                         out,
-                        "{:<4} {:<28} {:>5} {:>7} {:>12.1} {:>8.1}% {:>5}",
+                        "{:<4} {:<28} {:>16} {:>7} {:>12.1} {:>8.1}% {:>5}",
                         i + 1,
                         p.model,
-                        p.gpus,
+                        p.cluster,
                         p.global_batch,
                         plan.throughput,
                         plan.bubble_ratio * 100.0,
@@ -240,10 +269,10 @@ impl SweepReport {
                 Err(e) => {
                     let _ = writeln!(
                         out,
-                        "{:<4} {:<28} {:>5} {:>7} {:>12} ({e})",
+                        "{:<4} {:<28} {:>16} {:>7} {:>12} ({e})",
                         i + 1,
                         p.model,
-                        p.gpus,
+                        p.cluster,
                         p.global_batch,
                         "-"
                     );
@@ -253,7 +282,7 @@ impl SweepReport {
         out
     }
 
-    /// The report as a JSON value (see [`crate::json`]).
+    /// The report as a JSON value (see [`dpipe_spec::json`]).
     pub fn to_json(&self) -> JsonValue {
         let points = self
             .points
@@ -262,6 +291,7 @@ impl SweepReport {
                 let mut fields = vec![
                     ("model".to_owned(), JsonValue::Str(p.model.clone())),
                     ("gpus".to_owned(), JsonValue::UInt(p.gpus as u64)),
+                    ("cluster".to_owned(), JsonValue::Str(p.cluster.clone())),
                     (
                         "global_batch".to_owned(),
                         JsonValue::UInt(u64::from(p.global_batch)),
@@ -273,7 +303,7 @@ impl SweepReport {
                     ("cache_hit".to_owned(), JsonValue::Bool(p.cache_hit)),
                 ];
                 match &p.outcome {
-                    Ok(plan) => fields.push(("plan".to_owned(), crate::json::plan_json(plan))),
+                    Ok(plan) => fields.push(("plan".to_owned(), plan_json(plan))),
                     Err(e) => fields.push(("error".to_owned(), JsonValue::Str(e.to_string()))),
                 }
                 JsonValue::Object(fields)
@@ -317,13 +347,75 @@ mod tests {
             vec![64, 128],
         );
         assert_eq!(grid.len(), 8);
-        let a: Vec<u64> = grid.requests().iter().map(|r| r.fingerprint()).collect();
-        let b: Vec<u64> = grid.requests().iter().map(|r| r.fingerprint()).collect();
+        let fps = |g: &SweepGrid| -> Vec<u64> {
+            g.requests()
+                .unwrap()
+                .iter()
+                .map(|r| r.fingerprint())
+                .collect()
+        };
+        let a = fps(&grid);
+        let b = fps(&grid);
         assert_eq!(a, b);
         let mut dedup = a.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), 8, "grid points must have distinct keys");
+    }
+
+    #[test]
+    fn mixed_fleet_axis_points_sweep() {
+        let template = PlanSpec::zoo("sd", SweepGrid::cluster_for(8), 64);
+        let grid = SweepGrid::from_spec(
+            SweepSpec::new(template)
+                .with_clusters(vec![
+                    ClusterAxis::GpuCount(8),
+                    ClusterAxis::MachineClasses("a100:1,h100:1".to_owned()),
+                ])
+                .with_batches(vec![64]),
+        );
+        assert_eq!(grid.len(), 2);
+        let requests = grid.requests().unwrap();
+        assert!(!requests[0].cluster().is_heterogeneous());
+        assert!(requests[1].cluster().is_heterogeneous());
+        assert_ne!(requests[0].fingerprint(), requests[1].fingerprint());
+
+        let service = PlanService::new(ServiceConfig {
+            workers: 2,
+            cache_shards: 4,
+            ..ServiceConfig::default()
+        });
+        let report = grid.run(&service).unwrap();
+        assert_eq!(report.points.len(), 2);
+        assert!(report.points.iter().all(|p| p.outcome.is_ok()));
+        let mixed = report
+            .points
+            .iter()
+            .find(|p| p.cluster == "a100:1,h100:1")
+            .expect("mixed point in report");
+        assert!(mixed.coords().contains("a100:1,h100:1"));
+        let text = report.render_text();
+        assert!(text.contains("a100:1,h100:1"), "{text}");
+    }
+
+    #[test]
+    fn bad_axis_points_are_typed_errors() {
+        let template = PlanSpec::zoo("sd", SweepGrid::cluster_for(8), 64);
+        let grid = SweepGrid::from_spec(
+            SweepSpec::new(template.clone())
+                .with_clusters(vec![ClusterAxis::MachineClasses("v100:2".to_owned())]),
+        );
+        assert_eq!(
+            grid.run_sequential().unwrap_err(),
+            SpecError::UnknownClass("v100".to_owned())
+        );
+        let grid = SweepGrid::from_spec(
+            SweepSpec::new(template).with_models(vec![ModelRef::Zoo("warpdrive".to_owned())]),
+        );
+        assert_eq!(
+            grid.requests().unwrap_err(),
+            SpecError::UnknownModel("warpdrive".to_owned())
+        );
     }
 
     #[test]
@@ -338,7 +430,7 @@ mod tests {
             cache_shards: 8,
             ..ServiceConfig::default()
         });
-        let report = grid.run(&service);
+        let report = grid.run(&service).unwrap();
         assert_eq!(report.points.len(), 4);
         let tps: Vec<f64> = report
             .points

@@ -90,6 +90,29 @@ proptest! {
 }
 
 #[test]
+fn spec_redesign_kept_the_pre_spec_cache_keys() {
+    // Pinned digests of the fingerprint byte layout the serving layer has
+    // used since PR 2 (homogeneous) and PR 4 (mixed classes). Warm caches
+    // key on these, so the PlanSpec-derived fingerprint must reproduce
+    // them forever; any drift here invalidates every deployed cache.
+    use dpipe_cluster::DeviceClass;
+    let sd_8gpu = PlanRequest::new(
+        dpipe_model::zoo::stable_diffusion_v2_1(),
+        ClusterSpec::single_node(8),
+        256,
+    );
+    assert_eq!(sd_8gpu.fingerprint(), 0x40d3171c7735cf82);
+    let dit_16gpu = PlanRequest::new(dpipe_model::zoo::dit_xl_2(), ClusterSpec::p4de(2), 128);
+    assert_eq!(dit_16gpu.fingerprint(), 0xb457e20337ded2cd);
+    let sd_mixed = PlanRequest::new(
+        dpipe_model::zoo::stable_diffusion_v2_1(),
+        ClusterSpec::mixed(&[(DeviceClass::a100(), 1), (DeviceClass::h100(), 1)]),
+        256,
+    );
+    assert_eq!(sd_mixed.fingerprint(), 0x7e7aa9da2bd43a0a);
+}
+
+#[test]
 fn fingerprints_are_collision_free_across_the_config_space() {
     // Exhaustive cartesian space: 7 models x 2 machine counts x 3 widths
     // x 4 batches x 4 option combinations = 672 distinct requests.

@@ -125,14 +125,14 @@ fn parallel_sweep_matches_sequential_ranking_exactly() {
         vec![64, 128],
     );
     assert_eq!(grid.len(), 8);
-    let sequential = grid.run_sequential();
+    let sequential = grid.run_sequential().unwrap();
 
     let service = PlanService::new(ServiceConfig {
         workers: 4,
         cache_shards: 8,
         ..ServiceConfig::default()
     });
-    let parallel = grid.run(&service);
+    let parallel = grid.run(&service).unwrap();
 
     assert_eq!(parallel.points.len(), sequential.points.len());
     for (p, s) in parallel.points.iter().zip(&sequential.points) {
@@ -162,8 +162,8 @@ fn warm_sweep_rerun_is_all_cache_hits_and_byte_identical() {
         cache_shards: 8,
         ..ServiceConfig::default()
     });
-    let cold = grid.run(&service);
-    let warm = grid.run(&service);
+    let cold = grid.run(&service).unwrap();
+    let warm = grid.run(&service).unwrap();
     assert_eq!(warm.cache_hit_rate(), 1.0, "warm re-run must be 100% hits");
     for (c, w) in cold.points.iter().zip(&warm.points) {
         assert_eq!(c.coords(), w.coords());
@@ -190,7 +190,7 @@ fn sweep_reports_infeasible_points_without_poisoning_the_ranking() {
         cache_shards: 4,
         ..ServiceConfig::default()
     });
-    let report = grid.run(&service);
+    let report = grid.run(&service).unwrap();
     assert_eq!(report.points.len(), 2);
     assert!(report.points[0].outcome.is_ok());
     assert!(report.points[1].outcome.is_err());
@@ -208,12 +208,12 @@ fn sweep_respects_planner_options() {
         cache_shards: 4,
         ..ServiceConfig::default()
     });
-    let filled = grid.run(&service);
-    grid.options = PlannerOptions {
+    let filled = grid.run(&service).unwrap();
+    grid.spec.template.options = PlannerOptions {
         bubble_filling: false,
         partial_batch: false,
     };
-    let unfilled = grid.run(&service);
+    let unfilled = grid.run(&service).unwrap();
     // Different knobs are different cache keys and different outcomes.
     assert_ne!(filled.points[0].fingerprint, unfilled.points[0].fingerprint);
     assert!(

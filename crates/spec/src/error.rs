@@ -1,0 +1,97 @@
+//! Typed diagnostics for spec parsing, resolution and validation.
+
+use crate::json::JsonError;
+use std::fmt;
+
+/// Why a spec could not be parsed, resolved or validated.
+///
+/// Every variant carries enough context to point the user at the offending
+/// field (dotted paths like `cluster.machine_classes[2]`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document is not well-formed JSON.
+    Json(JsonError),
+    /// The document's `schema_version` is not one this build understands.
+    UnsupportedVersion(u64),
+    /// A required field is absent.
+    MissingField(String),
+    /// A field this schema version does not define (typo guard: unknown
+    /// fields are rejected, never silently ignored).
+    UnknownField(String),
+    /// A `model.zoo` name with no zoo entry.
+    UnknownModel(String),
+    /// A device-class name with no preset (`a100`, `h100`, `a10g`).
+    UnknownClass(String),
+    /// A present field with an unusable value (wrong type, zero batch,
+    /// class/machine-count mismatch, ...).
+    InvalidValue {
+        /// Dotted path of the field.
+        field: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl SpecError {
+    /// Shorthand for [`SpecError::InvalidValue`].
+    pub fn invalid(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        SpecError::InvalidValue {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "{e}"),
+            SpecError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported schema_version {v} (this build understands {})",
+                crate::SCHEMA_VERSION
+            ),
+            SpecError::MissingField(field) => write!(f, "missing field `{field}`"),
+            SpecError::UnknownField(field) => write!(f, "unknown field `{field}`"),
+            SpecError::UnknownModel(name) => {
+                write!(f, "unknown zoo model `{name}` (run `dpipe models`)")
+            }
+            SpecError::UnknownClass(name) => {
+                write!(f, "unknown device class `{name}` (a100, h100, a10g)")
+            }
+            SpecError::InvalidValue { field, reason } => {
+                write!(f, "invalid `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_field() {
+        assert!(SpecError::MissingField("model".into())
+            .to_string()
+            .contains("`model`"));
+        assert!(SpecError::UnknownField("cluster.warp".into())
+            .to_string()
+            .contains("cluster.warp"));
+        assert!(SpecError::UnknownClass("v100".into())
+            .to_string()
+            .contains("a10g"));
+        assert!(SpecError::invalid("global_batch", "must be positive")
+            .to_string()
+            .contains("global_batch"));
+        assert!(SpecError::UnsupportedVersion(99).to_string().contains("99"));
+    }
+}

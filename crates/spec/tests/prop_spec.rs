@@ -1,0 +1,193 @@
+//! Property tests for the declarative spec API.
+//!
+//! The spec is only trustworthy as a cache key and a committed artifact if
+//! (a) `spec -> to_json -> from_json` is identity with a byte-stable
+//! re-encoding and a stable fingerprint, across the whole configuration
+//! space including mixed-class clusters and inline models, and (b) the
+//! hand-written parser rejects malformed documents (truncations, bad
+//! escapes, unknown schema versions) instead of guessing.
+
+use dpipe_cluster::{ClusterSpec, DeviceClass};
+use dpipe_fill::FillConfig;
+use dpipe_model::zoo;
+use dpipe_schedule::ScheduleKind;
+use dpipe_spec::{ClusterAxis, ModelRef, PlanSpec, PlannerOptions, SpecError, SweepSpec};
+use proptest::prelude::*;
+
+const ZOO: [&str; 7] = [
+    "sd",
+    "controlnet",
+    "cdm-lsun",
+    "cdm-imagenet",
+    "dit",
+    "sdxl",
+    "imagen",
+];
+
+/// One point of the spec configuration space, as plain data: model index
+/// (the last index is an *inline* synthetic model), cluster shape, batch,
+/// a knob bitmask and a mixed-fleet toggle.
+fn spec_for(
+    model_idx: usize,
+    machines: usize,
+    gpus: usize,
+    batch: u32,
+    mixed: bool,
+    knobs: usize,
+) -> PlanSpec {
+    let model = if model_idx < ZOO.len() {
+        ModelRef::Zoo(ZOO[model_idx].to_owned())
+    } else {
+        ModelRef::Inline(zoo::tiny_model())
+    };
+    let cluster = if mixed {
+        ClusterSpec::mixed(&[
+            (DeviceClass::a100(), machines),
+            (DeviceClass::h100(), machines),
+            (DeviceClass::a10g(), 1),
+        ])
+    } else {
+        ClusterSpec {
+            devices_per_machine: gpus,
+            ..ClusterSpec::p4de(machines)
+        }
+    };
+    let mut spec = PlanSpec::new(model, cluster, batch).with_options(PlannerOptions {
+        bubble_filling: knobs & 1 == 0,
+        partial_batch: knobs & 2 == 0,
+    });
+    if knobs & 4 != 0 {
+        spec = spec.with_schedule(ScheduleKind::GPipe);
+    }
+    if knobs & 8 != 0 {
+        spec = spec.with_fill_config(FillConfig {
+            min_bubble_seconds: 0.02,
+            local_batch_candidates: vec![2, 4, 8],
+            ..FillConfig::default()
+        });
+    }
+    if knobs & 16 != 0 {
+        spec = spec.with_record_backed(true).with_parallelism(knobs);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_is_identity_with_stable_fingerprint(
+        model_idx in 0usize..8,
+        machines in 1usize..4,
+        gpus in 1usize..9,
+        batch in 1u32..2048,
+        mixed in any::<bool>(),
+        knobs in 0usize..32,
+    ) {
+        let spec = spec_for(model_idx, machines, gpus, batch, mixed, knobs);
+        let text = spec.to_json();
+        let back = PlanSpec::from_json(&text).unwrap();
+        prop_assert_eq!(&back, &spec, "round trip changed the spec");
+        // Byte-stable canonical form: re-encoding reproduces the text.
+        prop_assert_eq!(back.to_json(), text.clone());
+        // The cache key survives serialization.
+        prop_assert_eq!(
+            back.fingerprint().unwrap(),
+            spec.fingerprint().unwrap()
+        );
+        // And spec values are valid documents end to end.
+        prop_assert!(dpipe_spec::json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn truncated_documents_never_parse(
+        model_idx in 0usize..8,
+        mixed in any::<bool>(),
+        cut in 1usize..4096,
+    ) {
+        let text = spec_for(model_idx, 2, 8, 256, mixed, 0).to_json();
+        // Any strict prefix is malformed: the root object closes at the
+        // very last byte. (The canonical encoding is ASCII, so byte
+        // slicing cannot split a character.)
+        let cut = cut.min(text.len() - 1);
+        let err = PlanSpec::from_json(&text[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, SpecError::Json(_)),
+            "truncation at {cut} gave a non-parse error: {err}"
+        );
+    }
+
+    #[test]
+    fn bad_escapes_and_unknown_versions_are_rejected(
+        esc_idx in 0usize..6,
+        version in 2u64..100_000,
+    ) {
+        // None of these characters opens a valid JSON escape.
+        let bad = [b'q', b'x', b'0', b'U', b'a', b' '][esc_idx] as char;
+        let text = format!(
+            r#"{{"schema_version":1,"model":"s\{bad}d","cluster":{{}},"global_batch":8}}"#
+        );
+        let err = PlanSpec::from_json(&text).unwrap_err();
+        prop_assert!(matches!(err, SpecError::Json(_)), "{err}");
+
+        let text = format!(
+            r#"{{"schema_version":{version},"model":"sd","cluster":{{}},"global_batch":8}}"#
+        );
+        prop_assert_eq!(
+            PlanSpec::from_json(&text).unwrap_err(),
+            SpecError::UnsupportedVersion(version)
+        );
+    }
+
+    #[test]
+    fn sweep_round_trip_including_mixed_axes(
+        model_idx in 0usize..7,
+        gpus in 1usize..9,
+        a100s in 1usize..4,
+        h100s in 1usize..4,
+        batch in 1u32..1024,
+    ) {
+        let sweep = SweepSpec::new(spec_for(model_idx, 1, 8, batch, false, 0))
+            .with_models(vec![
+                ModelRef::Zoo(ZOO[model_idx].to_owned()),
+                ModelRef::Inline(zoo::tiny_model()),
+            ])
+            .with_clusters(vec![
+                ClusterAxis::GpuCount(gpus),
+                ClusterAxis::MachineClasses(format!("a100:{a100s},h100:{h100s}")),
+            ])
+            .with_batches(vec![batch, batch + 1]);
+        let text = sweep.to_json();
+        let back = SweepSpec::from_json(&text).unwrap();
+        prop_assert_eq!(&back, &sweep);
+        prop_assert_eq!(back.to_json(), text);
+        // Expansion reaches every point and substitutes the mixed fleet.
+        let specs = back.specs().unwrap();
+        prop_assert_eq!(specs.len(), 2 * 2 * 2);
+        prop_assert!(specs.iter().any(|s| s.cluster.is_heterogeneous()));
+        prop_assert!(
+            specs.iter().all(|s| s.global_batch == batch || s.global_batch == batch + 1)
+        );
+    }
+}
+
+#[test]
+fn mixed_class_spec_round_trips_with_exact_fingerprint() {
+    // The acceptance-criteria case spelled out: a mixed-class cluster spec
+    // survives the JSON round trip with an identical cache key, and its
+    // key differs from the homogeneous cluster of the same shape.
+    let mixed = PlanSpec::zoo(
+        "sd",
+        ClusterSpec::mixed(&[(DeviceClass::a100(), 4), (DeviceClass::h100(), 4)]),
+        256,
+    );
+    let back = PlanSpec::from_json(&mixed.to_json()).unwrap();
+    assert_eq!(back, mixed);
+    assert_eq!(back.fingerprint().unwrap(), mixed.fingerprint().unwrap());
+    let homo = PlanSpec::zoo("sd", ClusterSpec::p4de(8), 256);
+    assert_ne!(
+        mixed.fingerprint().unwrap(),
+        homo.fingerprint().unwrap(),
+        "mixed fleets must never share a cache key with homogeneous ones"
+    );
+}

@@ -26,7 +26,7 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let cold = grid.run(&service);
+    let cold = grid.run(&service).expect("static grid resolves");
     let cold_s = t0.elapsed().as_secs_f64();
     print!("{}", cold.render_text());
     println!(
@@ -42,7 +42,7 @@ fn main() {
     }
 
     let t1 = Instant::now();
-    let warm = grid.run(&service);
+    let warm = grid.run(&service).expect("static grid resolves");
     let warm_s = t1.elapsed().as_secs_f64();
     let identical =
         cold.points

@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! dpipe plan --model sd --machines 1 --gpus 8 --batch 256 [--no-fill] [--no-partial] [--timeline]
+//! dpipe plan --spec examples/specs/sd_8gpu_b256.json
+//! dpipe plan --model sd --batch 256 --emit-spec | dpipe plan --spec -
 //! dpipe models
 //! dpipe baselines --model controlnet --machines 4 --batch 1024
 //! dpipe serve --requests plans.txt --workers 4
 //! dpipe sweep --models sd,dit --gpus 4,8 --batches 128,256 --workers 4
+//! dpipe sweep --spec sweep.json
 //! ```
+//!
+//! Every `plan`/`sweep` run is reproducible as data: `--emit-spec` prints
+//! the fully-resolved declarative spec (`PlanSpec`/`SweepSpec` JSON) for
+//! any flag combination, and `--spec <file|->` executes such a document.
 
 use diffusionpipe::baselines::{ddp, gpipe, spp, zero3};
 use diffusionpipe::core::{generate_instructions, BackbonePartition, Planner, PlannerOptions};
@@ -14,6 +21,7 @@ use diffusionpipe::partition::SearchSpace;
 use diffusionpipe::prelude::*;
 use diffusionpipe::schedule::render_timeline;
 use diffusionpipe::serve::json::{plan_json, JsonValue};
+use diffusionpipe::spec::{ClusterAxis, ModelRef, PlanSpec, SweepSpec};
 use std::collections::HashMap;
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -26,12 +34,20 @@ USAGE:
       List the model zoo.
   dpipe plan --model <name> [--machines N|SPEC] [--gpus-per-machine N]
              [--batch N] [--workers N] [--no-fill] [--no-partial]
-             [--timeline] [--instructions] [--json]
+             [--timeline] [--instructions] [--json] [--emit-spec]
+  dpipe plan --spec <file|-> [--batch N] [--workers N] [--no-fill]
+             [--no-partial] [--timeline] [--instructions] [--json]
+             [--emit-spec]
       Plan training and print the chosen configuration. The per-config
       search fans across --workers threads (default: all cores); the plan
       is identical for any worker count. --machines takes a count (all
       machines A100-class) or a mixed-fleet spec like `a100:4,h100:4`
-      (classes: a100, h100, a10g).
+      (classes: a100, h100, a10g). --spec executes a declarative PlanSpec
+      JSON document ('-' reads stdin); run-local knobs (--batch, --workers,
+      --no-fill, --no-partial) override the document, while
+      --model/--machines with --spec are rejected. --emit-spec prints the
+      resolved spec instead of planning, so any flag combination
+      round-trips through `--emit-spec | dpipe plan --spec -`.
   dpipe baselines --model <name> [--machines N|SPEC] [--gpus-per-machine N]
              [--batch N]
       Compare DiffusionPipe against DDP / ZeRO-3 / GPipe / SPP.
@@ -40,25 +56,21 @@ USAGE:
       One request per line: model=<name> [machines=N|SPEC] [gpus=N]
       [batch=N] [fill=on|off] [partial=on|off]; '#' starts a comment.
       '-' reads stdin.
-  dpipe sweep --models <a,b,..> [--gpus <n,..>] [--batches <n,..>]
-             [--workers N] [--best] [--json] [--no-fill] [--no-partial]
+  dpipe sweep --models <a,b,..> [--gpus <n,..>] [--machines <spec;..>]
+             [--batches <n,..>] [--workers N] [--best] [--json]
+             [--no-fill] [--no-partial] [--emit-spec]
+  dpipe sweep --spec <file|-> [--workers N] [--best] [--json] [--emit-spec]
       Fan a cartesian configuration grid across the worker pool and print
-      the ranked report.
+      the ranked report. The cluster axis combines --gpus counts with
+      --machines mixed-fleet specs (';'-separated, e.g.
+      `a100:4,h100:4;a10g:8`). --spec executes a declarative SweepSpec
+      JSON document; --emit-spec prints the resolved sweep spec.
 
 Models: sd, controlnet, cdm-lsun, cdm-imagenet, dit, sdxl, imagen
 ";
 
 fn model_by_name(name: &str) -> Option<ModelSpec> {
-    Some(match name {
-        "sd" | "stable-diffusion" => zoo::stable_diffusion_v2_1(),
-        "controlnet" => zoo::controlnet_v1_0(),
-        "cdm-lsun" => zoo::cdm_lsun(),
-        "cdm-imagenet" => zoo::cdm_imagenet(),
-        "dit" => zoo::dit_xl_2(),
-        "sdxl" => zoo::sdxl_base(),
-        "imagen" => zoo::imagen_base(),
-        _ => return None,
-    })
+    zoo::by_name(name)
 }
 
 struct Args {
@@ -128,15 +140,7 @@ fn cmd_models() -> ExitCode {
         "{:<14} {:>10} {:>12} {:>12} {:>10}",
         "name", "backbones", "train params", "frozen params", "frozen L"
     );
-    for name in [
-        "sd",
-        "controlnet",
-        "cdm-lsun",
-        "cdm-imagenet",
-        "dit",
-        "sdxl",
-        "imagen",
-    ] {
+    for name in zoo::NAMES {
         let m = model_by_name(name).expect("known name");
         println!(
             "{:<14} {:>10} {:>11.2}B {:>11.2}B {:>10}",
@@ -150,32 +154,97 @@ fn cmd_models() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Reads a `--spec` source: a file path or `-` for stdin.
+fn read_spec_source(source: &str) -> Result<String, String> {
+    if source == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin failed: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(source).map_err(|e| format!("reading {source} failed: {e}"))
+    }
+}
+
+/// Resolves the flags of one `dpipe plan` invocation into the declarative
+/// spec it is equivalent to — the single path both planning and
+/// `--emit-spec` go through, so what gets emitted is exactly what runs.
+fn spec_from_plan_args(args: &Args) -> Result<PlanSpec, String> {
+    if let Some(source) = args.flags.get("spec") {
+        // The document is authoritative for the planning inputs; flags that
+        // would silently contradict it are rejected, while run-local knobs
+        // (--workers, --batch, the ablation switches) override it — and
+        // --emit-spec shows exactly what the merge resolved to.
+        for conflicting in ["model", "machines", "gpus-per-machine"] {
+            if args.flags.contains_key(conflicting) {
+                return Err(format!(
+                    "--{conflicting} cannot be combined with --spec; edit the spec \
+                     file (or regenerate it with --emit-spec)"
+                ));
+            }
+        }
+        let mut spec =
+            PlanSpec::from_json(&read_spec_source(source)?).map_err(|e| e.to_string())?;
+        if let Some(workers) = args.flags.get("workers") {
+            spec.parallelism = workers
+                .parse()
+                .map_err(|_| format!("bad --workers `{workers}`"))?;
+        }
+        if let Some(batch) = args.flags.get("batch") {
+            spec.global_batch = batch
+                .parse()
+                .map_err(|_| format!("bad --batch `{batch}`"))?;
+        }
+        if args.has("no-fill") {
+            spec.options.bubble_filling = false;
+        }
+        if args.has("no-partial") {
+            spec.options.partial_batch = false;
+        }
+        return Ok(spec);
+    }
+    let model_name = args
+        .flags
+        .get("model")
+        .ok_or("unknown or missing --model; run `dpipe models`")?;
+    if model_by_name(model_name).is_none() {
+        return Err(format!("unknown model `{model_name}`; run `dpipe models`"));
+    }
+    let cluster = cluster_from(args)?;
+    let batch: u32 = args.get("batch", 32 * cluster.world_size() as u32);
+    Ok(PlanSpec::zoo(model_name.clone(), cluster, batch)
+        .with_options(PlannerOptions {
+            bubble_filling: !args.has("no-fill"),
+            partial_batch: !args.has("no-partial"),
+        })
+        // 0 = "all cores", the CLI default, kept symbolic so an emitted
+        // spec reproduces on any machine.
+        .with_parallelism(args.get("workers", 0)))
+}
+
 fn cmd_plan(args: &Args) -> ExitCode {
-    let Some(model) = args.flags.get("model").and_then(|n| model_by_name(n)) else {
-        eprintln!("unknown or missing --model; run `dpipe models`");
-        return ExitCode::FAILURE;
-    };
-    let cluster = match cluster_from(args) {
-        Ok(c) => c,
+    let spec = match spec_from_plan_args(args) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let batch: u32 = args.get("batch", 32 * cluster.world_size() as u32);
-    let options = PlannerOptions {
-        bubble_filling: !args.has("no-fill"),
-        partial_batch: !args.has("no-partial"),
+    if args.has("emit-spec") {
+        println!("{}", spec.to_json());
+        return ExitCode::SUCCESS;
+    }
+    let request = match PlanRequest::from_spec(spec.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
-    let default_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let workers: usize = args.get("workers", default_workers);
-    let model_name = model.name.clone();
-    let planner = Planner::new(model, cluster.clone())
-        .with_options(options)
-        .with_parallelism(workers);
-    let plan = match planner.plan(batch) {
+    let batch = request.global_batch();
+    let cluster = request.cluster().clone();
+    let plan = match request.plan_with_parallelism(spec.effective_parallelism()) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("planning failed: {e}");
@@ -183,13 +252,24 @@ fn cmd_plan(args: &Args) -> ExitCode {
         }
     };
     if args.has("json") {
+        // Self-describing output: the canonical spec and the request
+        // fingerprint ride along, so any emitted plan can be replayed with
+        // `dpipe plan --spec` and correlated with serve-cache entries.
         let doc = JsonValue::Object(vec![
-            ("model".to_owned(), JsonValue::Str(model_name)),
+            (
+                "model".to_owned(),
+                JsonValue::Str(request.model().name.clone()),
+            ),
             (
                 "world_size".to_owned(),
                 JsonValue::UInt(cluster.world_size() as u64),
             ),
             ("global_batch".to_owned(), JsonValue::UInt(u64::from(batch))),
+            (
+                "fingerprint".to_owned(),
+                JsonValue::Str(format!("{:016x}", request.fingerprint())),
+            ),
+            ("spec".to_owned(), spec.to_json_value()),
             ("plan".to_owned(), plan_json(&plan)),
         ]);
         println!("{doc}");
@@ -456,41 +536,84 @@ fn parse_list<T: std::str::FromStr>(raw: &str) -> Result<Vec<T>, String> {
         .collect()
 }
 
-fn cmd_sweep(args: &Args) -> ExitCode {
-    let Some(model_names) = args.flags.get("models") else {
-        eprintln!("missing --models <a,b,..>; run `dpipe models`");
-        return ExitCode::FAILURE;
-    };
+/// Resolves the flags of one `dpipe sweep` invocation into the declarative
+/// sweep spec it is equivalent to (shared by execution and `--emit-spec`).
+fn sweep_spec_from_args(args: &Args) -> Result<SweepSpec, String> {
+    if let Some(source) = args.flags.get("spec") {
+        return SweepSpec::from_json(&read_spec_source(source)?).map_err(|e| e.to_string());
+    }
+    let model_names = args
+        .flags
+        .get("models")
+        .ok_or("missing --models <a,b,..>; run `dpipe models`")?;
     let mut models = Vec::new();
     for name in model_names.split(',').filter(|s| !s.is_empty()) {
-        match model_by_name(name) {
-            Some(m) => models.push(m),
-            None => {
-                eprintln!("unknown model `{name}`; run `dpipe models`");
-                return ExitCode::FAILURE;
-            }
+        if model_by_name(name).is_none() {
+            return Err(format!("unknown model `{name}`; run `dpipe models`"));
+        }
+        models.push(ModelRef::Zoo(name.to_owned()));
+    }
+    // The 8-GPU default applies only when no cluster axis is given at all:
+    // a sweep asked to cover mixed fleets via --machines must not silently
+    // grow an extra homogeneous point.
+    let gpus_default = if args.flags.contains_key("machines") {
+        ""
+    } else {
+        "8"
+    };
+    let mut clusters: Vec<ClusterAxis> =
+        parse_list::<usize>(args.flags.get("gpus").map_or(gpus_default, String::as_str))
+            .map_err(|e| format!("--gpus: {e}"))?
+            .into_iter()
+            .map(ClusterAxis::GpuCount)
+            .collect();
+    // Mixed-fleet axis points: ';'-separated machine specs, each validated
+    // here so typos fail before any planning starts.
+    if let Some(machine_specs) = args.flags.get("machines") {
+        for spec in machine_specs.split(';').filter(|s| !s.is_empty()) {
+            DeviceClass::parse_machine_spec(spec).map_err(|e| format!("--machines: {e}"))?;
+            clusters.push(ClusterAxis::MachineClasses(spec.to_owned()));
         }
     }
-    let gpus = match parse_list::<usize>(args.flags.get("gpus").map_or("8", String::as_str)) {
-        Ok(g) => g,
+    let batches = parse_list::<u32>(args.flags.get("batches").map_or("128,256", String::as_str))
+        .map_err(|e| format!("--batches: {e}"))?;
+    let template_model = models
+        .first()
+        .cloned()
+        .unwrap_or_else(|| ModelRef::Zoo("sd".to_owned()));
+    let template_cluster = clusters
+        .first()
+        .map(|c| c.resolve().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or_else(|| SweepGrid::cluster_for(8));
+    let template = PlanSpec::new(
+        template_model,
+        template_cluster,
+        batches.first().copied().unwrap_or(64),
+    )
+    .with_options(PlannerOptions {
+        bubble_filling: !args.has("no-fill"),
+        partial_batch: !args.has("no-partial"),
+    });
+    Ok(SweepSpec::new(template)
+        .with_models(models)
+        .with_clusters(clusters)
+        .with_batches(batches))
+}
+
+fn cmd_sweep(args: &Args) -> ExitCode {
+    let sweep = match sweep_spec_from_args(args) {
+        Ok(s) => s,
         Err(e) => {
-            eprintln!("--gpus: {e}");
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let batches =
-        match parse_list::<u32>(args.flags.get("batches").map_or("128,256", String::as_str)) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("--batches: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-    let mut grid = SweepGrid::new(models, gpus, batches);
-    grid.options = PlannerOptions {
-        bubble_filling: !args.has("no-fill"),
-        partial_batch: !args.has("no-partial"),
-    };
+    if args.has("emit-spec") {
+        println!("{}", sweep.to_json());
+        return ExitCode::SUCCESS;
+    }
+    let grid = SweepGrid::from_spec(sweep);
     if grid.is_empty() {
         eprintln!("empty sweep grid");
         return ExitCode::FAILURE;
@@ -498,7 +621,13 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     let workers: usize = args.get("workers", ServiceConfig::default().workers);
     let service = PlanService::new(ServiceConfig::with_workers(workers));
     let start = std::time::Instant::now();
-    let report = grid.run(&service);
+    let report = match grid.run(&service) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let elapsed = start.elapsed().as_secs_f64();
     if args.has("json") {
         println!("{}", report.to_json());

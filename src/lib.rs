@@ -19,16 +19,30 @@
 //!
 //! ## Quickstart
 //!
+//! Planning inputs are one declarative, versioned, JSON-round-trippable
+//! value: [`PlanSpec`](crate::spec::PlanSpec). The planner, the serving
+//! layer, sweeps, the CLI (`dpipe plan --spec`) and the bench harness all
+//! consume exactly this type.
+//!
 //! ```
 //! use diffusionpipe::prelude::*;
 //!
 //! // Plan Stable Diffusion v2.1 training on one 8-GPU machine.
-//! let plan = Planner::new(zoo::stable_diffusion_v2_1(), ClusterSpec::single_node(8))
-//!     .plan(256)
-//!     .unwrap();
+//! let spec = PlanSpec::zoo("sd", ClusterSpec::single_node(8), 256);
+//! let plan = Planner::plan_spec(&spec).unwrap();
 //! println!("{}", plan.summary());
 //! assert!(plan.bubble_ratio < 0.10);
+//!
+//! // The spec round-trips through JSON byte-stably, so every run is
+//! // reproducible as data (`dpipe plan --emit-spec | dpipe plan --spec -`).
+//! let reloaded = PlanSpec::from_json(&spec.to_json()).unwrap();
+//! assert_eq!(reloaded, spec);
+//! assert_eq!(Planner::plan_spec(&reloaded).unwrap().summary(), plan.summary());
 //! ```
+//!
+//! The imperative builder is still available (and is what the spec path
+//! drives internally): `Planner::new(model, cluster).with_options(..)
+//! .plan(batch)` produces byte-identical plans.
 //!
 //! ## Crate map
 //!
@@ -45,6 +59,7 @@
 //! | [`engine`] | `dpipe-engine` | threaded back-end + equivalence |
 //! | [`baselines`] | `dpipe-baselines` | DDP / ZeRO-3 / GPipe / SPP |
 //! | [`core`] | `diffusionpipe-core` | the planner |
+//! | [`spec`] | `dpipe-spec` | declarative PlanSpec/SweepSpec + JSON |
 //! | [`serve`] | `dpipe-serve` | concurrent planning service + sweeps |
 
 pub use diffusionpipe_core as core;
@@ -58,6 +73,7 @@ pub use dpipe_profile as profile;
 pub use dpipe_schedule as schedule;
 pub use dpipe_serve as serve;
 pub use dpipe_sim as sim;
+pub use dpipe_spec as spec;
 pub use dpipe_tensor as tensor;
 
 /// The most common imports in one place.
@@ -71,4 +87,7 @@ pub mod prelude {
     pub use crate::schedule::{ScheduleBuilder, ScheduleKind};
     pub use crate::serve::{PlanRequest, PlanService, ServiceConfig, SweepGrid, SweepReport};
     pub use crate::sim::CombinedIteration;
+    pub use crate::spec::{
+        json, ClusterAxis, ModelRef, PlanSpec, SpecError, SweepSpec, SCHEMA_VERSION,
+    };
 }

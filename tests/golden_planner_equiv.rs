@@ -70,12 +70,17 @@ fn checked_golden_line(name: &str, gpus: usize, batch: u32, planner: &Planner) -
 fn golden_summaries_match_committed_file() {
     let update = std::env::var("DPIPE_UPDATE_GOLDENS").is_ok();
     let mut lines = Vec::new();
-    for (name, model) in zoo_models() {
+    for (name, _model) in zoo_models() {
         for gpus in DEVICE_COUNTS {
             for batch in BATCHES {
-                // Parallelism 2 deliberately exercises the threaded search;
-                // the output is identical for any worker count.
-                let planner = Planner::new(model.clone(), cluster_for(gpus)).with_parallelism(2);
+                // The planner is built from a declarative spec — the grid
+                // names *are* zoo references — so matching the committed
+                // goldens proves the spec path is byte-identical to the
+                // legacy builder path that produced them. Parallelism 2
+                // deliberately exercises the threaded search; the output
+                // is identical for any worker count.
+                let spec = PlanSpec::zoo(name, cluster_for(gpus), batch).with_parallelism(2);
+                let planner = Planner::from_spec(&spec).expect("golden spec resolves");
                 lines.push(if update {
                     checked_golden_line(name, gpus, batch, &planner)
                 } else {
@@ -132,6 +137,32 @@ fn fast_matches_reference_planner_end_to_end() {
             fast.peak_memory_bytes, reference.peak_memory_bytes,
             "{name}"
         );
+    }
+}
+
+#[test]
+fn spec_path_is_byte_identical_to_builder_path() {
+    // Cross-section of the golden grid, planned twice: once through the
+    // declarative spec (zoo reference + JSON round trip) and once through
+    // the legacy builder. Full plan structure must match bit for bit.
+    let cases: [(&str, ModelSpec, usize, u32); 3] = [
+        ("sd", zoo::stable_diffusion_v2_1(), 8, 256),
+        ("cdm-lsun", zoo::cdm_lsun(), 8, 64),
+        ("sdxl", zoo::sdxl_base(), 16, 128),
+    ];
+    for (name, model, gpus, batch) in cases {
+        let spec = PlanSpec::zoo(name, cluster_for(gpus), batch).with_parallelism(2);
+        let reloaded = PlanSpec::from_json(&spec.to_json()).expect("canonical spec parses");
+        let via_spec = Planner::plan_spec(&reloaded).unwrap();
+        let via_builder = Planner::new(model, cluster_for(gpus))
+            .with_parallelism(2)
+            .plan(batch)
+            .unwrap();
+        assert_eq!(via_spec.summary(), via_builder.summary(), "{name}");
+        assert_eq!(via_spec.hyper, via_builder.hyper, "{name}");
+        assert_eq!(via_spec.partition, via_builder.partition, "{name}");
+        assert_eq!(via_spec.schedule, via_builder.schedule, "{name}");
+        assert_eq!(via_spec.fill, via_builder.fill, "{name}");
     }
 }
 
