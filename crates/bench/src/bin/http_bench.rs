@@ -1,0 +1,257 @@
+//! `http_bench` — closed-loop load generator for the HTTP planning
+//! frontend (`dpipe serve --listen`).
+//!
+//! Starts an in-process [`HttpServer`] on an ephemeral port and drives it
+//! with N concurrent persistent connections through two phases:
+//!
+//! 1. **cold** — every request is a distinct spec (unique global batch), so
+//!    each one planned from scratch: the worst case for the service;
+//! 2. **warm mix** — requests cycle over a small seeded spec set with a
+//!    fresh cold spec mixed in every eighth request: the steady state of a
+//!    control plane asking mostly-repeated questions.
+//!
+//! Latency is measured *client-side* (connect-to-last-byte per request), so
+//! the reported p50/p99 include the wire and any queueing, not just plan
+//! time. Every response must be well-formed: 200s and admission-control
+//! 503s are counted, anything else (or a transport error, or a panic) fails
+//! the run. Writes a machine-readable `BENCH_serve.json`.
+//!
+//! ```text
+//! http_bench [--quick] [--out PATH] [--connections N]
+//! ```
+
+use dpipe_http::{HttpClient, HttpServer, ServerConfig};
+use dpipe_serve::json::{parse, JsonValue};
+use dpipe_spec::PlanSpec;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SPEC_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/specs");
+
+/// The template scenario all request bodies derive from.
+fn template_spec() -> PlanSpec {
+    let path = format!("{SPEC_DIR}/sd_8gpu_b256.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading scenario spec {path} failed: {e}"));
+    PlanSpec::from_json(&text)
+        .unwrap_or_else(|e| panic!("parsing scenario spec {path} failed: {e}"))
+}
+
+/// A spec body with a distinct global batch (distinct fingerprint).
+fn spec_body(template: &PlanSpec, batch: u32) -> String {
+    let mut spec = template.clone();
+    spec.global_batch = batch;
+    spec.to_json()
+}
+
+/// One phase's client-side tally.
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.latencies_us.extend(other.latencies_us);
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.errors += other.errors;
+    }
+
+    fn quantile_ms(&self, q: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1] as f64 / 1_000.0
+    }
+
+    fn to_json(&self, elapsed_s: f64) -> JsonValue {
+        let requests = self.latencies_us.len() as u64;
+        JsonValue::Object(vec![
+            ("requests".to_owned(), JsonValue::UInt(requests)),
+            ("ok_200".to_owned(), JsonValue::UInt(self.ok)),
+            ("shed_503".to_owned(), JsonValue::UInt(self.shed)),
+            ("errors".to_owned(), JsonValue::UInt(self.errors)),
+            ("elapsed_s".to_owned(), JsonValue::Num(elapsed_s)),
+            (
+                "plans_per_s".to_owned(),
+                JsonValue::Num(self.ok as f64 / elapsed_s.max(1e-9)),
+            ),
+            ("p50_ms".to_owned(), JsonValue::Num(self.quantile_ms(0.50))),
+            ("p99_ms".to_owned(), JsonValue::Num(self.quantile_ms(0.99))),
+        ])
+    }
+}
+
+/// Runs one phase: `connections` threads, each with its own persistent
+/// connection, each sending the bodies `bodies_for(thread, i)` yields for
+/// `per_conn` iterations. Returns the merged tally and the wall time.
+fn run_phase(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    per_conn: usize,
+    bodies_for: impl Fn(usize, usize) -> String + Send + Sync + 'static,
+) -> (Tally, f64) {
+    let bodies_for = Arc::new(bodies_for);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|t| {
+            let bodies_for = Arc::clone(&bodies_for);
+            std::thread::spawn(move || {
+                let mut tally = Tally::default();
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for i in 0..per_conn {
+                    let body = bodies_for(t, i);
+                    let start = Instant::now();
+                    match client.request("POST", "/plan", body.as_bytes()) {
+                        Ok(response) => {
+                            tally
+                                .latencies_us
+                                .push(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                            match response.status {
+                                200 => tally.ok += 1,
+                                // Shed load is a *correct* answer under
+                                // pressure; anything else is a failure.
+                                503 => tally.shed += 1,
+                                _ => tally.errors += 1,
+                            }
+                        }
+                        Err(_) => {
+                            // A dropped or broken connection is exactly what
+                            // load shedding must prevent.
+                            tally.errors += 1;
+                            match HttpClient::connect(addr) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+    let mut tally = Tally::default();
+    for handle in handles {
+        match handle.join() {
+            Ok(t) => tally.merge(t),
+            Err(_) => tally.errors += 1,
+        }
+    }
+    (tally, t0.elapsed().as_secs_f64())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let connections: usize = match args.iter().position(|a| a == "--connections") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) => n.max(1),
+            _ => {
+                eprintln!("--connections requires a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 8,
+    };
+    let (cold_per_conn, warm_per_conn) = if quick { (6, 40) } else { (24, 250) };
+
+    let server = HttpServer::start(ServerConfig::default()).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr();
+    let template = Arc::new(template_spec());
+    println!(
+        "http_bench: {connections} connections against http://{addr} \
+         (cold {cold_per_conn}/conn, warm {warm_per_conn}/conn)\n"
+    );
+
+    // Phase 1: all-cold — thread t's i-th request is globally unique.
+    let cold_template = Arc::clone(&template);
+    let (cold, cold_s) = run_phase(addr, connections, cold_per_conn, move |t, i| {
+        spec_body(&cold_template, 64 + 8 * (t * cold_per_conn + i) as u32)
+    });
+
+    // Phase 2: warm mix — a seeded 8-spec working set, with a fresh cold
+    // spec every 8th request. The fresh batches sit on a different residue
+    // (68 + 8k) than the cold phase's (64 + 8k), so they are genuinely
+    // unplanned, while staying small enough to be feasible on 8 GPUs.
+    let warm_set: Vec<String> = (0..8)
+        .map(|k| spec_body(&template, 64 + 8 * k as u32))
+        .collect();
+    let fresh_per_conn = warm_per_conn / 8 + 1;
+    let warm_template = Arc::clone(&template);
+    let (warm, warm_s) = run_phase(addr, connections, warm_per_conn, move |t, i| {
+        if i % 8 == 7 {
+            spec_body(&warm_template, 68 + 8 * (t * fresh_per_conn + i / 8) as u32)
+        } else {
+            warm_set[(t + i) % warm_set.len()].clone()
+        }
+    });
+
+    // Server-side view, straight off /metrics.
+    let metrics_doc = HttpClient::connect(addr)
+        .and_then(|mut c| c.request("GET", "/metrics", b""))
+        .map_err(|e| e.to_string())
+        .and_then(|r| parse(&r.text()).map_err(|e| e.to_string()))
+        .unwrap_or(JsonValue::Null);
+
+    for (name, tally, secs) in [("cold", &cold, cold_s), ("warm mix", &warm, warm_s)] {
+        println!(
+            "{:<9} {:>6} requests {:>8.1} plans/s  p50 {:>7.2} ms  p99 {:>7.2} ms  \
+             ({} shed, {} errors)",
+            name,
+            tally.latencies_us.len(),
+            tally.ok as f64 / secs.max(1e-9),
+            tally.quantile_ms(0.50),
+            tally.quantile_ms(0.99),
+            tally.shed,
+            tally.errors,
+        );
+    }
+
+    let errors = cold.errors + warm.errors;
+    let doc = JsonValue::Object(vec![
+        (
+            "benchmark".to_owned(),
+            JsonValue::Str("http_bench".to_owned()),
+        ),
+        ("quick".to_owned(), JsonValue::Bool(quick)),
+        (
+            "connections".to_owned(),
+            JsonValue::UInt(connections as u64),
+        ),
+        ("cold".to_owned(), cold.to_json(cold_s)),
+        ("warm_mix".to_owned(), warm.to_json(warm_s)),
+        (
+            "shed_503_total".to_owned(),
+            JsonValue::UInt(cold.shed + warm.shed),
+        ),
+        ("errors_total".to_owned(), JsonValue::UInt(errors)),
+        ("server_metrics".to_owned(), metrics_doc),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, format!("{doc}\n")) {
+        eprintln!("writing {out_path} failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nwarm-mix sustained {:.1} plans/s over {connections} connections -> {out_path}",
+        warm.ok as f64 / warm_s.max(1e-9)
+    );
+    if errors > 0 {
+        eprintln!("{errors} request(s) failed with a non-200/503 response or transport error");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

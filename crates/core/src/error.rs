@@ -23,6 +23,22 @@ pub enum PlanError {
     /// mismatch). Wraps [`dpipe_profile::ProfileError`]; callers inside
     /// serve workers receive this instead of a panic.
     Profile(String),
+    /// The serving infrastructure itself failed (a planner panic was
+    /// contained, a worker was lost, a channel closed). Unlike the other
+    /// variants this says nothing about the request: retrying the same
+    /// spec may well succeed, so serving layers must not cache it and
+    /// should report it as a server-side (5xx) failure.
+    Internal(String),
+}
+
+impl PlanError {
+    /// True when the error is a deterministic verdict about the request
+    /// itself — the same spec will fail the same way every time, so caching
+    /// the outcome is sound. [`PlanError::Internal`] is the one transient
+    /// variant: it reflects the state of the service, not the spec.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, PlanError::Internal(_))
+    }
 }
 
 impl fmt::Display for PlanError {
@@ -37,6 +53,7 @@ impl fmt::Display for PlanError {
             }
             PlanError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             PlanError::Profile(m) => write!(f, "profile error: {m}"),
+            PlanError::Internal(m) => write!(f, "internal service error: {m}"),
         }
     }
 }
@@ -60,6 +77,17 @@ mod tests {
         assert!(PlanError::InvalidRequest("no devices".to_owned())
             .to_string()
             .contains("no devices"));
+    }
+
+    #[test]
+    fn only_internal_errors_are_transient() {
+        assert!(PlanError::NoFeasibleConfig.is_deterministic());
+        assert!(PlanError::InvalidModel("x".into()).is_deterministic());
+        assert!(PlanError::InvalidRequest("x".into()).is_deterministic());
+        assert!(PlanError::Profile("x".into()).is_deterministic());
+        let internal = PlanError::Internal("worker lost".into());
+        assert!(!internal.is_deterministic());
+        assert!(internal.to_string().contains("worker lost"));
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Server-side observability: request/response counters, admission
+//! (shed/rate-limit) counters and log-bucketed latency histograms, all
+//! lock-free atomics so the hot path never serialises on a metrics mutex.
+//! `GET /metrics` renders the whole registry as one JSON document.
+
+use dpipe_serve::CacheStats;
+use dpipe_spec::json::JsonValue;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Upper bounds (microseconds) of the latency histogram buckets; the last
+/// bucket is open-ended. Log-ish spacing covers 50 µs cache hits through
+/// 30 s pathological plans in 19 buckets.
+const BOUNDS_US: [u64; 19] = [
+    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    1_000_000, 2_000_000, 5_000_000, 10_000_000, 20_000_000, 30_000_000,
+];
+
+/// A fixed-bucket latency histogram with atomic counters.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..=BOUNDS_US.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound (microseconds) of the bucket containing the `q`
+    /// quantile (0.0–1.0), or 0 with no observations. The answer for the
+    /// open-ended last bucket is the observed maximum.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return BOUNDS_US
+                    .get(idx)
+                    .copied()
+                    .unwrap_or_else(|| self.max_us.load(Ordering::Relaxed));
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// The histogram as a JSON object (`count`, `mean_ms`, `p50_ms`,
+    /// `p90_ms`, `p99_ms`, `max_ms`).
+    pub fn to_json(&self) -> JsonValue {
+        let count = self.count();
+        let mean_ms = if count == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64 / 1_000.0
+        };
+        let ms = |us: u64| us as f64 / 1_000.0;
+        JsonValue::Object(vec![
+            ("count".to_owned(), JsonValue::UInt(count)),
+            ("mean_ms".to_owned(), JsonValue::Num(mean_ms)),
+            (
+                "p50_ms".to_owned(),
+                JsonValue::Num(ms(self.quantile_us(0.50))),
+            ),
+            (
+                "p90_ms".to_owned(),
+                JsonValue::Num(ms(self.quantile_us(0.90))),
+            ),
+            (
+                "p99_ms".to_owned(),
+                JsonValue::Num(ms(self.quantile_us(0.99))),
+            ),
+            (
+                "max_ms".to_owned(),
+                JsonValue::Num(ms(self.max_us.load(Ordering::Relaxed))),
+            ),
+        ])
+    }
+}
+
+/// The server's counter registry.
+pub struct Metrics {
+    started: Instant,
+    /// Requests fully parsed off the wire.
+    pub requests_total: AtomicU64,
+    /// Responses by status code class we actually emit.
+    pub ok_200: AtomicU64,
+    /// 4xx total (400/404/405/408/411/413/422/429/431).
+    pub client_errors: AtomicU64,
+    /// 500s (internal/service failures).
+    pub server_errors: AtomicU64,
+    /// 503s from admission control — load shed, never a dropped connection.
+    pub shed_total: AtomicU64,
+    /// 429s from the per-client token bucket.
+    pub rate_limited_total: AtomicU64,
+    /// Successful `POST /plan` responses.
+    pub plans_total: AtomicU64,
+    /// Successful `POST /sweep` responses.
+    pub sweeps_total: AtomicU64,
+    /// Requests currently being handled (gauge).
+    pub in_flight: AtomicUsize,
+    /// Connections currently open (gauge).
+    pub open_connections: AtomicUsize,
+    /// End-to-end `POST /plan` service time.
+    pub plan_latency: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// A zeroed registry started now.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            ok_200: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            server_errors: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            rate_limited_total: AtomicU64::new(0),
+            plans_total: AtomicU64::new(0),
+            sweeps_total: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            open_connections: AtomicUsize::new(0),
+            plan_latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Seconds since the registry was created.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Tallies a response's status code into the right counter.
+    pub fn count_status(&self, status: u16) {
+        match status {
+            200 => {
+                self.ok_200.fetch_add(1, Ordering::Relaxed);
+            }
+            503 => {
+                self.shed_total.fetch_add(1, Ordering::Relaxed);
+            }
+            429 => {
+                self.rate_limited_total.fetch_add(1, Ordering::Relaxed);
+                self.client_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            500 => {
+                self.server_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.client_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The whole registry as the `GET /metrics` JSON document. Cache and
+    /// queue figures come from the [`PlanService`] the server fronts.
+    ///
+    /// [`PlanService`]: dpipe_serve::PlanService
+    pub fn to_json(&self, cache: &CacheStats, queue_depth: usize) -> JsonValue {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let uptime = self.uptime_s();
+        let plans = load(&self.plans_total);
+        JsonValue::Object(vec![
+            ("uptime_s".to_owned(), JsonValue::Num(uptime)),
+            (
+                "requests_total".to_owned(),
+                JsonValue::UInt(load(&self.requests_total)),
+            ),
+            (
+                "responses_200".to_owned(),
+                JsonValue::UInt(load(&self.ok_200)),
+            ),
+            (
+                "responses_4xx".to_owned(),
+                JsonValue::UInt(load(&self.client_errors)),
+            ),
+            (
+                "responses_500".to_owned(),
+                JsonValue::UInt(load(&self.server_errors)),
+            ),
+            (
+                "shed_503_total".to_owned(),
+                JsonValue::UInt(load(&self.shed_total)),
+            ),
+            (
+                "rate_limited_429_total".to_owned(),
+                JsonValue::UInt(load(&self.rate_limited_total)),
+            ),
+            ("plans_total".to_owned(), JsonValue::UInt(plans)),
+            (
+                "sweeps_total".to_owned(),
+                JsonValue::UInt(load(&self.sweeps_total)),
+            ),
+            (
+                "plans_per_s".to_owned(),
+                JsonValue::Num(plans as f64 / uptime.max(1e-9)),
+            ),
+            (
+                "in_flight".to_owned(),
+                JsonValue::UInt(self.in_flight.load(Ordering::Relaxed) as u64),
+            ),
+            (
+                "open_connections".to_owned(),
+                JsonValue::UInt(self.open_connections.load(Ordering::Relaxed) as u64),
+            ),
+            (
+                "queue_depth".to_owned(),
+                JsonValue::UInt(queue_depth as u64),
+            ),
+            (
+                "cache".to_owned(),
+                JsonValue::Object(vec![
+                    ("hits".to_owned(), JsonValue::UInt(cache.hits)),
+                    ("misses".to_owned(), JsonValue::UInt(cache.misses)),
+                    ("hit_rate".to_owned(), JsonValue::Num(cache.hit_rate())),
+                    ("entries".to_owned(), JsonValue::UInt(cache.entries as u64)),
+                    ("evictions".to_owned(), JsonValue::UInt(cache.evictions)),
+                    ("uncached".to_owned(), JsonValue::UInt(cache.uncached)),
+                ]),
+            ),
+            ("plan_latency".to_owned(), self.plan_latency.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        // 90 fast (≤100 µs bucket), 10 slow (≤50 ms bucket).
+        for _ in 0..90 {
+            h.record_us(80);
+        }
+        for _ in 0..10 {
+            h.record_us(42_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 100);
+        assert_eq!(h.quantile_us(0.99), 50_000);
+        let json = h.to_json().to_string();
+        assert!(json.contains("\"p99_ms\":50"), "{json}");
+    }
+
+    #[test]
+    fn overflow_bucket_reports_observed_max() {
+        let h = LatencyHistogram::new();
+        h.record_us(99_000_000);
+        assert_eq!(h.quantile_us(0.5), 99_000_000);
+    }
+
+    #[test]
+    fn metrics_json_carries_cache_and_queue() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.count_status(200);
+        m.count_status(503);
+        m.count_status(429);
+        let cache = CacheStats {
+            hits: 5,
+            misses: 2,
+            entries: 2,
+            evictions: 1,
+            uncached: 0,
+        };
+        let doc = m.to_json(&cache, 7).to_string();
+        for needle in [
+            "\"requests_total\":3",
+            "\"responses_200\":1",
+            "\"shed_503_total\":1",
+            "\"rate_limited_429_total\":1",
+            "\"queue_depth\":7",
+            "\"hits\":5",
+            "\"evictions\":1",
+            "\"plan_latency\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in {doc}");
+        }
+    }
+}

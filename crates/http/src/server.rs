@@ -1,0 +1,453 @@
+//! The networked planning frontend: a `TcpListener` acceptor, a bounded
+//! connection queue, a pool of connection workers, and the route handlers
+//! that bridge HTTP to the in-process [`PlanService`].
+//!
+//! Robustness properties, all enforced here rather than hoped for:
+//!
+//! * **Admission control.** Accepted connections go through a bounded
+//!   queue; when it is full the acceptor answers `503` itself and closes —
+//!   load is *shed*, never silently dropped. A second bound
+//!   ([`ServerConfig::max_in_flight_plans`]) sheds `POST /plan` requests
+//!   once the planning backlog is deep enough that waiting would be worse
+//!   than retrying.
+//! * **Bounded reads.** Header size, body size and socket read time are all
+//!   capped ([`Limits`]); the worst a slow or hostile client can pin is one
+//!   worker for one timeout.
+//! * **Per-client rate limiting.** A token bucket per peer IP answers `429`
+//!   past the configured rate.
+//! * **Graceful shutdown.** [`HttpServer::shutdown`] (or `POST /shutdown`)
+//!   stops accepting, drains every queued connection and in-flight plan,
+//!   then joins all threads — no request that got a TCP accept is ever
+//!   abandoned mid-flight.
+
+use crate::http1::{write_oneshot, HttpConn, HttpError, Limits, Request};
+use crate::metrics::Metrics;
+use crate::queue::{Bounded, PushError};
+use crate::ratelimit::RateLimiter;
+use diffusionpipe_core::PlanError;
+use dpipe_serve::json::{plan_response_doc, JsonValue};
+use dpipe_serve::{PlanRequest, PlanService, ServiceConfig, SweepGrid};
+use dpipe_spec::{PlanSpec, SweepSpec};
+use std::net::{IpAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything `dpipe serve --listen` can tune.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Connection-handler threads (each owns one connection at a time).
+    pub conn_workers: usize,
+    /// Accepted connections waiting for a handler before the acceptor
+    /// starts shedding with 503.
+    pub queue_capacity: usize,
+    /// Plan jobs (queued + planning) before `POST /plan` sheds with 503.
+    pub max_in_flight_plans: usize,
+    /// Wire-read limits (head/body size, read timeout).
+    pub limits: Limits,
+    /// Sustained per-client requests/second (0 disables rate limiting).
+    pub rate_per_s: f64,
+    /// Per-client burst allowance on top of the sustained rate.
+    pub rate_burst: f64,
+    /// The planning worker pool + cache this server fronts.
+    pub service: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            conn_workers: (2 * cores).clamp(8, 64),
+            queue_capacity: 128,
+            max_in_flight_plans: 256,
+            limits: Limits::default(),
+            rate_per_s: 0.0,
+            rate_burst: 0.0,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// What a route handler produced: a status and a JSON body (already
+/// newline-terminated where the CLI equivalent prints one).
+struct Reply {
+    status: u16,
+    body: String,
+}
+
+impl Reply {
+    fn json_error(status: u16, message: &str) -> Reply {
+        let body = JsonValue::Object(vec![(
+            "error".to_owned(),
+            JsonValue::Str(message.to_owned()),
+        )]);
+        Reply {
+            status,
+            body: format!("{body}\n"),
+        }
+    }
+
+    fn ok(body: String) -> Reply {
+        Reply { status: 200, body }
+    }
+}
+
+/// Shared state every connection worker routes against.
+struct Router {
+    service: PlanService,
+    metrics: Metrics,
+    limiter: RateLimiter,
+    max_in_flight_plans: usize,
+    shutdown: AtomicBool,
+}
+
+impl Router {
+    fn handle(&self, request: &Request, peer: Option<IpAddr>) -> Reply {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Reply::ok("{\"status\":\"ok\"}\n".to_owned()),
+            ("GET", "/metrics") => {
+                let doc = self
+                    .metrics
+                    .to_json(&self.service.cache_stats(), self.service.queue_depth());
+                Reply::ok(format!("{doc}\n"))
+            }
+            ("POST", "/plan") => self.handle_plan(&request.body, peer),
+            ("POST", "/sweep") => self.handle_sweep(&request.body, peer),
+            ("POST", "/shutdown") => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Reply::ok("{\"status\":\"draining\"}\n".to_owned())
+            }
+            ("GET" | "POST", _) => {
+                Reply::json_error(404, &format!("no such endpoint: {}", request.path))
+            }
+            (method, _) => Reply::json_error(405, &format!("method {method} not supported")),
+        }
+    }
+
+    /// Shared entry checks for the planning endpoints: per-client rate
+    /// limit, then backlog admission. `None` means "go ahead".
+    fn admit(&self, peer: Option<IpAddr>) -> Option<Reply> {
+        if let Some(ip) = peer {
+            if !self.limiter.allow(ip) {
+                return Some(Reply::json_error(429, "client request rate exceeded"));
+            }
+        }
+        let depth = self.service.queue_depth();
+        if depth >= self.max_in_flight_plans {
+            return Some(Reply::json_error(
+                503,
+                &format!("planning backlog full ({depth} in flight); retry later"),
+            ));
+        }
+        None
+    }
+
+    fn handle_plan(&self, body: &[u8], peer: Option<IpAddr>) -> Reply {
+        if let Some(reply) = self.admit(peer) {
+            return reply;
+        }
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return Reply::json_error(400, "request body is not UTF-8"),
+        };
+        let spec = match PlanSpec::from_json(text) {
+            Ok(s) => s,
+            Err(e) => return Reply::json_error(400, &e.to_string()),
+        };
+        let request = match PlanRequest::from_spec(spec.clone()) {
+            Ok(r) => r,
+            Err(e) => return Reply::json_error(400, &e.to_string()),
+        };
+        let started = Instant::now();
+        let response = self.service.plan_one_with_parallelism(request.clone(), 1);
+        let reply = match response.outcome {
+            Ok(plan) => {
+                // The exact `dpipe plan --json --spec` stdout, built by the
+                // same function (`plan_response_doc`), newline included.
+                let doc = plan_response_doc(&spec, &request, &plan);
+                self.metrics
+                    .plans_total
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Reply::ok(format!("{doc}\n"))
+            }
+            Err(e @ PlanError::Internal(_)) => Reply::json_error(500, &e.to_string()),
+            Err(e) => Reply::json_error(422, &e.to_string()),
+        };
+        self.metrics
+            .plan_latency
+            .record_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        reply
+    }
+
+    fn handle_sweep(&self, body: &[u8], peer: Option<IpAddr>) -> Reply {
+        if let Some(reply) = self.admit(peer) {
+            return reply;
+        }
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return Reply::json_error(400, "request body is not UTF-8"),
+        };
+        let sweep = match SweepSpec::from_json(text) {
+            Ok(s) => s,
+            Err(e) => return Reply::json_error(400, &e.to_string()),
+        };
+        let grid = SweepGrid::from_spec(sweep);
+        if grid.is_empty() {
+            return Reply::json_error(422, "empty sweep grid");
+        }
+        match grid.run(&self.service) {
+            Ok(report) => {
+                self.metrics
+                    .sweeps_total
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // The exact `dpipe sweep --json --spec` stdout.
+                Reply::ok(format!("{}\n", report.to_json()))
+            }
+            Err(e) => Reply::json_error(400, &e.to_string()),
+        }
+    }
+}
+
+/// A running HTTP frontend. Dropping it performs a graceful shutdown.
+pub struct HttpServer {
+    addr: std::net::SocketAddr,
+    router: Arc<Router>,
+    queue: Arc<Bounded<TcpStream>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `config.addr` and starts the acceptor + worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`TcpListener::bind`] reports (address in use, permission).
+    pub fn start(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let router = Arc::new(Router {
+            service: PlanService::new(config.service),
+            metrics: Metrics::new(),
+            limiter: RateLimiter::new(config.rate_per_s, config.rate_burst),
+            max_in_flight_plans: config.max_in_flight_plans.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let queue: Arc<Bounded<TcpStream>> = Arc::new(Bounded::new(config.queue_capacity));
+
+        let acceptor = {
+            let router = Arc::clone(&router);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("dpipe-http-accept".to_owned())
+                .spawn(move || {
+                    loop {
+                        if router.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let _ = stream.set_nonblocking(false);
+                                let _ = stream.set_nodelay(true);
+                                match queue.try_push(stream) {
+                                    Ok(()) => {}
+                                    Err((mut stream, why)) => {
+                                        // Shed, never drop: the client gets a
+                                        // well-formed 503 before the close.
+                                        let body = match why {
+                                            PushError::Full => {
+                                                b"{\"error\":\"connection queue full; retry later\"}\n".to_vec()
+                                            }
+                                            PushError::Closed => {
+                                                b"{\"error\":\"server is draining\"}\n".to_vec()
+                                            }
+                                        };
+                                        write_oneshot(&mut stream, 503, &body);
+                                        router.metrics.count_status(503);
+                                    }
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                        }
+                    }
+                    // Stop feeding workers; queued connections still drain.
+                    queue.close();
+                })
+                .expect("failed to spawn acceptor")
+        };
+
+        let limits = config.limits;
+        let workers = (0..config.conn_workers.max(1))
+            .map(|i| {
+                let router = Arc::clone(&router);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("dpipe-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            handle_connection(&router, stream, &limits);
+                        }
+                    })
+                    .expect("failed to spawn http worker")
+            })
+            .collect();
+
+        Ok(HttpServer {
+            addr,
+            router,
+            queue,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (the real port when `:0` was requested).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The planning service behind the routes (e.g. for cache stats).
+    pub fn service(&self) -> &PlanService {
+        &self.router.service
+    }
+
+    /// True once shutdown was requested (locally or via `POST /shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.router.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown without waiting (acceptor stops within ~2 ms).
+    pub fn request_shutdown(&self) {
+        self.router.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until shutdown is requested, then drains and joins
+    /// everything. This is the CLI's foreground loop.
+    pub fn run_until_shutdown(mut self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join_all();
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued connections and
+    /// in-flight requests, join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.request_shutdown();
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor closed the queue on exit; closing again is harmless
+        // and covers the (impossible today) case of an acceptor panic.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection until close, error, timeout or server shutdown.
+/// In-flight requests always get their response before the connection
+/// closes — shutdown only suppresses *further* keep-alive rounds.
+fn handle_connection(router: &Router, stream: TcpStream, limits: &Limits) {
+    let peer = stream.peer_addr().ok().map(|a| a.ip());
+    let mut conn = HttpConn::new(stream);
+    router
+        .metrics
+        .open_connections
+        .fetch_add(1, Ordering::Relaxed);
+    loop {
+        match conn.read_request(limits) {
+            Ok(request) => {
+                router
+                    .metrics
+                    .requests_total
+                    .fetch_add(1, Ordering::Relaxed);
+                router.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                let reply = router.handle(&request, peer);
+                router.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+                router.metrics.count_status(reply.status);
+                let keep_alive = request.keep_alive && !router.shutdown.load(Ordering::SeqCst);
+                if conn
+                    .write_response(
+                        reply.status,
+                        "application/json",
+                        reply.body.as_bytes(),
+                        keep_alive,
+                    )
+                    .is_err()
+                    || !keep_alive
+                {
+                    break;
+                }
+            }
+            // Clean end of a keep-alive session, idle timeout, or transport
+            // failure: nothing to answer, just release the worker.
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => break,
+            Err(HttpError::Timeout) => {
+                let _ = conn.write_response(
+                    408,
+                    "application/json",
+                    b"{\"error\":\"read timed out\"}\n",
+                    false,
+                );
+                router.metrics.count_status(408);
+                break;
+            }
+            Err(e) => {
+                let (status, message) = match &e {
+                    HttpError::PayloadTooLarge(n) => (
+                        413,
+                        format!(
+                            "body of {n} bytes exceeds limit of {} bytes",
+                            limits.max_body_bytes
+                        ),
+                    ),
+                    HttpError::HeadTooLarge => (431, "request head too large".to_owned()),
+                    HttpError::LengthRequired => (
+                        411,
+                        "transfer-encoding unsupported; send content-length".to_owned(),
+                    ),
+                    _ => (400, e.to_string()),
+                };
+                router
+                    .metrics
+                    .requests_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let body = JsonValue::Object(vec![("error".to_owned(), JsonValue::Str(message))]);
+                let _ = conn.write_response(
+                    status,
+                    "application/json",
+                    format!("{body}\n").as_bytes(),
+                    false,
+                );
+                router.metrics.count_status(status);
+                break;
+            }
+        }
+    }
+    router
+        .metrics
+        .open_connections
+        .fetch_sub(1, Ordering::Relaxed);
+}

@@ -8,6 +8,19 @@
 //! and receive the finished value — a burst of identical requests plans
 //! exactly once.
 //!
+//! Two policies keep the cache sound under open-ended networked traffic:
+//!
+//! * **Bounded residency.** Each shard holds at most
+//!   [`ShardedCache::per_shard_capacity`] finished entries; inserting past
+//!   that evicts the least-recently-used finished entry (in-flight slots are
+//!   never evicted). A stream of millions of unique specs therefore occupies
+//!   bounded memory instead of growing without limit.
+//! * **Retention policy.** [`ShardedCache::get_or_compute_with`] takes a
+//!   `retain` predicate; values it rejects (e.g. transient
+//!   `PlanError::Internal` outcomes) are returned to the caller but *not*
+//!   kept, so a key is never permanently poisoned by a one-off failure. The
+//!   next caller for that key simply recomputes.
+//!
 //! [`PlanRequest`]: crate::PlanRequest
 
 use std::collections::HashMap;
@@ -17,7 +30,8 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 /// One cached entry: either being computed by some caller, or done.
 enum Slot<V> {
     InFlight,
-    Ready(V),
+    /// A finished value plus its last-touched stamp (for LRU eviction).
+    Ready(V, u64),
 }
 
 struct Shard<V> {
@@ -34,6 +48,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct keys currently resident.
     pub entries: usize,
+    /// Finished entries dropped to stay under the per-shard capacity.
+    pub evictions: u64,
+    /// Computed values the retention policy declined to keep (transient
+    /// errors): delivered to their caller, never resident.
+    pub uncached: u64,
 }
 
 impl CacheStats {
@@ -48,19 +67,40 @@ impl CacheStats {
     }
 }
 
-/// A fixed-shard concurrent cache with single-flight computation.
+/// A fixed-shard concurrent cache with single-flight computation, bounded
+/// per-shard capacity (LRU eviction) and a per-call retention policy.
 ///
 /// Values must be cheap to clone (the service stores `Arc`ed plans).
 pub struct ShardedCache<V> {
     shards: Vec<Shard<V>>,
+    /// Finished entries each shard may hold; `usize::MAX` means unbounded.
+    per_shard_capacity: usize,
+    /// Monotonic LRU clock shared by every shard.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    uncached: AtomicU64,
 }
 
 impl<V: Clone> ShardedCache<V> {
-    /// Creates a cache with `num_shards` independent shards (minimum 1).
+    /// Creates an unbounded cache with `num_shards` independent shards
+    /// (minimum 1).
     pub fn new(num_shards: usize) -> Self {
-        let shards = (0..num_shards.max(1))
+        Self::with_capacity(num_shards, usize::MAX)
+    }
+
+    /// Creates a cache whose `total_capacity` finished entries spread over
+    /// `num_shards` shards (each shard gets the rounded-up share, minimum
+    /// 1). Pass `usize::MAX` (or use [`ShardedCache::new`]) for unbounded.
+    pub fn with_capacity(num_shards: usize, total_capacity: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let per_shard_capacity = if total_capacity == usize::MAX {
+            usize::MAX
+        } else {
+            total_capacity.div_ceil(num_shards).max(1)
+        };
+        let shards = (0..num_shards)
             .map(|_| Shard {
                 map: Mutex::new(HashMap::new()),
                 ready: Condvar::new(),
@@ -68,9 +108,18 @@ impl<V: Clone> ShardedCache<V> {
             .collect();
         ShardedCache {
             shards,
+            per_shard_capacity,
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            uncached: AtomicU64::new(0),
         }
+    }
+
+    /// Finished entries one shard may hold before evicting.
+    pub fn per_shard_capacity(&self) -> usize {
+        self.per_shard_capacity
     }
 
     fn shard(&self, key: u64) -> &Shard<V> {
@@ -79,17 +128,26 @@ impl<V: Clone> ShardedCache<V> {
         &self.shards[(key % self.shards.len() as u64) as usize]
     }
 
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Returns the finished value stored under `key`, if any. In-flight
     /// entries read as absent. Does not touch the hit/miss counters.
     pub fn get(&self, key: u64) -> Option<V> {
-        let map = self.shard(key).map.lock().expect("cache shard poisoned");
-        match map.get(&key) {
-            Some(Slot::Ready(v)) => Some(v.clone()),
+        let stamp = self.tick();
+        let mut map = self.shard(key).map.lock().expect("cache shard poisoned");
+        match map.get_mut(&key) {
+            Some(Slot::Ready(v, touched)) => {
+                *touched = stamp;
+                Some(v.clone())
+            }
             _ => None,
         }
     }
 
-    /// Returns the value for `key`, computing it with `compute` on first use.
+    /// Returns the value for `key`, computing it with `compute` on first
+    /// use, and always retaining the result (subject to capacity).
     ///
     /// The boolean is `true` for a cache hit — including callers that
     /// arrived while another thread was computing the same key and merely
@@ -97,13 +155,31 @@ impl<V: Clone> ShardedCache<V> {
     /// panics, the in-flight marker is removed and waiters are woken so a
     /// later caller can retry; the panic propagates to the computing caller.
     pub fn get_or_compute(&self, key: u64, compute: impl FnOnce() -> V) -> (V, bool) {
+        self.get_or_compute_with(key, compute, |_| true)
+    }
+
+    /// [`ShardedCache::get_or_compute`] with a retention policy: when
+    /// `retain` rejects the freshly computed value, the value is still
+    /// returned (and the lookup counts as a miss) but the key is left
+    /// vacant, so the next caller recomputes instead of being served a
+    /// transient failure forever. Waiters that piled up behind the
+    /// in-flight slot wake, find the key vacant and recompute — the
+    /// single-flight guarantee only extends to outcomes worth keeping.
+    pub fn get_or_compute_with(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> V,
+        retain: impl FnOnce(&V) -> bool,
+    ) -> (V, bool) {
         let shard = self.shard(key);
         let mut map = shard.map.lock().expect("cache shard poisoned");
         loop {
-            match map.get(&key) {
-                Some(Slot::Ready(v)) => {
+            match map.get_mut(&key) {
+                Some(Slot::Ready(v, touched)) => {
+                    *touched = self.clock.fetch_add(1, Ordering::Relaxed);
+                    let v = v.clone();
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return (v.clone(), true);
+                    return (v, true);
                 }
                 Some(Slot::InFlight) => {
                     map = shard.ready.wait(map).expect("cache shard poisoned");
@@ -135,11 +211,40 @@ impl<V: Clone> ShardedCache<V> {
         std::mem::forget(guard);
 
         let mut map = shard.map.lock().expect("cache shard poisoned");
-        map.insert(key, Slot::Ready(value.clone()));
+        if retain(&value) {
+            map.insert(key, Slot::Ready(value.clone(), self.tick()));
+            self.evict_over_capacity(&mut map, key);
+        } else {
+            map.remove(&key);
+            self.uncached.fetch_add(1, Ordering::Relaxed);
+        }
         drop(map);
         shard.ready.notify_all();
         self.misses.fetch_add(1, Ordering::Relaxed);
         (value, false)
+    }
+
+    /// Evicts least-recently-used finished entries (never in-flight slots,
+    /// never `keep`) until the shard is back under capacity.
+    fn evict_over_capacity(&self, map: &mut HashMap<u64, Slot<V>>, keep: u64) {
+        while map.len() > self.per_shard_capacity {
+            let victim = map
+                .iter()
+                .filter_map(|(k, slot)| match slot {
+                    Slot::Ready(_, touched) if *k != keep => Some((*k, *touched)),
+                    _ => None,
+                })
+                .min_by_key(|&(_, touched)| touched)
+                .map(|(k, _)| k);
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Everything else is in-flight: nothing evictable.
+                None => break,
+            }
+        }
     }
 
     /// Number of distinct keys resident (finished or in-flight).
@@ -161,6 +266,8 @@ impl<V: Clone> ShardedCache<V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            uncached: self.uncached.load(Ordering::Relaxed),
         }
     }
 
@@ -174,6 +281,8 @@ impl<V: Clone> ShardedCache<V> {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.uncached.store(0, Ordering::Relaxed);
     }
 }
 
@@ -196,6 +305,7 @@ mod tests {
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!((stats.evictions, stats.uncached), (0, 0));
         assert_eq!(stats.hit_rate(), 0.5);
     }
 
@@ -256,5 +366,86 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (0, 0));
         assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn capacity_bounds_residency_with_lru_eviction() {
+        // One shard, three finished entries max.
+        let cache = ShardedCache::with_capacity(1, 3);
+        assert_eq!(cache.per_shard_capacity(), 3);
+        for k in 0..3u64 {
+            cache.get_or_compute(k, || k);
+        }
+        // Touch 0 so 1 becomes the LRU entry, then overflow.
+        assert_eq!(cache.get(0), Some(0));
+        cache.get_or_compute(3, || 3);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(cache.get(1), None, "LRU key evicted");
+        assert_eq!(cache.get(0), Some(0));
+        assert_eq!(cache.get(3), Some(3));
+        // A stream of unique keys stays bounded forever.
+        for k in 100..1100u64 {
+            cache.get_or_compute(k, || k);
+        }
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn capacity_spreads_over_shards() {
+        let cache = ShardedCache::with_capacity(4, 8);
+        assert_eq!(cache.per_shard_capacity(), 2);
+        for k in 0..64u64 {
+            cache.get_or_compute(k, || k);
+        }
+        assert!(cache.stats().entries <= 8);
+    }
+
+    #[test]
+    fn rejected_values_are_returned_but_not_resident() {
+        let cache: ShardedCache<Result<u64, String>> = ShardedCache::new(2);
+        let (v, hit) = cache.get_or_compute_with(9, || Err("transient".to_owned()), |v| v.is_ok());
+        assert_eq!(v, Err("transient".to_owned()));
+        assert!(!hit);
+        assert_eq!(cache.get(9), None, "transient outcome must not stick");
+        assert_eq!(cache.stats().uncached, 1);
+        // The key recovers: a later successful compute is cached normally.
+        let (v, hit) = cache.get_or_compute_with(9, || Ok(5), |v| v.is_ok());
+        assert_eq!((v, hit), (Ok(5), false));
+        assert_eq!(cache.get(9), Some(Ok(5)));
+        assert!(cache.get_or_compute_with(9, || unreachable!(), |_| true).1);
+    }
+
+    #[test]
+    fn waiters_behind_a_rejected_value_recompute() {
+        let cache: Arc<ShardedCache<u64>> = Arc::new(ShardedCache::new(1));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let calls = Arc::clone(&calls);
+                std::thread::spawn(move || {
+                    cache.get_or_compute_with(
+                        7,
+                        move || {
+                            let n = calls.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            n as u64
+                        },
+                        // Reject the very first compute, keep later ones.
+                        |v| *v > 0,
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // At least one recompute happened after the rejected first value,
+        // and the surviving entry is a retained one.
+        assert!(calls.load(Ordering::SeqCst) >= 2);
+        let resident = cache.get(7);
+        assert!(resident.is_some() && resident != Some(0));
     }
 }

@@ -10,6 +10,39 @@
 pub use diffusionpipe_core::plan_json;
 pub use dpipe_spec::json::{parse, JsonError, JsonValue};
 
+use crate::request::PlanRequest;
+use diffusionpipe_core::Plan;
+use dpipe_spec::PlanSpec;
+
+/// The self-describing response document for one planned spec — the exact
+/// payload of both `dpipe plan --json` and `POST /plan` over HTTP, built in
+/// one place so the two paths are byte-identical by construction. The
+/// canonical spec and the request fingerprint ride along, so any emitted
+/// plan can be replayed with `dpipe plan --spec` and correlated with
+/// serve-cache entries.
+pub fn plan_response_doc(spec: &PlanSpec, request: &PlanRequest, plan: &Plan) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "model".to_owned(),
+            JsonValue::Str(request.model().name.clone()),
+        ),
+        (
+            "world_size".to_owned(),
+            JsonValue::UInt(request.cluster().world_size() as u64),
+        ),
+        (
+            "global_batch".to_owned(),
+            JsonValue::UInt(u64::from(request.global_batch())),
+        ),
+        (
+            "fingerprint".to_owned(),
+            JsonValue::Str(format!("{:016x}", request.fingerprint())),
+        ),
+        ("spec".to_owned(), spec.to_json_value()),
+        ("plan".to_owned(), plan_json(plan)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

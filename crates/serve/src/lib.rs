@@ -58,7 +58,9 @@ mod sweep;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use request::PlanRequest;
-pub use service::{PlanOutcome, PlanResponse, PlanService, ServiceConfig};
+pub use service::{
+    PlanOutcome, PlanResponse, PlanService, ServiceConfig, ServiceError, SubmitRejected,
+};
 pub use sweep::{SweepGrid, SweepPoint, SweepReport};
 // The declarative layer requests and sweeps are built on.
 pub use dpipe_spec::{ClusterAxis, ModelRef, PlanSpec, SpecError, SweepSpec};

@@ -12,12 +12,43 @@ use crate::cache::{CacheStats, ShardedCache};
 use crate::request::PlanRequest;
 use crossbeam::channel::{self, Sender};
 use diffusionpipe_core::{Plan, PlanError};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// What one request resolved to: a shared plan or a planning error (errors
-/// are cached too, so a misconfigured request storm plans exactly once).
+/// What one request resolved to: a shared plan or a planning error.
+/// Deterministic errors are cached too (a misconfigured request storm plans
+/// exactly once); transient [`PlanError::Internal`] outcomes are delivered
+/// but never retained (see [`PlanError::is_deterministic`]).
 pub type PlanOutcome = Result<Arc<Plan>, PlanError>;
+
+/// The service itself could not take or finish a request (as opposed to a
+/// [`PlanError`], which is a verdict about the request).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Every worker exited, so the queue has no consumer.
+    WorkersGone,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::WorkersGone => f.write_str("planning worker pool is gone"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A submission the service refused, with the request handed back so the
+/// caller can retry, reroute or report it (never silently dropped).
+#[derive(Debug)]
+pub struct SubmitRejected {
+    /// The unplanned request, returned to the caller.
+    pub request: PlanRequest,
+    /// Why the service refused it.
+    pub why: ServiceError,
+}
 
 /// Sizing knobs for [`PlanService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +57,11 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Shards in the plan cache (minimum 1).
     pub cache_shards: usize,
+    /// Total finished entries the plan cache may hold across all shards;
+    /// past it the least-recently-used entry is evicted. `usize::MAX`
+    /// disables the bound. The default (4096) keeps a networked service's
+    /// memory bounded under a stream of unique specs.
+    pub cache_capacity: usize,
     /// Threads each worker fans one plan's per-config search across
     /// (`Planner::with_parallelism`). The default of 1 keeps batch
     /// throughput maximal — parallelism across requests beats parallelism
@@ -42,6 +78,7 @@ impl Default for ServiceConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             cache_shards: 16,
+            cache_capacity: 4096,
             plan_parallelism: 1,
         }
     }
@@ -100,6 +137,8 @@ pub struct PlanService {
     queue: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     cache: Arc<ShardedCache<PlanOutcome>>,
+    /// Jobs submitted but not yet answered (queued + being planned).
+    pending: Arc<AtomicUsize>,
     plan_parallelism: usize,
 }
 
@@ -107,11 +146,16 @@ impl PlanService {
     /// Starts the worker pool.
     pub fn new(config: ServiceConfig) -> Self {
         let (tx, rx) = channel::unbounded::<Job>();
-        let cache = Arc::new(ShardedCache::new(config.cache_shards));
+        let cache = Arc::new(ShardedCache::with_capacity(
+            config.cache_shards,
+            config.cache_capacity,
+        ));
+        let pending = Arc::new(AtomicUsize::new(0));
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let rx = rx.clone();
                 let cache = Arc::clone(&cache);
+                let pending = Arc::clone(&pending);
                 std::thread::Builder::new()
                     .name(format!("dpipe-serve-{i}"))
                     .spawn(move || {
@@ -121,19 +165,36 @@ impl PlanService {
                             let request = job.request;
                             // Contain any unexpected planner panic: a dead
                             // worker would silently shrink the pool and
-                            // panic the batch caller waiting on the reply.
+                            // strand the caller waiting on the reply.
                             let parallelism = job.parallelism;
-                            let (outcome, cache_hit) = cache.get_or_compute(fingerprint, || {
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    request.plan_with_parallelism(parallelism).map(Arc::new)
-                                }))
-                                .unwrap_or_else(|payload| {
-                                    Err(PlanError::InvalidRequest(format!(
-                                        "planner panicked: {}",
-                                        panic_message(&payload)
-                                    )))
-                                })
-                            });
+                            let (outcome, cache_hit) = cache.get_or_compute_with(
+                                fingerprint,
+                                || {
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        request.plan_with_parallelism(parallelism).map(Arc::new)
+                                    }))
+                                    .unwrap_or_else(
+                                        |payload| {
+                                            Err(PlanError::Internal(format!(
+                                                "planner panicked: {}",
+                                                panic_message(&payload)
+                                            )))
+                                        },
+                                    )
+                                },
+                                // Plans and deterministic verdicts are worth
+                                // keeping; a contained panic is transient and
+                                // must not poison its fingerprint forever.
+                                |outcome| {
+                                    outcome
+                                        .as_ref()
+                                        .map_or_else(PlanError::is_deterministic, |_| true)
+                                },
+                            );
+                            // Decrement *before* replying: a caller that sees
+                            // its answer must never still see itself counted
+                            // in the backlog gauge.
+                            pending.fetch_sub(1, Ordering::Relaxed);
                             // A dropped reply receiver just means the caller
                             // stopped listening; the plan is cached either way.
                             let _ = job.reply.send(PlanResponse {
@@ -152,6 +213,7 @@ impl PlanService {
             queue: Some(tx),
             workers,
             cache,
+            pending,
             plan_parallelism: config.plan_parallelism.max(1),
         }
     }
@@ -161,33 +223,70 @@ impl PlanService {
         self.workers.len()
     }
 
+    /// Jobs submitted but not yet answered (queued plus being planned) —
+    /// the admission-control gauge a networked frontend sheds load on.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
     /// Enqueues one request; its [`PlanResponse`] (tagged `index`) is sent
     /// on `reply` when a worker finishes it. `parallelism` sizes the
     /// planner's intra-plan config search for this job.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitRejected`] (carrying the request back, boxed — a
+    /// `PlanRequest` is a few hundred bytes and the happy path should not
+    /// pay for it) when the pool has no live consumer — the request is
+    /// handed back to the caller rather than silently dropped or panicked
+    /// over.
     pub fn submit(
         &self,
         index: usize,
         request: PlanRequest,
         parallelism: usize,
         reply: Sender<PlanResponse>,
-    ) {
+    ) -> Result<(), Box<SubmitRejected>> {
+        let Some(queue) = self.queue.as_ref() else {
+            return Err(Box::new(SubmitRejected {
+                request,
+                why: ServiceError::WorkersGone,
+            }));
+        };
         let job = Job {
             index,
             request,
             parallelism: parallelism.max(1),
             reply,
         };
-        self.queue
-            .as_ref()
-            .expect("service queue open while not dropped")
-            .send(job)
-            .expect("unbounded channel send cannot fail");
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        if let Err(send_error) = queue.send(job) {
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+            return Err(Box::new(SubmitRejected {
+                request: send_error.0.request,
+                why: ServiceError::WorkersGone,
+            }));
+        }
+        Ok(())
     }
 
     /// Plans a batch of requests across the pool, blocking until all are
-    /// done. Responses come back in submission order.
+    /// done. Responses come back in submission order. Requests the service
+    /// could not finish (a lost worker, a closed queue) come back with a
+    /// [`PlanError::Internal`] outcome instead of panicking the caller.
     pub fn plan_batch(&self, requests: Vec<PlanRequest>) -> Vec<PlanResponse> {
         self.plan_batch_inner(requests, self.plan_parallelism)
+    }
+
+    /// A synthesized response for a request the service lost on the floor.
+    fn lost_response(index: usize, request: &PlanRequest, why: &ServiceError) -> PlanResponse {
+        PlanResponse {
+            index,
+            fingerprint: request.fingerprint(),
+            label: request.label(),
+            outcome: Err(PlanError::Internal(why.to_string())),
+            cache_hit: false,
+        }
     }
 
     fn plan_batch_inner(
@@ -197,13 +296,43 @@ impl PlanService {
     ) -> Vec<PlanResponse> {
         let (tx, rx) = channel::unbounded();
         let n = requests.len();
+        let mut responses: Vec<PlanResponse> = Vec::with_capacity(n);
         for (index, request) in requests.into_iter().enumerate() {
-            self.submit(index, request, parallelism, tx.clone());
+            if let Err(rejected) = self.submit(index, request, parallelism, tx.clone()) {
+                responses.push(Self::lost_response(index, &rejected.request, &rejected.why));
+            }
         }
         drop(tx);
-        let mut responses: Vec<PlanResponse> = (0..n)
-            .map(|_| rx.recv().expect("a worker dropped a job"))
-            .collect();
+        // The reply channel closes once every submitted job is answered (or
+        // every worker died); both end this loop without a panic.
+        while responses.len() < n {
+            match rx.recv() {
+                Ok(response) => responses.push(response),
+                Err(_) => break,
+            }
+        }
+        // Any index still missing was consumed by a worker that died
+        // mid-plan: answer it as an internal error rather than hanging or
+        // panicking the caller.
+        let mut seen = vec![false; n];
+        for r in &responses {
+            if r.index < n {
+                seen[r.index] = true;
+            }
+        }
+        for (index, seen) in seen.into_iter().enumerate() {
+            if !seen {
+                responses.push(PlanResponse {
+                    index,
+                    fingerprint: 0,
+                    label: String::new(),
+                    outcome: Err(PlanError::Internal(
+                        "a planning worker died before answering".to_owned(),
+                    )),
+                    cache_hit: false,
+                });
+            }
+        }
         responses.sort_by_key(|r| r.index);
         responses
     }
@@ -214,12 +343,29 @@ impl PlanService {
     /// cores even for one request, and (by planner determinism) returns
     /// exactly the plan a sequential search would.
     pub fn plan_one(&self, request: PlanRequest) -> PlanResponse {
-        self.plan_batch_inner(
-            vec![request],
-            self.worker_count().max(self.plan_parallelism),
-        )
-        .pop()
-        .expect("one request yields one response")
+        self.plan_one_with_parallelism(request, self.worker_count().max(self.plan_parallelism))
+    }
+
+    /// Plans one request with an explicit intra-plan parallelism. A
+    /// networked frontend passes 1: under concurrent load the pool is
+    /// saturated across requests, and fanning each plan's config search
+    /// out as well would only add contention.
+    pub fn plan_one_with_parallelism(
+        &self,
+        request: PlanRequest,
+        parallelism: usize,
+    ) -> PlanResponse {
+        let mut responses = self.plan_batch_inner(vec![request], parallelism);
+        debug_assert_eq!(responses.len(), 1);
+        responses.pop().unwrap_or_else(|| PlanResponse {
+            index: 0,
+            fingerprint: 0,
+            label: String::new(),
+            outcome: Err(PlanError::Internal(
+                "service produced no response".to_owned(),
+            )),
+            cache_hit: false,
+        })
     }
 
     /// Current plan-cache counters.
@@ -311,6 +457,34 @@ mod tests {
         let warm = service.plan_one(bad);
         assert!(matches!(warm.outcome, Err(PlanError::InvalidModel(_))));
         assert!(warm.cache_hit);
+    }
+
+    #[test]
+    fn queue_depth_returns_to_zero() {
+        let service = PlanService::new(ServiceConfig {
+            workers: 2,
+            cache_shards: 4,
+            ..ServiceConfig::default()
+        });
+        assert_eq!(service.queue_depth(), 0);
+        let _ = service.plan_one(request(64));
+        assert_eq!(service.queue_depth(), 0);
+    }
+
+    #[test]
+    fn cache_capacity_bounds_resident_plans() {
+        let service = PlanService::new(ServiceConfig {
+            workers: 2,
+            cache_shards: 1,
+            cache_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        for batch in [32u32, 64, 96, 128] {
+            let _ = service.plan_one(request(batch));
+        }
+        let stats = service.cache_stats();
+        assert!(stats.entries <= 2, "entries: {}", stats.entries);
+        assert!(stats.evictions >= 2, "evictions: {}", stats.evictions);
     }
 
     #[test]

@@ -201,20 +201,39 @@ impl SweepReport {
     }
 
     fn rank(a: &SweepPoint, b: &SweepPoint) -> Ordering {
-        let key = |p: &SweepPoint| (p.model.clone(), p.gpus, p.cluster.clone(), p.global_batch);
-        match (a.throughput(), b.throughput()) {
-            (Some(ta), Some(tb)) => tb
-                .partial_cmp(&ta)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| {
-                    let (ra, rb) = (a.bubble_ratio().unwrap(), b.bubble_ratio().unwrap());
-                    ra.partial_cmp(&rb).unwrap_or(Ordering::Equal)
-                })
-                .then_with(|| key(a).cmp(&key(b))),
-            (Some(_), None) => Ordering::Less,
-            (None, Some(_)) => Ordering::Greater,
-            (None, None) => key(a).cmp(&key(b)),
+        // `sort_by` requires a *total* order: `partial_cmp(..).unwrap_or`
+        // on raw floats is not one (NaN compares "equal" to everything,
+        // breaking transitivity), and unwrapping an absent bubble ratio
+        // panics mid-sort. Normalise both metrics to values `f64::total_cmp`
+        // orders deterministically instead: a missing or NaN throughput
+        // ranks as worst-possible, a missing or NaN bubble ratio likewise.
+        fn worst_if_nan(x: Option<f64>, worst: f64) -> f64 {
+            match x {
+                Some(v) if !v.is_nan() => v,
+                _ => worst,
+            }
         }
+        let key = |p: &SweepPoint| (p.model.clone(), p.gpus, p.cluster.clone(), p.global_batch);
+        let feasible = |p: &SweepPoint| p.outcome.is_ok();
+        // Feasible points strictly before infeasible ones, regardless of
+        // what their metrics contain.
+        feasible(b)
+            .cmp(&feasible(a))
+            .then_with(|| {
+                let (ta, tb) = (
+                    worst_if_nan(a.throughput(), f64::NEG_INFINITY),
+                    worst_if_nan(b.throughput(), f64::NEG_INFINITY),
+                );
+                tb.total_cmp(&ta)
+            })
+            .then_with(|| {
+                let (ra, rb) = (
+                    worst_if_nan(a.bubble_ratio(), f64::INFINITY),
+                    worst_if_nan(b.bubble_ratio(), f64::INFINITY),
+                );
+                ra.total_cmp(&rb)
+            })
+            .then_with(|| key(a).cmp(&key(b)))
     }
 
     /// The best feasible point, if any.
@@ -416,6 +435,86 @@ mod tests {
             grid.requests().unwrap_err(),
             SpecError::UnknownModel("warpdrive".to_owned())
         );
+    }
+
+    #[test]
+    fn ranking_is_total_and_panic_free_with_nan_metrics() {
+        use diffusionpipe_core::{PlanError, Planner};
+        use dpipe_cluster::ClusterSpec;
+        use std::sync::Arc;
+
+        let base = Planner::new(zoo::stable_diffusion_v2_1(), ClusterSpec::single_node(8))
+            .plan(64)
+            .unwrap();
+        let point = |name: &str, throughput: f64, bubble_ratio: f64| {
+            let mut plan = base.clone();
+            plan.throughput = throughput;
+            plan.bubble_ratio = bubble_ratio;
+            SweepPoint {
+                model: name.to_owned(),
+                gpus: 8,
+                cluster: "8gpu".to_owned(),
+                global_batch: 64,
+                fingerprint: 0,
+                cache_hit: false,
+                outcome: Ok(Arc::new(plan)),
+            }
+        };
+        let infeasible = SweepPoint {
+            model: "zz-broken".to_owned(),
+            gpus: 8,
+            cluster: "8gpu".to_owned(),
+            global_batch: 64,
+            fingerprint: 0,
+            cache_hit: false,
+            outcome: Err(PlanError::NoFeasibleConfig),
+        };
+        // NaN throughput, NaN bubble ratio, ordinary points and an
+        // infeasible point, shuffled: sorting must not panic, must be a
+        // total order (exercised across many permutations by sort_by's
+        // internal checks), and must rank NaN metrics as worst-feasible.
+        let points = vec![
+            point("a-nan-tp", f64::NAN, 0.1),
+            point("b-fast", 100.0, 0.1),
+            point("c-nan-ratio", 100.0, f64::NAN),
+            point("d-slow", 1.0, 0.9),
+            infeasible.clone(),
+            point("e-nan-both", f64::NAN, f64::NAN),
+        ];
+        for rotation in 0..points.len() {
+            let mut shuffled = points.clone();
+            shuffled.rotate_left(rotation);
+            let report = SweepReport::ranked(shuffled);
+            let order: Vec<&str> = report.points.iter().map(|p| p.model.as_str()).collect();
+            // Finite throughput first (NaN ratio loses its tie-break),
+            // NaN-throughput points next (by coords), infeasible last.
+            assert_eq!(
+                order,
+                vec![
+                    "b-fast",
+                    "c-nan-ratio",
+                    "d-slow",
+                    "a-nan-tp",
+                    "e-nan-both",
+                    "zz-broken"
+                ],
+                "rotation {rotation}"
+            );
+        }
+        // The comparator itself is antisymmetric over every pair, NaNs and
+        // errors included — the property `sort_by` relies on.
+        for x in &points {
+            assert_eq!(SweepReport::rank(x, x), Ordering::Equal);
+            for y in &points {
+                assert_eq!(
+                    SweepReport::rank(x, y),
+                    SweepReport::rank(y, x).reverse(),
+                    "{} vs {}",
+                    x.model,
+                    y.model
+                );
+            }
+        }
     }
 
     #[test]

@@ -56,6 +56,16 @@ USAGE:
       One request per line: model=<name> [machines=N|SPEC] [gpus=N]
       [batch=N] [fill=on|off] [partial=on|off]; '#' starts a comment.
       '-' reads stdin.
+  dpipe serve --listen <addr> [--workers N] [--conn-workers N] [--queue N]
+             [--max-in-flight N] [--max-body BYTES] [--read-timeout-ms MS]
+             [--rate N] [--burst N] [--cache-capacity N]
+      Serve the planner over HTTP/1.1 (std::net, no external deps) until
+      `POST /shutdown` (graceful drain). Endpoints: POST /plan (PlanSpec
+      JSON in, the exact `dpipe plan --json --spec` document out),
+      POST /sweep (SweepSpec JSON), GET /metrics, GET /healthz. A full
+      connection queue or plan backlog sheds load as 503; bodies over
+      --max-body get 413; --rate enables per-client token-bucket limiting
+      (429). `--listen 127.0.0.1:0` picks an ephemeral port and prints it.
   dpipe sweep --models <a,b,..> [--gpus <n,..>] [--machines <spec;..>]
              [--batches <n,..>] [--workers N] [--best] [--json]
              [--no-fill] [--no-partial] [--emit-spec]
@@ -252,26 +262,9 @@ fn cmd_plan(args: &Args) -> ExitCode {
         }
     };
     if args.has("json") {
-        // Self-describing output: the canonical spec and the request
-        // fingerprint ride along, so any emitted plan can be replayed with
-        // `dpipe plan --spec` and correlated with serve-cache entries.
-        let doc = JsonValue::Object(vec![
-            (
-                "model".to_owned(),
-                JsonValue::Str(request.model().name.clone()),
-            ),
-            (
-                "world_size".to_owned(),
-                JsonValue::UInt(cluster.world_size() as u64),
-            ),
-            ("global_batch".to_owned(), JsonValue::UInt(u64::from(batch))),
-            (
-                "fingerprint".to_owned(),
-                JsonValue::Str(format!("{:016x}", request.fingerprint())),
-            ),
-            ("spec".to_owned(), spec.to_json_value()),
-            ("plan".to_owned(), plan_json(&plan)),
-        ]);
+        // One shared document with `POST /plan` over HTTP, so the two
+        // paths stay byte-identical (see `dpipe_serve::json`).
+        let doc = diffusionpipe::serve::json::plan_response_doc(&spec, &request, &plan);
         println!("{doc}");
         return ExitCode::SUCCESS;
     }
@@ -431,9 +424,51 @@ fn parse_switch(value: &str) -> Result<bool, String> {
     }
 }
 
+/// `dpipe serve --listen`: the HTTP frontend, running until a
+/// `POST /shutdown` drains it.
+fn cmd_serve_http(args: &Args, listen: &str) -> ExitCode {
+    let defaults = diffusionpipe::http::ServerConfig::default();
+    let rate: f64 = args.get("rate", 0.0);
+    let config = diffusionpipe::http::ServerConfig {
+        addr: listen.to_owned(),
+        conn_workers: args.get("conn-workers", defaults.conn_workers),
+        queue_capacity: args.get("queue", defaults.queue_capacity),
+        max_in_flight_plans: args.get("max-in-flight", defaults.max_in_flight_plans),
+        limits: diffusionpipe::http::Limits {
+            max_body_bytes: args.get("max-body", defaults.limits.max_body_bytes),
+            read_timeout: std::time::Duration::from_millis(args.get("read-timeout-ms", 10_000)),
+            ..defaults.limits
+        },
+        rate_per_s: rate,
+        rate_burst: args.get("burst", (2.0 * rate).max(1.0)),
+        service: ServiceConfig {
+            workers: args.get("workers", ServiceConfig::default().workers),
+            cache_capacity: args.get("cache-capacity", ServiceConfig::default().cache_capacity),
+            ..ServiceConfig::default()
+        },
+    };
+    let server = match diffusionpipe::http::HttpServer::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("binding {listen} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{}", server.local_addr());
+    // The CI smoke test backgrounds this process and greps the line above
+    // from a redirected (block-buffered) stdout — flush it out now.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    server.run_until_shutdown();
+    println!("drained; bye");
+    ExitCode::SUCCESS
+}
+
 fn cmd_serve(args: &Args) -> ExitCode {
+    if let Some(listen) = args.flags.get("listen") {
+        return cmd_serve_http(args, &listen.clone());
+    }
     let Some(source) = args.flags.get("requests") else {
-        eprintln!("missing --requests <file|->");
+        eprintln!("missing --requests <file|-> (or --listen <addr> for HTTP)");
         return ExitCode::FAILURE;
     };
     let text = if source == "-" {

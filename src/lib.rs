@@ -61,12 +61,14 @@
 //! | [`core`] | `diffusionpipe-core` | the planner |
 //! | [`spec`] | `dpipe-spec` | declarative PlanSpec/SweepSpec + JSON |
 //! | [`serve`] | `dpipe-serve` | concurrent planning service + sweeps |
+//! | [`http`] | `dpipe-http` | HTTP/1.1 frontend (`dpipe serve --listen`) |
 
 pub use diffusionpipe_core as core;
 pub use dpipe_baselines as baselines;
 pub use dpipe_cluster as cluster;
 pub use dpipe_engine as engine;
 pub use dpipe_fill as fill;
+pub use dpipe_http as http;
 pub use dpipe_model as model;
 pub use dpipe_partition as partition;
 pub use dpipe_profile as profile;
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use crate::cluster::{ClusterSpec, DataParallelLayout, DeviceClass, DeviceId};
     pub use crate::core::{BackbonePartition, Plan, PlanError, Planner, PlannerOptions};
     pub use crate::fill::{FillConfig, Filler};
+    pub use crate::http::{HttpClient, HttpServer, ServerConfig};
     pub use crate::model::{zoo, ModelSpec};
     pub use crate::partition::{PartitionConfig, Partitioner, SearchSpace};
     pub use crate::profile::{DeviceModel, ProfileDb, Profiler};
