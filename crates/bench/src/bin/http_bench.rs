@@ -85,6 +85,7 @@ impl Tally {
                 JsonValue::Num(self.ok as f64 / elapsed_s.max(1e-9)),
             ),
             ("p50_ms".to_owned(), JsonValue::Num(self.quantile_ms(0.50))),
+            ("p90_ms".to_owned(), JsonValue::Num(self.quantile_ms(0.90))),
             ("p99_ms".to_owned(), JsonValue::Num(self.quantile_ms(0.99))),
         ])
     }
@@ -209,12 +210,13 @@ fn main() -> ExitCode {
 
     for (name, tally, secs) in [("cold", &cold, cold_s), ("warm mix", &warm, warm_s)] {
         println!(
-            "{:<9} {:>6} requests {:>8.1} plans/s  p50 {:>7.2} ms  p99 {:>7.2} ms  \
-             ({} shed, {} errors)",
+            "{:<9} {:>6} requests {:>8.1} plans/s  p50 {:>7.2} ms  p90 {:>7.2} ms  \
+             p99 {:>7.2} ms  ({} shed, {} errors)",
             name,
             tally.latencies_us.len(),
             tally.ok as f64 / secs.max(1e-9),
             tally.quantile_ms(0.50),
+            tally.quantile_ms(0.90),
             tally.quantile_ms(0.99),
             tally.shed,
             tally.errors,

@@ -343,6 +343,59 @@ fn class_label(request: &PlanRequest) -> String {
     dpipe_spec::cluster_label(request.cluster())
 }
 
+/// The disabled-tracing overhead guard: cold full-plan time with no
+/// collector at all (`Tracer::off()`, the default) vs an allocated
+/// collector whose enabled flag is off — the state a server with tracing
+/// compiled in but not requested runs in. The delta must sit within noise;
+/// it is reported, and warned about above 10%, but never fails the run
+/// (wall-clock noise on shared CI boxes would make a hard gate flaky).
+struct TraceOverheadReport {
+    model: &'static str,
+    baseline_s: f64,
+    disabled_collector_s: f64,
+}
+
+impl TraceOverheadReport {
+    fn overhead_frac(&self) -> f64 {
+        (self.disabled_collector_s - self.baseline_s) / self.baseline_s.max(1e-12)
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("model".to_owned(), JsonValue::Str(self.model.to_owned())),
+            ("baseline_s".to_owned(), JsonValue::Num(self.baseline_s)),
+            (
+                "disabled_collector_s".to_owned(),
+                JsonValue::Num(self.disabled_collector_s),
+            ),
+            (
+                "overhead_pct".to_owned(),
+                JsonValue::Num(self.overhead_frac() * 100.0),
+            ),
+        ])
+    }
+}
+
+fn bench_trace_overhead(
+    name: &'static str,
+    reps: usize,
+    request: &PlanRequest,
+) -> TraceOverheadReport {
+    let batch = request.global_batch();
+    let baseline = Planner::new(request.model().clone(), request.cluster().clone());
+    let (baseline_s, _) = time_min(reps, || baseline.plan(batch).unwrap());
+    let tracer = diffusionpipe_core::Tracer::new();
+    tracer.set_enabled(false);
+    let instrumented =
+        Planner::new(request.model().clone(), request.cluster().clone()).with_tracer(tracer);
+    let (disabled_collector_s, _) = time_min(reps, || instrumented.plan(batch).unwrap());
+    TraceOverheadReport {
+        model: name,
+        baseline_s,
+        disabled_collector_s,
+    }
+}
+
 fn bench_hetero(reps: usize, mixed: &PlanRequest, homo: &PlanRequest) -> HeteroReport {
     let batch = mixed.global_batch();
     let planner = Planner::new(mixed.model().clone(), mixed.cluster().clone());
@@ -461,6 +514,21 @@ fn main() -> ExitCode {
         failed = true;
     }
 
+    let trace_overhead = bench_trace_overhead("stable-diffusion-v2.1", reps, &models[0].1);
+    println!(
+        "\ntrace overhead (collector allocated, disabled): {:.1} ms vs {:.1} ms baseline \
+         ({:+.1}%)",
+        trace_overhead.disabled_collector_s * 1e3,
+        trace_overhead.baseline_s * 1e3,
+        trace_overhead.overhead_frac() * 100.0,
+    );
+    if trace_overhead.overhead_frac() > 0.10 {
+        eprintln!(
+            "warning: disabled-tracing overhead {:.1}% exceeds the 10% noise budget",
+            trace_overhead.overhead_frac() * 100.0
+        );
+    }
+
     let headline = reports
         .iter()
         .find(|r| r.name == "sdxl-base")
@@ -488,6 +556,7 @@ fn main() -> ExitCode {
             JsonValue::Array(reports.iter().map(ModelReport::to_json).collect()),
         ),
         ("hetero".to_owned(), hetero.to_json()),
+        ("trace_overhead".to_owned(), trace_overhead.to_json()),
     ]);
     if let Err(e) = std::fs::write(&out_path, format!("{doc}\n")) {
         eprintln!("writing {out_path} failed: {e}");

@@ -43,3 +43,6 @@ pub use planner::{PlanStats, Planner, PlannerOptions};
 // The declarative spec layer, re-exported so planner callers can stay on
 // one dependency: `Planner::from_spec(&PlanSpec::from_json(text)?)`.
 pub use dpipe_spec::{ModelRef, PlanSpec, SpecError, SweepSpec};
+// Tracing handle types, re-exported so callers can attach a tracer
+// (`Planner::with_tracer`) without depending on `dpipe_trace` directly.
+pub use dpipe_trace::{SpanId, Trace, Tracer};

@@ -13,6 +13,7 @@ use dpipe_profile::{CostPrefix, DeviceModel, ProfileDb, Profiler, ProfilingRepor
 use dpipe_schedule::{ScheduleBuilder, ScheduleKind};
 use dpipe_sim::CombinedIteration;
 use dpipe_spec::PlanSpec;
+use dpipe_trace::{Span, SpanId, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -123,6 +124,8 @@ pub struct Planner {
     schedule: ScheduleKind,
     parallelism: usize,
     record_backed: bool,
+    tracer: Tracer,
+    trace_parent: Option<SpanId>,
 }
 
 impl Planner {
@@ -145,6 +148,8 @@ impl Planner {
             schedule: ScheduleKind::Fifo1F1B,
             parallelism: 1,
             record_backed: false,
+            tracer: Tracer::off(),
+            trace_parent: None,
         }
     }
 
@@ -242,6 +247,24 @@ impl Planner {
         self
     }
 
+    /// Records planning phases into `tracer` (default: [`Tracer::off`],
+    /// which makes every span site a no-op). Tracing is observation only —
+    /// the selected plan is byte-identical with any tracer attached; the
+    /// golden equivalence suite runs the fast path under an enabled tracer
+    /// to pin that down.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Parents this planner's root `plan` span under an existing span
+    /// (e.g. a serving-layer request span), so one trace follows a request
+    /// from the HTTP accept down into the partition DP.
+    pub fn with_trace_parent(mut self, parent: Option<SpanId>) -> Self {
+        self.trace_parent = parent;
+        self
+    }
+
     /// Switches planning onto *record-backed* profiling: timing queries are
     /// answered by piecewise-linear interpolation over profiled samples
     /// (the paper's mode of operation) instead of the analytic device
@@ -305,6 +328,13 @@ impl Planner {
     ///
     /// See [`PlanError`].
     pub fn plan_with_stats(&self, global_batch: u32) -> Result<(Plan, PlanStats), PlanError> {
+        let mut root = self.tracer.child_span("plan", self.trace_parent);
+        root.set("model", self.model.name.as_str());
+        root.set("world_size", self.cluster.world_size());
+        root.set("global_batch", global_batch);
+        let root_id = root.id();
+
+        let mut validate_span = self.tracer.child_span("validate", root_id);
         self.model
             .validate()
             .map_err(|e| PlanError::InvalidModel(e.to_string()))?;
@@ -315,13 +345,20 @@ impl Planner {
         if backbones.len() > 2 {
             return Err(PlanError::TooManyBackbones(backbones.len()));
         }
+        validate_span.set("backbones", backbones.len());
+        validate_span.finish();
 
         // Step 1: profile once per device class (simulated wall time
         // reported). Homogeneous clusters resolve to a single class.
         let class_map = self.cluster.class_map();
+        let mut profile_span = self.tracer.child_span("profile", root_id);
         let (dbs, profile_report) =
             self.profile_class_dbs(&class_map.compute_scales(), global_batch)?;
+        profile_span.set("classes", dbs.len());
+        profile_span.set("simulated_wall_s", profile_report.wall_time_seconds);
+        profile_span.finish();
 
+        let mut enumerate_span = self.tracer.child_span("enumerate_configs", root_id);
         let min_layers = backbones
             .iter()
             .map(|&b| self.model.component(b).num_layers())
@@ -329,6 +366,8 @@ impl Planner {
             .expect("validated model has a backbone");
         let configs = enumerate_configs(&self.cluster, global_batch, min_layers, &self.search)
             .map_err(|e| PlanError::InvalidRequest(e.to_string()))?;
+        enumerate_span.set("configs", configs.len());
+        enumerate_span.finish();
 
         let mut fill_cfg = self.fill_cfg.clone();
         fill_cfg.partial_batch = self.options.partial_batch;
@@ -337,6 +376,7 @@ impl Planner {
         // One CostPrefix per (backbone, device class), shared (read-only)
         // by every config of this call: rows for every local batch the
         // uniform DPs query, built from the class's own database.
+        let prefix_span = self.tracer.child_span("cost_prefixes", root_id);
         let prefixes: Vec<Vec<CostPrefix>> = backbones
             .iter()
             .map(|&bb| {
@@ -357,8 +397,11 @@ impl Planner {
                     .collect()
             })
             .collect();
+        prefix_span.finish();
 
         let mm = MemoryModel::new(&self.model);
+        let mut search_span = self.tracer.child_span("config_search", root_id);
+        let search_id = search_span.id();
         // `best_so_far` is this worker's best throughput: a config whose
         // post-schedule upper bound cannot beat it skips the filling pass.
         let evaluate = |index: usize, best_so_far: f64| -> ConfigOutcome {
@@ -373,6 +416,7 @@ impl Planner {
                 &mm,
                 &class_map,
                 best_so_far,
+                search_id,
             )
         };
 
@@ -418,7 +462,14 @@ impl Planner {
                 result.merge(partial);
             }
         }
+        search_span.set("workers", workers);
+        search_span.set("feasible", result.feasible);
+        search_span.set("fill_skipped", result.fill_skipped);
+        search_span.set("dp_candidates", result.stats.candidates);
+        search_span.set("dp_pruned", result.stats.pruned);
+        search_span.finish();
 
+        let mut select_span = self.tracer.child_span("select", root_id);
         let stats = PlanStats {
             configs: configs.len(),
             feasible: result.feasible,
@@ -426,12 +477,17 @@ impl Planner {
             fill_skipped: result.fill_skipped,
             parallelism: workers,
         };
-        let (_, mut plan) = result.best.ok_or(PlanError::NoFeasibleConfig)?;
+        let (best_index, mut plan) = result.best.ok_or(PlanError::NoFeasibleConfig)?;
         plan.preprocessing = PreprocessingReport {
             profiling_seconds: profile_report.wall_time_seconds,
             partition_seconds: result.partition_seconds,
             fill_seconds: result.fill_seconds,
         };
+        select_span.set("best_config", best_index);
+        select_span.set("throughput", plan.throughput);
+        select_span.finish();
+        root.set("configs", configs.len());
+        root.finish();
         Ok((plan, stats))
     }
 
@@ -457,6 +513,55 @@ impl Planner {
         mm: &MemoryModel<'_>,
         class_map: &ClassMap,
         best_so_far: f64,
+        search_span: Option<SpanId>,
+    ) -> ConfigOutcome {
+        let mut span = self.tracer.child_span("config", search_span);
+        span.set("index", index);
+        span.set("stages", hp.num_stages);
+        span.set("micro_batches", hp.num_micro_batches);
+        span.set("group_size", hp.group_size);
+        let outcome = self.evaluate_config_inner(
+            index,
+            hp,
+            global_batch,
+            dbs,
+            backbones,
+            prefixes,
+            fill_cfg,
+            mm,
+            class_map,
+            best_so_far,
+            &mut span,
+        );
+        // DpStats for *this* config folded in as attributes (summed stats
+        // land on the `config_search` span and in `PlanStats`).
+        span.set("dp_candidates", outcome.stats.candidates);
+        span.set("dp_pruned", outcome.stats.pruned);
+        span.set("fill_skipped", outcome.fill_skipped);
+        span.set("feasible", outcome.plan.is_some());
+        if let Some(plan) = &outcome.plan {
+            span.set("throughput", plan.throughput);
+        }
+        outcome
+    }
+
+    /// The body of [`Planner::evaluate_config`]; `span` is the config's
+    /// trace span, used only to parent the partition/schedule/fill child
+    /// spans (a no-op span when tracing is off).
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_config_inner(
+        &self,
+        index: usize,
+        hp: HyperParams,
+        global_batch: u32,
+        dbs: &[ProfileDb],
+        backbones: &[ComponentId],
+        prefixes: &[Vec<CostPrefix>],
+        fill_cfg: &FillConfig,
+        mm: &MemoryModel<'_>,
+        class_map: &ClassMap,
+        best_so_far: f64,
+        span: &mut Span,
     ) -> ConfigOutcome {
         let mut outcome = ConfigOutcome {
             index,
@@ -478,6 +583,7 @@ impl Planner {
         let part = Partitioner::new(&dbs[0], &self.cluster, &layout).with_class_dbs(dbs);
 
         let t0 = Instant::now();
+        let partition_span = self.tracer.child_span("partition", span.id());
         let partition = if backbones.len() == 1 {
             match part.partition_single_with(backbones[0], &cfg, &prefixes[0], &mut outcome.stats) {
                 Ok(p) => BackbonePartition::Single(p),
@@ -496,14 +602,17 @@ impl Planner {
                 Err(_) => return outcome,
             }
         };
+        partition_span.finish();
         outcome.partition_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
+        let schedule_span = self.tracer.child_span("schedule", span.id());
         let builder = ScheduleBuilder::new(&dbs[0], &self.cluster, &layout).with_class_dbs(dbs);
         let schedule = match &partition {
             BackbonePartition::Single(p) => builder.build_single(p, self.schedule),
             BackbonePartition::Bidirectional(p) => builder.build_bidirectional(p),
         };
+        schedule_span.finish();
         let Ok(schedule) = schedule else {
             return outcome;
         };
@@ -513,11 +622,14 @@ impl Planner {
         if makespan > 0.0 {
             let throughput_ub = dp_groups as f64 * schedule.group_batch / makespan;
             if throughput_ub < best_so_far {
+                // Fill-skip upper-bound cut: the span attribute lands on the
+                // config span via the wrapper.
                 outcome.fill_skipped = true;
                 return outcome;
             }
         }
 
+        let mut fill_span = self.tracer.child_span("fill", span.id());
         let bubbles = schedule.bubbles(fill_cfg.min_bubble_seconds);
         // The frozen part runs data-parallel on every device; its tail is
         // gated by the slowest device class.
@@ -538,6 +650,8 @@ impl Planner {
             }
         };
         let combined = CombinedIteration::new(&schedule, &bubbles, &fill);
+        fill_span.set("bubbles", bubbles.len());
+        fill_span.finish();
         outcome.fill_seconds = t1.elapsed().as_secs_f64();
 
         let Some(peak) = self.check_memory(mm, &partition, &layout, class_map) else {

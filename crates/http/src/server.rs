@@ -26,10 +26,12 @@ use crate::queue::{Bounded, PushError};
 use crate::ratelimit::RateLimiter;
 use diffusionpipe_core::PlanError;
 use dpipe_serve::json::{plan_response_doc, JsonValue};
-use dpipe_serve::{PlanRequest, PlanService, ServiceConfig, SweepGrid};
+use dpipe_serve::{PlanRequest, PlanService, ServiceConfig, SweepGrid, TraceCtx};
 use dpipe_spec::{PlanSpec, SweepSpec};
+use dpipe_trace::{SpanId, Tracer};
 use std::net::{IpAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -52,6 +54,11 @@ pub struct ServerConfig {
     pub rate_per_s: f64,
     /// Per-client burst allowance on top of the sustained rate.
     pub rate_burst: f64,
+    /// Directory for per-request Chrome trace-event files (`None`, the
+    /// default, disables request tracing entirely).
+    pub trace_dir: Option<PathBuf>,
+    /// With `trace_dir` set, write every Nth request's trace (1 = all).
+    pub trace_sample: u64,
     /// The planning worker pool + cache this server fronts.
     pub service: ServiceConfig,
 }
@@ -69,16 +76,22 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             rate_per_s: 0.0,
             rate_burst: 0.0,
+            trace_dir: None,
+            trace_sample: 1,
             service: ServiceConfig::default(),
         }
     }
 }
 
-/// What a route handler produced: a status and a JSON body (already
-/// newline-terminated where the CLI equivalent prints one).
+/// What a route handler produced: a status, a body (already
+/// newline-terminated where the CLI equivalent prints one), its content
+/// type, and — for the plan route — how the cache resolved it (surfaced
+/// as a span attribute on the request trace).
 struct Reply {
     status: u16,
     body: String,
+    content_type: &'static str,
+    cache: Option<&'static str>,
 }
 
 impl Reply {
@@ -90,11 +103,74 @@ impl Reply {
         Reply {
             status,
             body: format!("{body}\n"),
+            content_type: "application/json",
+            cache: None,
         }
     }
 
     fn ok(body: String) -> Reply {
-        Reply { status: 200, body }
+        Reply {
+            status: 200,
+            body,
+            content_type: "application/json",
+            cache: None,
+        }
+    }
+
+    fn text(body: String, content_type: &'static str) -> Reply {
+        Reply {
+            status: 200,
+            body,
+            content_type,
+            cache: None,
+        }
+    }
+}
+
+/// Per-request trace context threaded from the connection loop into the
+/// route handlers: the request's tracer (disabled unless the server has a
+/// trace sink), the handler span to parent under, and how long the
+/// connection waited in the accept queue (first request only).
+struct RequestTrace<'a> {
+    tracer: &'a Tracer,
+    parent: Option<SpanId>,
+    queue_wait: Option<Duration>,
+}
+
+impl RequestTrace<'_> {
+    fn ctx(&self) -> Option<TraceCtx> {
+        self.tracer.is_enabled().then(|| TraceCtx {
+            tracer: self.tracer.clone(),
+            parent: self.parent,
+        })
+    }
+}
+
+/// Where sampled request traces are written (`--trace-dir`).
+struct TraceSink {
+    dir: PathBuf,
+    /// Write every Nth request's trace (1 = all).
+    sample: u64,
+    seq: AtomicU64,
+}
+
+impl TraceSink {
+    /// Persists one finished request trace if the sampling counter selects
+    /// it; the tracer is drained either way so keep-alive connections do
+    /// not accumulate spans across requests.
+    fn record(&self, tracer: &Tracer, status: u16) {
+        let trace = tracer.take();
+        if trace.is_empty() {
+            return;
+        }
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        if !n.is_multiple_of(self.sample.max(1)) {
+            return;
+        }
+        let path = self.dir.join(format!("request-{n:06}-{status}.json"));
+        // Tracing is best-effort observability: a full disk or a removed
+        // directory must not fail the request that was being traced.
+        let _ = std::fs::write(path, trace.to_chrome_json());
     }
 }
 
@@ -105,19 +181,33 @@ struct Router {
     limiter: RateLimiter,
     max_in_flight_plans: usize,
     shutdown: AtomicBool,
+    trace_sink: Option<TraceSink>,
 }
 
 impl Router {
-    fn handle(&self, request: &Request, peer: Option<IpAddr>) -> Reply {
-        match (request.method.as_str(), request.path.as_str()) {
+    fn handle(&self, request: &Request, peer: Option<IpAddr>, trace: &RequestTrace<'_>) -> Reply {
+        // The path may carry a query string (`/metrics?format=prometheus`);
+        // routing matches on the path alone.
+        let (path, query) = request
+            .path
+            .split_once('?')
+            .unwrap_or((request.path.as_str(), ""));
+        match (request.method.as_str(), path) {
             ("GET", "/healthz") => Reply::ok("{\"status\":\"ok\"}\n".to_owned()),
             ("GET", "/metrics") => {
-                let doc = self
-                    .metrics
-                    .to_json(&self.service.cache_stats(), self.service.queue_depth());
-                Reply::ok(format!("{doc}\n"))
+                let cache = self.service.cache_stats();
+                let depth = self.service.queue_depth();
+                if query.split('&').any(|kv| kv == "format=prometheus") {
+                    Reply::text(
+                        self.metrics.to_prometheus(&cache, depth),
+                        "text/plain; version=0.0.4",
+                    )
+                } else {
+                    let doc = self.metrics.to_json(&cache, depth);
+                    Reply::ok(format!("{doc}\n"))
+                }
             }
-            ("POST", "/plan") => self.handle_plan(&request.body, peer),
+            ("POST", "/plan") => self.handle_plan(&request.body, peer, trace),
             ("POST", "/sweep") => self.handle_sweep(&request.body, peer),
             ("POST", "/shutdown") => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -148,10 +238,11 @@ impl Router {
         None
     }
 
-    fn handle_plan(&self, body: &[u8], peer: Option<IpAddr>) -> Reply {
+    fn handle_plan(&self, body: &[u8], peer: Option<IpAddr>, trace: &RequestTrace<'_>) -> Reply {
         if let Some(reply) = self.admit(peer) {
             return reply;
         }
+        let mut parse_span = trace.tracer.child_span("parse_spec", trace.parent);
         let text = match std::str::from_utf8(body) {
             Ok(t) => t,
             Err(_) => return Reply::json_error(400, "request body is not UTF-8"),
@@ -164,13 +255,31 @@ impl Router {
             Ok(r) => r,
             Err(e) => return Reply::json_error(400, &e.to_string()),
         };
+        parse_span.set("bytes", body.len() as u64);
+        parse_span.finish();
         let started = Instant::now();
-        let response = self.service.plan_one_with_parallelism(request.clone(), 1);
-        let reply = match response.outcome {
+        let response = self
+            .service
+            .plan_one_traced(request.clone(), 1, trace.ctx());
+        let plan_ms = started.elapsed().as_secs_f64() * 1e3;
+        let cache = if response.cache_hit { "hit" } else { "miss" };
+        let mut reply = match response.outcome {
             Ok(plan) => {
                 // The exact `dpipe plan --json --spec` stdout, built by the
-                // same function (`plan_response_doc`), newline included.
-                let doc = plan_response_doc(&spec, &request, &plan);
+                // same function (`plan_response_doc`), plus a server-only
+                // trailing `timing` field, newline included.
+                let mut doc = plan_response_doc(&spec, &request, &plan);
+                if let JsonValue::Object(fields) = &mut doc {
+                    let queue_ms = trace.queue_wait.map_or(0.0, |w| w.as_secs_f64() * 1e3);
+                    fields.push((
+                        "timing".to_owned(),
+                        JsonValue::Object(vec![
+                            ("queue_ms".to_owned(), JsonValue::Num(queue_ms)),
+                            ("plan_ms".to_owned(), JsonValue::Num(plan_ms)),
+                            ("cache".to_owned(), JsonValue::Str(cache.to_owned())),
+                        ]),
+                    ));
+                }
                 self.metrics
                     .plans_total
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -179,6 +288,7 @@ impl Router {
             Err(e @ PlanError::Internal(_)) => Reply::json_error(500, &e.to_string()),
             Err(e) => Reply::json_error(422, &e.to_string()),
         };
+        reply.cache = Some(cache);
         self.metrics
             .plan_latency
             .record_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
@@ -214,11 +324,18 @@ impl Router {
     }
 }
 
+/// An accepted connection waiting for a handler, stamped at accept time
+/// so the request trace can account for queue wait.
+struct Accepted {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
 /// A running HTTP frontend. Dropping it performs a graceful shutdown.
 pub struct HttpServer {
     addr: std::net::SocketAddr,
     router: Arc<Router>,
-    queue: Arc<Bounded<TcpStream>>,
+    queue: Arc<Bounded<Accepted>>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -239,8 +356,13 @@ impl HttpServer {
             limiter: RateLimiter::new(config.rate_per_s, config.rate_burst),
             max_in_flight_plans: config.max_in_flight_plans.max(1),
             shutdown: AtomicBool::new(false),
+            trace_sink: config.trace_dir.map(|dir| TraceSink {
+                dir,
+                sample: config.trace_sample.max(1),
+                seq: AtomicU64::new(0),
+            }),
         });
-        let queue: Arc<Bounded<TcpStream>> = Arc::new(Bounded::new(config.queue_capacity));
+        let queue: Arc<Bounded<Accepted>> = Arc::new(Bounded::new(config.queue_capacity));
 
         let acceptor = {
             let router = Arc::clone(&router);
@@ -256,9 +378,13 @@ impl HttpServer {
                             Ok((stream, _peer)) => {
                                 let _ = stream.set_nonblocking(false);
                                 let _ = stream.set_nodelay(true);
-                                match queue.try_push(stream) {
+                                let accepted = Accepted {
+                                    stream,
+                                    accepted_at: Instant::now(),
+                                };
+                                match queue.try_push(accepted) {
                                     Ok(()) => {}
-                                    Err((mut stream, why)) => {
+                                    Err((Accepted { mut stream, .. }, why)) => {
                                         // Shed, never drop: the client gets a
                                         // well-formed 503 before the close.
                                         let body = match why {
@@ -294,8 +420,8 @@ impl HttpServer {
                 std::thread::Builder::new()
                     .name(format!("dpipe-http-{i}"))
                     .spawn(move || {
-                        while let Some(stream) = queue.pop() {
-                            handle_connection(&router, stream, &limits);
+                        while let Some(accepted) = queue.pop() {
+                            handle_connection(&router, accepted, &limits);
                         }
                     })
                     .expect("failed to spawn http worker")
@@ -369,35 +495,91 @@ impl Drop for HttpServer {
 /// Serves one connection until close, error, timeout or server shutdown.
 /// In-flight requests always get their response before the connection
 /// closes — shutdown only suppresses *further* keep-alive rounds.
-fn handle_connection(router: &Router, stream: TcpStream, limits: &Limits) {
+fn handle_connection(router: &Router, accepted: Accepted, limits: &Limits) {
+    let Accepted {
+        stream,
+        accepted_at,
+    } = accepted;
     let peer = stream.peer_addr().ok().map(|a| a.ip());
     let mut conn = HttpConn::new(stream);
     router
         .metrics
         .open_connections
         .fetch_add(1, Ordering::Relaxed);
+    // Only the connection's first request waited in the accept queue;
+    // later keep-alive rounds start when their bytes arrive.
+    let mut queue_wait: Option<Duration> = Some(accepted_at.elapsed());
     loop {
+        // Each request on the connection gets its own tracer (and thus its
+        // own trace file). With no sink configured this is `Tracer::off()`
+        // and every span call below is a no-op.
+        let tracer = match (&router.trace_sink, queue_wait) {
+            (Some(_), Some(_)) => Tracer::starting_at(accepted_at),
+            (Some(_), None) => Tracer::new(),
+            (None, _) => Tracer::off(),
+        };
+        let mut root = match queue_wait {
+            Some(wait) => {
+                let root = tracer.span_at("request", accepted_at);
+                tracer.record_between("queue_wait", root.id(), accepted_at, accepted_at + wait);
+                root
+            }
+            None => tracer.span("request"),
+        };
+        let mut read_span = tracer.child_span("read_request", root.id());
         match conn.read_request(limits) {
             Ok(request) => {
+                read_span.set("bytes", request.body.len() as u64);
+                read_span.finish();
                 router
                     .metrics
                     .requests_total
                     .fetch_add(1, Ordering::Relaxed);
                 router.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-                let reply = router.handle(&request, peer);
+                let mut handle_span = tracer.child_span("handle", root.id());
+                let trace = RequestTrace {
+                    tracer: &tracer,
+                    parent: handle_span.id(),
+                    queue_wait,
+                };
+                let reply = router.handle(&request, peer, &trace);
+                handle_span.set("method", request.method.as_str());
+                handle_span.set("path", request.path.as_str());
+                handle_span.set("status", u64::from(reply.status));
+                handle_span.finish();
                 router.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
                 router.metrics.count_status(reply.status);
                 let keep_alive = request.keep_alive && !router.shutdown.load(Ordering::SeqCst);
-                if conn
+                let write_span = tracer.child_span("write_response", root.id());
+                let write_ok = conn
                     .write_response(
                         reply.status,
-                        "application/json",
+                        reply.content_type,
                         reply.body.as_bytes(),
                         keep_alive,
                     )
-                    .is_err()
-                    || !keep_alive
-                {
+                    .is_ok();
+                write_span.finish();
+                root.set("status", u64::from(reply.status));
+                root.set(
+                    "outcome",
+                    match reply.status {
+                        503 => "shed",
+                        429 => "rate_limited",
+                        s if s >= 500 => "error",
+                        s if s >= 400 => "client_error",
+                        _ => "ok",
+                    },
+                );
+                if let Some(cache) = reply.cache {
+                    root.set("cache", cache);
+                }
+                root.finish();
+                if let Some(sink) = &router.trace_sink {
+                    sink.record(&tracer, reply.status);
+                }
+                queue_wait = None;
+                if !write_ok || !keep_alive {
                     break;
                 }
             }

@@ -64,6 +64,15 @@ fn healthz_answers() {
     assert_eq!(response.text(), "{\"status\":\"ok\"}\n");
 }
 
+/// Removes the server-only trailing `timing` field from a `POST /plan`
+/// response body, leaving the exact CLI document.
+fn strip_timing(body: &str) -> String {
+    match body.rfind(",\"timing\":") {
+        Some(idx) => format!("{}}}\n", &body[..idx]),
+        None => body.to_owned(),
+    }
+}
+
 #[test]
 fn plan_responses_are_byte_identical_to_the_cli_document() {
     let server = default_server();
@@ -72,11 +81,34 @@ fn plan_responses_are_byte_identical_to_the_cli_document() {
         let spec = PlanSpec::from_json(&text).expect("committed spec parses");
         let request = PlanRequest::from_spec(spec.clone()).expect("spec resolves");
         let plan = Planner::plan_spec(&spec).expect("committed spec plans");
-        // `dpipe plan --json --spec` prints this document plus a newline.
+        // `dpipe plan --json --spec` prints this document plus a newline;
+        // the HTTP response appends one server-only `timing` field.
         let expected = format!("{}\n", plan_response_doc(&spec, &request, &plan));
         let response = client.request("POST", "/plan", text.as_bytes()).unwrap();
         assert_eq!(response.status, 200, "{name}: {}", response.text());
-        assert_eq!(response.text(), expected, "{name} body differs from CLI");
+        let body = response.text();
+        assert_eq!(
+            strip_timing(&body),
+            expected,
+            "{name} body differs from CLI"
+        );
+
+        // The timing breakdown is present and self-consistent.
+        let doc = parse(&body).expect("response is JSON");
+        let timing = doc.get("timing").expect("timing field");
+        assert_eq!(
+            timing.get("cache").and_then(JsonValue::as_str),
+            Some("miss"),
+            "{name}: first plan of a spec must be a cache miss"
+        );
+        assert!(timing
+            .get("plan_ms")
+            .and_then(JsonValue::as_f64)
+            .is_some_and(|ms| ms >= 0.0));
+        assert!(timing
+            .get("queue_ms")
+            .and_then(JsonValue::as_f64)
+            .is_some_and(|ms| ms >= 0.0));
     }
 }
 
@@ -241,12 +273,14 @@ fn concurrent_identical_specs_plan_once() {
             })
         })
         .collect();
+    // The `timing` field legitimately differs per request (latency, cache
+    // status); everything else must be byte-identical across all clients.
     let mut bodies: Vec<String> = handles
         .into_iter()
         .map(|h| {
             let response = h.join().expect("client thread");
             assert_eq!(response.status, 200, "{}", response.text());
-            response.text()
+            strip_timing(&response.text())
         })
         .collect();
     bodies.dedup();
@@ -318,6 +352,124 @@ fn shutdown_endpoint_drains_the_foreground_loop() {
     let start = std::time::Instant::now();
     server.run_until_shutdown();
     assert!(start.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn metrics_prometheus_format_renders_text_exposition() {
+    let server = default_server();
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    // One plan so the latency histogram has an observation.
+    let planned = client
+        .request("POST", "/plan", sd_spec_text().as_bytes())
+        .unwrap();
+    assert_eq!(planned.status, 200, "{}", planned.text());
+    let response = client
+        .request("GET", "/metrics?format=prometheus", b"")
+        .unwrap();
+    assert_eq!(response.status, 200);
+    let text = response.text();
+    assert!(text.ends_with('\n'));
+    for needle in [
+        "# TYPE dpipe_requests_total counter",
+        "# TYPE dpipe_plan_latency_seconds histogram",
+        "dpipe_plans_total 1",
+        "dpipe_plan_latency_seconds_bucket{le=\"+Inf\"} 1",
+        "dpipe_plan_latency_seconds_count 1",
+    ] {
+        assert!(
+            needle.lines().all(|l| text.contains(l)),
+            "missing {needle} in:\n{text}"
+        );
+    }
+    // The JSON document is still the default.
+    let json = client.request("GET", "/metrics", b"").unwrap();
+    assert!(parse(&json.text()).is_ok(), "{}", json.text());
+}
+
+#[test]
+fn trace_dir_writes_chrome_trace_files_per_request() {
+    let dir = std::env::temp_dir().join(format!("dpipe-http-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = start(ServerConfig {
+        trace_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let planned = client
+        .request("POST", "/plan", sd_spec_text().as_bytes())
+        .unwrap();
+    assert_eq!(planned.status, 200, "{}", planned.text());
+    // The trace file is written by the connection worker after the /plan
+    // response but before it reads the next keep-alive request, so a second
+    // round trip on the same connection is a deterministic barrier.
+    let health = client.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert!(
+        !files.is_empty(),
+        "no trace file written to {}",
+        dir.display()
+    );
+    let text = std::fs::read_to_string(&files[0]).unwrap();
+    let doc = parse(&text).expect("trace file is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    // The whole request lifecycle is on the timeline: HTTP accept through
+    // the planner's partition DP.
+    for expected in [
+        "request",
+        "queue_wait",
+        "read_request",
+        "handle",
+        "parse_spec",
+        "plan_service",
+        "plan_execute",
+        "plan",
+        "partition",
+        "write_response",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "span {expected} missing from {names:?}"
+        );
+    }
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_sampling_skips_unselected_requests() {
+    let dir = std::env::temp_dir().join(format!("dpipe-http-sample-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = start(ServerConfig {
+        trace_dir: Some(dir.clone()),
+        trace_sample: 1000,
+        ..ServerConfig::default()
+    });
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    for _ in 0..3 {
+        let response = client.request("GET", "/healthz", b"").unwrap();
+        assert_eq!(response.status, 200);
+    }
+    // Barrier as above: one more round trip so prior records completed.
+    let _ = client.request("GET", "/healthz", b"").unwrap();
+    // Request 0 is sampled (0 % 1000 == 0); the rest are skipped.
+    let files = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(files, 1, "sample=1000 must keep only the first request");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

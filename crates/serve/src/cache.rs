@@ -67,6 +67,21 @@ impl CacheStats {
     }
 }
 
+/// How one [`ShardedCache::get_or_compute_observed`] lookup resolved —
+/// the per-call view the aggregate [`CacheStats`] cannot give (tracing
+/// wants *this* request's wait, not a global counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheResolution {
+    /// `true` when the value came from the cache (finished entry, or an
+    /// in-flight computation this caller waited on).
+    pub hit: bool,
+    /// Time spent blocked behind another caller's in-flight computation
+    /// of the same key, if any (single-flight wait).
+    pub waited: Option<std::time::Duration>,
+    /// Finished LRU entries evicted while publishing this value.
+    pub evictions: u64,
+}
+
 /// A fixed-shard concurrent cache with single-flight computation, bounded
 /// per-shard capacity (LRU eviction) and a per-call retention policy.
 ///
@@ -171,7 +186,22 @@ impl<V: Clone> ShardedCache<V> {
         compute: impl FnOnce() -> V,
         retain: impl FnOnce(&V) -> bool,
     ) -> (V, bool) {
+        let (value, resolution) = self.get_or_compute_observed(key, compute, retain);
+        (value, resolution.hit)
+    }
+
+    /// [`ShardedCache::get_or_compute_with`] returning the full per-call
+    /// [`CacheResolution`]: whether it hit, how long it blocked on another
+    /// caller's in-flight computation, and how many entries publishing the
+    /// value evicted.
+    pub fn get_or_compute_observed(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> V,
+        retain: impl FnOnce(&V) -> bool,
+    ) -> (V, CacheResolution) {
         let shard = self.shard(key);
+        let mut wait_started: Option<std::time::Instant> = None;
         let mut map = shard.map.lock().expect("cache shard poisoned");
         loop {
             match map.get_mut(&key) {
@@ -179,9 +209,17 @@ impl<V: Clone> ShardedCache<V> {
                     *touched = self.clock.fetch_add(1, Ordering::Relaxed);
                     let v = v.clone();
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return (v, true);
+                    return (
+                        v,
+                        CacheResolution {
+                            hit: true,
+                            waited: wait_started.map(|s| s.elapsed()),
+                            evictions: 0,
+                        },
+                    );
                 }
                 Some(Slot::InFlight) => {
+                    wait_started.get_or_insert_with(std::time::Instant::now);
                     map = shard.ready.wait(map).expect("cache shard poisoned");
                 }
                 None => break,
@@ -211,9 +249,10 @@ impl<V: Clone> ShardedCache<V> {
         std::mem::forget(guard);
 
         let mut map = shard.map.lock().expect("cache shard poisoned");
+        let mut evicted = 0u64;
         if retain(&value) {
             map.insert(key, Slot::Ready(value.clone(), self.tick()));
-            self.evict_over_capacity(&mut map, key);
+            evicted = self.evict_over_capacity(&mut map, key);
         } else {
             map.remove(&key);
             self.uncached.fetch_add(1, Ordering::Relaxed);
@@ -221,12 +260,21 @@ impl<V: Clone> ShardedCache<V> {
         drop(map);
         shard.ready.notify_all();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        (value, false)
+        (
+            value,
+            CacheResolution {
+                hit: false,
+                waited: wait_started.map(|s| s.elapsed()),
+                evictions: evicted,
+            },
+        )
     }
 
     /// Evicts least-recently-used finished entries (never in-flight slots,
-    /// never `keep`) until the shard is back under capacity.
-    fn evict_over_capacity(&self, map: &mut HashMap<u64, Slot<V>>, keep: u64) {
+    /// never `keep`) until the shard is back under capacity; returns how
+    /// many entries were dropped.
+    fn evict_over_capacity(&self, map: &mut HashMap<u64, Slot<V>>, keep: u64) -> u64 {
+        let mut evicted = 0u64;
         while map.len() > self.per_shard_capacity {
             let victim = map
                 .iter()
@@ -239,12 +287,14 @@ impl<V: Clone> ShardedCache<V> {
             match victim {
                 Some(k) => {
                     map.remove(&k);
+                    evicted += 1;
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 // Everything else is in-flight: nothing evictable.
                 None => break,
             }
         }
+        evicted
     }
 
     /// Number of distinct keys resident (finished or in-flight).
@@ -415,6 +465,40 @@ mod tests {
         assert_eq!((v, hit), (Ok(5), false));
         assert_eq!(cache.get(9), Some(Ok(5)));
         assert!(cache.get_or_compute_with(9, || unreachable!(), |_| true).1);
+    }
+
+    #[test]
+    fn observed_resolution_reports_wait_and_evictions() {
+        // Publishing over capacity reports the evictions it caused.
+        let cache = ShardedCache::with_capacity(1, 1);
+        let (_, r) = cache.get_or_compute_observed(1, || 1u64, |_| true);
+        assert_eq!((r.hit, r.waited, r.evictions), (false, None, 0));
+        let (_, r) = cache.get_or_compute_observed(2, || 2u64, |_| true);
+        assert_eq!((r.hit, r.evictions), (false, 1));
+        // A caller blocked behind an in-flight computation reports the wait.
+        let cache: Arc<ShardedCache<u64>> = Arc::new(ShardedCache::new(1));
+        let c = Arc::clone(&cache);
+        let computer = std::thread::spawn(move || {
+            c.get_or_compute_observed(
+                9,
+                || {
+                    std::thread::sleep(std::time::Duration::from_millis(60));
+                    7u64
+                },
+                |_| true,
+            )
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let (v, r) = cache.get_or_compute_observed(9, || unreachable!(), |_| true);
+        assert_eq!(v, 7);
+        assert!(r.hit);
+        assert!(
+            r.waited
+                .is_some_and(|w| w >= std::time::Duration::from_millis(10)),
+            "{r:?}"
+        );
+        let (_, r0) = computer.join().unwrap();
+        assert!(!r0.hit && r0.waited.is_none(), "{r0:?}");
     }
 
     #[test]

@@ -56,10 +56,10 @@ mod request;
 mod service;
 mod sweep;
 
-pub use cache::{CacheStats, ShardedCache};
+pub use cache::{CacheResolution, CacheStats, ShardedCache};
 pub use request::PlanRequest;
 pub use service::{
-    PlanOutcome, PlanResponse, PlanService, ServiceConfig, ServiceError, SubmitRejected,
+    PlanOutcome, PlanResponse, PlanService, ServiceConfig, ServiceError, SubmitRejected, TraceCtx,
 };
 pub use sweep::{SweepGrid, SweepPoint, SweepReport};
 // The declarative layer requests and sweeps are built on.

@@ -162,6 +162,22 @@ impl PlanRequest {
     ///
     /// See [`PlanError`].
     pub fn plan_with_parallelism(&self, workers: usize) -> Result<Plan, PlanError> {
+        self.plan_traced(workers, &dpipe_trace::Tracer::off(), None)
+    }
+
+    /// [`PlanRequest::plan_with_parallelism`] with the planner's phase
+    /// spans recorded into `tracer` under `parent`. Tracing is observation
+    /// only: the returned plan is byte-identical to the untraced call.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanError`].
+    pub fn plan_traced(
+        &self,
+        workers: usize,
+        tracer: &dpipe_trace::Tracer,
+        parent: Option<dpipe_trace::SpanId>,
+    ) -> Result<Plan, PlanError> {
         if self.spec.cluster.world_size() == 0 {
             return Err(PlanError::InvalidRequest(
                 "cluster has no devices".to_owned(),
@@ -182,6 +198,8 @@ impl PlanRequest {
             .with_schedule_kind(self.spec.schedule)
             .with_parallelism(workers)
             .with_record_backed_profiles(self.spec.record_backed)
+            .with_tracer(tracer.clone())
+            .with_trace_parent(parent)
             .plan(self.spec.global_batch)
     }
 }

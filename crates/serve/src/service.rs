@@ -12,9 +12,11 @@ use crate::cache::{CacheStats, ShardedCache};
 use crate::request::PlanRequest;
 use crossbeam::channel::{self, Sender};
 use diffusionpipe_core::{Plan, PlanError};
+use dpipe_trace::{Span, SpanId, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// What one request resolved to: a shared plan or a planning error.
 /// Deterministic errors are cached too (a misconfigured request storm plans
@@ -110,12 +112,24 @@ pub struct PlanResponse {
     pub cache_hit: bool,
 }
 
+/// Where a submitted request's spans should go: the tracer (shared with
+/// whoever is assembling the request's trace — e.g. the HTTP frontend) and
+/// the span to parent the service's work under. Cheap to clone (the tracer
+/// is an `Arc` handle).
+#[derive(Debug, Clone)]
+pub struct TraceCtx {
+    pub tracer: Tracer,
+    pub parent: Option<SpanId>,
+}
+
 struct Job {
     index: usize,
     request: PlanRequest,
     /// Intra-plan search threads for this job (see
     /// [`ServiceConfig::plan_parallelism`]).
     parallelism: usize,
+    /// Span destination for this job's service/planner work, if traced.
+    trace: Option<TraceCtx>,
     reply: Sender<PlanResponse>,
 }
 
@@ -167,20 +181,42 @@ impl PlanService {
                             // worker would silently shrink the pool and
                             // strand the caller waiting on the reply.
                             let parallelism = job.parallelism;
-                            let (outcome, cache_hit) = cache.get_or_compute_with(
+                            let trace = job.trace;
+                            let mut service_span = match &trace {
+                                Some(t) => t.tracer.child_span("plan_service", t.parent),
+                                None => Span::none(),
+                            };
+                            let service_span_id = service_span.id();
+                            let lookup_started = Instant::now();
+                            let (outcome, resolution) = cache.get_or_compute_observed(
                                 fingerprint,
                                 || {
-                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                        request.plan_with_parallelism(parallelism).map(Arc::new)
-                                    }))
-                                    .unwrap_or_else(
-                                        |payload| {
-                                            Err(PlanError::Internal(format!(
-                                                "planner panicked: {}",
-                                                panic_message(&payload)
-                                            )))
-                                        },
+                                    let mut execute_span = match &trace {
+                                        Some(t) => {
+                                            t.tracer.child_span("plan_execute", service_span_id)
+                                        }
+                                        None => Span::none(),
+                                    };
+                                    let execute_id = execute_span.id();
+                                    let tracer = trace
+                                        .as_ref()
+                                        .map(|t| t.tracer.clone())
+                                        .unwrap_or_default();
+                                    let outcome = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            request
+                                                .plan_traced(parallelism, &tracer, execute_id)
+                                                .map(Arc::new)
+                                        }),
                                     )
+                                    .unwrap_or_else(|payload| {
+                                        Err(PlanError::Internal(format!(
+                                            "planner panicked: {}",
+                                            panic_message(&payload)
+                                        )))
+                                    });
+                                    execute_span.set("ok", outcome.is_ok());
+                                    outcome
                                 },
                                 // Plans and deterministic verdicts are worth
                                 // keeping; a contained panic is transient and
@@ -191,6 +227,24 @@ impl PlanService {
                                         .map_or_else(PlanError::is_deterministic, |_| true)
                                 },
                             );
+                            let cache_hit = resolution.hit;
+                            if let Some(t) = &trace {
+                                // The single-flight wait happened inside the
+                                // lookup; synthesize its span after the fact.
+                                if let Some(waited) = resolution.waited {
+                                    t.tracer.record_between(
+                                        "single_flight_wait",
+                                        service_span_id,
+                                        lookup_started,
+                                        lookup_started + waited,
+                                    );
+                                }
+                                service_span.set("cache", if cache_hit { "hit" } else { "miss" });
+                                service_span.set("evictions", resolution.evictions);
+                                service_span.set("fingerprint", format!("{fingerprint:016x}"));
+                                service_span.set("label", label.as_str());
+                            }
+                            service_span.finish();
                             // Decrement *before* replying: a caller that sees
                             // its answer must never still see itself counted
                             // in the backlog gauge.
@@ -247,6 +301,24 @@ impl PlanService {
         parallelism: usize,
         reply: Sender<PlanResponse>,
     ) -> Result<(), Box<SubmitRejected>> {
+        self.submit_traced(index, request, parallelism, None, reply)
+    }
+
+    /// [`PlanService::submit`] with a span destination: the worker records
+    /// a `plan_service` span (cache outcome, single-flight wait, evictions)
+    /// and, on a miss, the planner's own phase spans under it.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanService::submit`].
+    pub fn submit_traced(
+        &self,
+        index: usize,
+        request: PlanRequest,
+        parallelism: usize,
+        trace: Option<TraceCtx>,
+        reply: Sender<PlanResponse>,
+    ) -> Result<(), Box<SubmitRejected>> {
         let Some(queue) = self.queue.as_ref() else {
             return Err(Box::new(SubmitRejected {
                 request,
@@ -257,6 +329,7 @@ impl PlanService {
             index,
             request,
             parallelism: parallelism.max(1),
+            trace,
             reply,
         };
         self.pending.fetch_add(1, Ordering::Relaxed);
@@ -275,7 +348,7 @@ impl PlanService {
     /// could not finish (a lost worker, a closed queue) come back with a
     /// [`PlanError::Internal`] outcome instead of panicking the caller.
     pub fn plan_batch(&self, requests: Vec<PlanRequest>) -> Vec<PlanResponse> {
-        self.plan_batch_inner(requests, self.plan_parallelism)
+        self.plan_batch_inner(requests, self.plan_parallelism, None)
     }
 
     /// A synthesized response for a request the service lost on the floor.
@@ -293,12 +366,15 @@ impl PlanService {
         &self,
         requests: Vec<PlanRequest>,
         parallelism: usize,
+        trace: Option<TraceCtx>,
     ) -> Vec<PlanResponse> {
         let (tx, rx) = channel::unbounded();
         let n = requests.len();
         let mut responses: Vec<PlanResponse> = Vec::with_capacity(n);
         for (index, request) in requests.into_iter().enumerate() {
-            if let Err(rejected) = self.submit(index, request, parallelism, tx.clone()) {
+            if let Err(rejected) =
+                self.submit_traced(index, request, parallelism, trace.clone(), tx.clone())
+            {
                 responses.push(Self::lost_response(index, &rejected.request, &rejected.why));
             }
         }
@@ -355,7 +431,18 @@ impl PlanService {
         request: PlanRequest,
         parallelism: usize,
     ) -> PlanResponse {
-        let mut responses = self.plan_batch_inner(vec![request], parallelism);
+        self.plan_one_traced(request, parallelism, None)
+    }
+
+    /// [`PlanService::plan_one_with_parallelism`] with a span destination
+    /// (see [`PlanService::submit_traced`]).
+    pub fn plan_one_traced(
+        &self,
+        request: PlanRequest,
+        parallelism: usize,
+        trace: Option<TraceCtx>,
+    ) -> PlanResponse {
+        let mut responses = self.plan_batch_inner(vec![request], parallelism, trace);
         debug_assert_eq!(responses.len(), 1);
         responses.pop().unwrap_or_else(|| PlanResponse {
             index: 0,
@@ -485,6 +572,48 @@ mod tests {
         let stats = service.cache_stats();
         assert!(stats.entries <= 2, "entries: {}", stats.entries);
         assert!(stats.evictions >= 2, "evictions: {}", stats.evictions);
+    }
+
+    #[test]
+    fn traced_requests_record_service_and_planner_spans() {
+        use dpipe_trace::AttrValue;
+        let service = PlanService::new(ServiceConfig {
+            workers: 2,
+            cache_shards: 4,
+            ..ServiceConfig::default()
+        });
+        let tracer = Tracer::new();
+        let ctx = || {
+            Some(TraceCtx {
+                tracer: tracer.clone(),
+                parent: None,
+            })
+        };
+        let cold = service.plan_one_traced(request(64), 1, ctx());
+        assert!(cold.outcome.is_ok() && !cold.cache_hit);
+        let trace = tracer.take();
+        let svc = trace.find("plan_service").expect("service span");
+        assert!(
+            matches!(svc.attr("cache"), Some(AttrValue::Str(s)) if s == "miss"),
+            "{svc:?}"
+        );
+        let exec = trace.find("plan_execute").expect("execute span");
+        assert_eq!(exec.parent, Some(svc.id));
+        let plan_span = trace.find("plan").expect("planner root span");
+        assert_eq!(plan_span.parent, Some(exec.id));
+        // A warm repeat is a pure cache hit: a service span, no execution.
+        let warm = service.plan_one_traced(request(64), 1, ctx());
+        assert!(warm.cache_hit);
+        let trace = tracer.take();
+        let svc = trace.find("plan_service").expect("service span");
+        assert!(
+            matches!(svc.attr("cache"), Some(AttrValue::Str(s)) if s == "hit"),
+            "{svc:?}"
+        );
+        assert!(trace.find("plan_execute").is_none());
+        // Untraced submissions record nothing.
+        let _ = service.plan_one(request(96));
+        assert!(tracer.take().is_empty());
     }
 
     #[test]

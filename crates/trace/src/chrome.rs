@@ -1,0 +1,125 @@
+//! Chrome trace-event JSON exporter (the "JSON Array Format" with `ph: "X"`
+//! complete events), hand-rolled so the crate stays dependency-free.
+//! Timestamps and durations are microseconds since the collector origin;
+//! Perfetto and `chrome://tracing` both load the output directly.
+
+use crate::{AttrValue, Trace};
+
+/// Escapes a string into a JSON string literal (without quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_attr_value(out: &mut String, value: &AttrValue) {
+    match value {
+        AttrValue::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        AttrValue::UInt(v) => out.push_str(&v.to_string()),
+        AttrValue::Int(v) => out.push_str(&v.to_string()),
+        AttrValue::Float(v) if v.is_finite() => out.push_str(&format!("{v}")),
+        AttrValue::Float(_) => out.push_str("null"),
+        AttrValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+    }
+}
+
+pub(crate) fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + trace.spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, span) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, &span.name);
+        out.push_str("\",\"cat\":\"dpipe\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&span.start_us.to_string());
+        out.push_str(",\"dur\":");
+        out.push_str(&span.duration_us().to_string());
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&span.thread.to_string());
+        out.push_str(",\"args\":{\"span_id\":");
+        out.push_str(&span.id.to_string());
+        if let Some(parent) = span.parent {
+            out.push_str(",\"parent_id\":");
+            out.push_str(&parent.to_string());
+        }
+        for (key, value) in &span.attrs {
+            out.push_str(",\"");
+            escape_into(&mut out, key);
+            out.push_str("\":");
+            push_attr_value(&mut out, value);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tracer;
+
+    #[test]
+    fn export_is_valid_json_with_complete_events() {
+        let tracer = Tracer::new();
+        {
+            let mut root = tracer.span("plan");
+            root.set("model", "sd \"2.1\"\n");
+            root.set("world", 8u64);
+            root.set("ratio", 0.5f64);
+            root.set("skipped", false);
+            let _child = tracer.child_span("partition", root.id());
+        }
+        let json = tracer.snapshot().to_chrome_json();
+        let doc = dpipe_spec::json::parse(&json).expect("chrome export parses as JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(dpipe_spec::json::JsonValue::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for event in events {
+            assert_eq!(event.get("ph").and_then(|v| v.as_str()), Some("X"));
+            assert!(event.get("ts").and_then(|v| v.as_u64()).is_some());
+            assert!(event.get("dur").and_then(|v| v.as_u64()).is_some());
+            assert!(event.get("name").and_then(|v| v.as_str()).is_some());
+        }
+        let plan = events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("plan"))
+            .unwrap();
+        assert_eq!(
+            plan.get("args")
+                .and_then(|a| a.get("model"))
+                .and_then(|v| v.as_str()),
+            Some("sd \"2.1\"\n")
+        );
+        let partition = events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("partition"))
+            .unwrap();
+        assert_eq!(
+            partition
+                .get("args")
+                .and_then(|a| a.get("parent_id"))
+                .and_then(|v| v.as_u64()),
+            plan.get("args")
+                .and_then(|a| a.get("span_id"))
+                .and_then(|v| v.as_u64()),
+        );
+    }
+}

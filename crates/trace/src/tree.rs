@@ -1,0 +1,102 @@
+//! Human-readable span-tree renderer: one line per span, indented by
+//! depth, with duration and attributes. Spans whose parent is missing
+//! from the snapshot are promoted to roots so a partial trace still
+//! renders completely.
+
+use crate::{AttrValue, SpanRecord, Trace};
+use std::collections::HashSet;
+
+fn format_duration_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2} s", us as f64 / 1_000_000.0)
+    } else if us >= 1_000 {
+        format!("{:.2} ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+fn format_attr(value: &AttrValue) -> String {
+    match value {
+        AttrValue::Str(s) => s.clone(),
+        AttrValue::UInt(v) => v.to_string(),
+        AttrValue::Int(v) => v.to_string(),
+        AttrValue::Float(v) => format!("{v:.4}"),
+        AttrValue::Bool(v) => v.to_string(),
+    }
+}
+
+fn render_span(trace: &Trace, span: &SpanRecord, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&span.name);
+    out.push(' ');
+    out.push_str(&format_duration_us(span.duration_us()));
+    if !span.attrs.is_empty() {
+        out.push_str("  [");
+        for (i, (key, value)) in span.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(key);
+            out.push('=');
+            out.push_str(&format_attr(value));
+        }
+        out.push(']');
+    }
+    out.push('\n');
+    for child in trace.children_of(span.id) {
+        render_span(trace, child, depth + 1, out);
+    }
+}
+
+pub(crate) fn render_tree(trace: &Trace) -> String {
+    let ids: HashSet<u64> = trace.spans.iter().map(|s| s.id).collect();
+    let mut out = String::new();
+    for span in &trace.spans {
+        let is_root = match span.parent {
+            None => true,
+            Some(parent) => !ids.contains(&parent),
+        };
+        if is_root {
+            render_span(trace, span, 0, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tracer;
+
+    #[test]
+    fn tree_indents_children_and_shows_attrs() {
+        let tracer = Tracer::new();
+        {
+            let mut root = tracer.span("plan");
+            root.set("model", "sd");
+            let search = tracer.child_span("config_search", root.id());
+            let _leaf = tracer.child_span("partition", search.id());
+        }
+        let tree = tracer.snapshot().render_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 3, "{tree}");
+        assert!(lines[0].starts_with("plan "), "{tree}");
+        assert!(lines[0].contains("[model=sd]"), "{tree}");
+        assert!(lines[1].starts_with("  config_search "), "{tree}");
+        assert!(lines[2].starts_with("    partition "), "{tree}");
+    }
+
+    #[test]
+    fn orphan_spans_render_as_roots() {
+        let tracer = Tracer::new();
+        {
+            // Parent id that is never recorded (e.g. snapshot of a live
+            // collector whose root span is still open).
+            let _child = tracer.child_span("child", Some(crate::SpanId(9999)));
+        }
+        let tree = tracer.snapshot().render_tree();
+        assert!(tree.starts_with("child "), "{tree}");
+    }
+}

@@ -35,9 +35,10 @@ USAGE:
   dpipe plan --model <name> [--machines N|SPEC] [--gpus-per-machine N]
              [--batch N] [--workers N] [--no-fill] [--no-partial]
              [--timeline] [--instructions] [--json] [--emit-spec]
+             [--trace FILE] [--trace-tree]
   dpipe plan --spec <file|-> [--batch N] [--workers N] [--no-fill]
              [--no-partial] [--timeline] [--instructions] [--json]
-             [--emit-spec]
+             [--emit-spec] [--trace FILE] [--trace-tree]
       Plan training and print the chosen configuration. The per-config
       search fans across --workers threads (default: all cores); the plan
       is identical for any worker count. --machines takes a count (all
@@ -48,6 +49,11 @@ USAGE:
       --model/--machines with --spec are rejected. --emit-spec prints the
       resolved spec instead of planning, so any flag combination
       round-trips through `--emit-spec | dpipe plan --spec -`.
+      --trace FILE records every planner phase (validate, profile,
+      enumerate, per-config partition DP, schedule, fill, select) as a
+      Chrome trace-event JSON file — open it in Perfetto or
+      chrome://tracing. --trace-tree prints the same spans as an indented
+      tree on stderr (plan output stays on stdout).
   dpipe baselines --model <name> [--machines N|SPEC] [--gpus-per-machine N]
              [--batch N]
       Compare DiffusionPipe against DDP / ZeRO-3 / GPipe / SPP.
@@ -59,6 +65,7 @@ USAGE:
   dpipe serve --listen <addr> [--workers N] [--conn-workers N] [--queue N]
              [--max-in-flight N] [--max-body BYTES] [--read-timeout-ms MS]
              [--rate N] [--burst N] [--cache-capacity N]
+             [--trace-dir DIR] [--trace-sample N]
       Serve the planner over HTTP/1.1 (std::net, no external deps) until
       `POST /shutdown` (graceful drain). Endpoints: POST /plan (PlanSpec
       JSON in, the exact `dpipe plan --json --spec` document out),
@@ -66,6 +73,10 @@ USAGE:
       connection queue or plan backlog sheds load as 503; bodies over
       --max-body get 413; --rate enables per-client token-bucket limiting
       (429). `--listen 127.0.0.1:0` picks an ephemeral port and prints it.
+      --trace-dir writes one Chrome trace-event file per request (accept →
+      queue wait → parse → cache/plan → write); --trace-sample N keeps
+      every Nth request (default 1 = all). GET /metrics?format=prometheus
+      serves the counters in Prometheus text exposition format.
   dpipe sweep --models <a,b,..> [--gpus <n,..>] [--machines <spec;..>]
              [--batches <n,..>] [--workers N] [--best] [--json]
              [--no-fill] [--no-partial] [--emit-spec]
@@ -254,13 +265,39 @@ fn cmd_plan(args: &Args) -> ExitCode {
     };
     let batch = request.global_batch();
     let cluster = request.cluster().clone();
-    let plan = match request.plan_with_parallelism(spec.effective_parallelism()) {
+    // `--trace FILE` / `--trace-tree` attach a collector to the planner;
+    // without them the tracer is off and planning runs exactly as before
+    // (plans are byte-identical either way).
+    let trace_file = args.flags.get("trace").cloned();
+    let trace_tree = args.has("trace-tree");
+    let tracer = if trace_file.is_some() || trace_tree {
+        diffusionpipe::trace::Tracer::new()
+    } else {
+        diffusionpipe::trace::Tracer::off()
+    };
+    let plan = match request.plan_traced(spec.effective_parallelism(), &tracer, None) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("planning failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if tracer.is_enabled() {
+        let trace = tracer.take();
+        if let Some(path) = trace_file {
+            if let Err(e) = std::fs::write(&path, trace.to_chrome_json()) {
+                eprintln!("writing trace to {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} spans to {path} (open in Perfetto or chrome://tracing)",
+                trace.len()
+            );
+        }
+        if trace_tree {
+            eprint!("{}", trace.render_tree());
+        }
+    }
     if args.has("json") {
         // One shared document with `POST /plan` over HTTP, so the two
         // paths stay byte-identical (see `dpipe_serve::json`).
@@ -441,12 +478,20 @@ fn cmd_serve_http(args: &Args, listen: &str) -> ExitCode {
         },
         rate_per_s: rate,
         rate_burst: args.get("burst", (2.0 * rate).max(1.0)),
+        trace_dir: args.flags.get("trace-dir").map(std::path::PathBuf::from),
+        trace_sample: args.get("trace-sample", defaults.trace_sample),
         service: ServiceConfig {
             workers: args.get("workers", ServiceConfig::default().workers),
             cache_capacity: args.get("cache-capacity", ServiceConfig::default().cache_capacity),
             ..ServiceConfig::default()
         },
     };
+    if let Some(dir) = &config.trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("creating trace dir {} failed: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
     let server = match diffusionpipe::http::HttpServer::start(config) {
         Ok(s) => s,
         Err(e) => {

@@ -62,6 +62,7 @@
 //! | [`spec`] | `dpipe-spec` | declarative PlanSpec/SweepSpec + JSON |
 //! | [`serve`] | `dpipe-serve` | concurrent planning service + sweeps |
 //! | [`http`] | `dpipe-http` | HTTP/1.1 frontend (`dpipe serve --listen`) |
+//! | [`trace`] | `dpipe-trace` | structured tracing (Chrome trace export) |
 
 pub use diffusionpipe_core as core;
 pub use dpipe_baselines as baselines;
@@ -77,6 +78,7 @@ pub use dpipe_serve as serve;
 pub use dpipe_sim as sim;
 pub use dpipe_spec as spec;
 pub use dpipe_tensor as tensor;
+pub use dpipe_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -93,4 +95,5 @@ pub mod prelude {
     pub use crate::spec::{
         json, ClusterAxis, ModelRef, PlanSpec, SpecError, SweepSpec, SCHEMA_VERSION,
     };
+    pub use crate::trace::{Trace, Tracer};
 }

@@ -80,7 +80,12 @@ fn golden_summaries_match_committed_file() {
                 // deliberately exercises the threaded search; the output
                 // is identical for any worker count.
                 let spec = PlanSpec::zoo(name, cluster_for(gpus), batch).with_parallelism(2);
-                let planner = Planner::from_spec(&spec).expect("golden spec resolves");
+                // An *enabled* tracer rides along on every golden plan:
+                // instrumentation must never change the selected plan, and
+                // this suite is the byte-identity gate for that claim.
+                let planner = Planner::from_spec(&spec)
+                    .expect("golden spec resolves")
+                    .with_tracer(Tracer::new());
                 lines.push(if update {
                     checked_golden_line(name, gpus, batch, &planner)
                 } else {
