@@ -12,9 +12,12 @@
 //!
 //! Latency is measured *client-side* (connect-to-last-byte per request), so
 //! the reported p50/p99 include the wire and any queueing, not just plan
-//! time. Every response must be well-formed: 200s and admission-control
-//! 503s are counted, anything else (or a transport error, or a panic) fails
-//! the run. Writes a machine-readable `BENCH_serve.json`.
+//! time. A 503 shed is retried in place with bounded exponential backoff
+//! (10/20/40 ms, three attempts) the way a well-behaved control-plane
+//! client would; only a request still shed after the last attempt counts
+//! as `shed_503`. Every response must be well-formed: 200s and shed 503s
+//! are counted, anything else (or a transport error, or a panic) fails the
+//! run. Writes a machine-readable `BENCH_serve.json`.
 //!
 //! ```text
 //! http_bench [--quick] [--out PATH] [--connections N]
@@ -45,6 +48,11 @@ fn spec_body(template: &PlanSpec, batch: u32) -> String {
     spec.to_json()
 }
 
+/// How many times a shed request is retried before giving up, and the
+/// backoff before attempt k (1-based): `RETRY_BASE_MS << k` milliseconds.
+const MAX_RETRIES: u32 = 3;
+const RETRY_BASE_MS: u64 = 5;
+
 /// One phase's client-side tally.
 #[derive(Default)]
 struct Tally {
@@ -52,6 +60,12 @@ struct Tally {
     ok: u64,
     shed: u64,
     errors: u64,
+    /// 503 responses that were retried (each retry attempt counts once).
+    retries: u64,
+    /// Requests that ended 200 only after at least one 503 retry.
+    recovered: u64,
+    /// Total wall time spent sleeping in retry backoff.
+    backoff_ms: u64,
 }
 
 impl Tally {
@@ -60,6 +74,9 @@ impl Tally {
         self.ok += other.ok;
         self.shed += other.shed;
         self.errors += other.errors;
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+        self.backoff_ms += other.backoff_ms;
     }
 
     fn quantile_ms(&self, q: f64) -> f64 {
@@ -79,6 +96,15 @@ impl Tally {
             ("ok_200".to_owned(), JsonValue::UInt(self.ok)),
             ("shed_503".to_owned(), JsonValue::UInt(self.shed)),
             ("errors".to_owned(), JsonValue::UInt(self.errors)),
+            ("retries_503".to_owned(), JsonValue::UInt(self.retries)),
+            (
+                "recovered_after_retry".to_owned(),
+                JsonValue::UInt(self.recovered),
+            ),
+            (
+                "retry_backoff_ms".to_owned(),
+                JsonValue::UInt(self.backoff_ms),
+            ),
             ("elapsed_s".to_owned(), JsonValue::Num(elapsed_s)),
             (
                 "plans_per_s".to_owned(),
@@ -108,32 +134,50 @@ fn run_phase(
             std::thread::spawn(move || {
                 let mut tally = Tally::default();
                 let mut client = HttpClient::connect(addr).expect("connect");
-                for i in 0..per_conn {
+                'requests: for i in 0..per_conn {
                     let body = bodies_for(t, i);
                     let start = Instant::now();
-                    match client.request("POST", "/plan", body.as_bytes()) {
-                        Ok(response) => {
-                            tally
-                                .latencies_us
-                                .push(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-                            match response.status {
-                                200 => tally.ok += 1,
+                    let mut attempt = 0u32;
+                    loop {
+                        match client.request("POST", "/plan", body.as_bytes()) {
+                            Ok(response) => match response.status {
+                                200 => {
+                                    if attempt > 0 {
+                                        tally.recovered += 1;
+                                    }
+                                    tally.ok += 1;
+                                }
                                 // Shed load is a *correct* answer under
-                                // pressure; anything else is a failure.
+                                // pressure: back off briefly and retry in
+                                // place, a bounded number of times.
+                                503 if attempt < MAX_RETRIES => {
+                                    attempt += 1;
+                                    tally.retries += 1;
+                                    let pause = RETRY_BASE_MS << attempt;
+                                    tally.backoff_ms += pause;
+                                    std::thread::sleep(std::time::Duration::from_millis(pause));
+                                    continue;
+                                }
                                 503 => tally.shed += 1,
                                 _ => tally.errors += 1,
+                            },
+                            Err(_) => {
+                                // A dropped or broken connection is exactly
+                                // what load shedding must prevent.
+                                tally.errors += 1;
+                                match HttpClient::connect(addr) {
+                                    Ok(c) => client = c,
+                                    Err(_) => break 'requests,
+                                }
                             }
                         }
-                        Err(_) => {
-                            // A dropped or broken connection is exactly what
-                            // load shedding must prevent.
-                            tally.errors += 1;
-                            match HttpClient::connect(addr) {
-                                Ok(c) => client = c,
-                                Err(_) => break,
-                            }
-                        }
+                        break;
                     }
+                    // Latency is per *request*, retries and backoff
+                    // included: the time the caller actually waited.
+                    tally
+                        .latencies_us
+                        .push(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                 }
                 tally
             })
@@ -211,7 +255,7 @@ fn main() -> ExitCode {
     for (name, tally, secs) in [("cold", &cold, cold_s), ("warm mix", &warm, warm_s)] {
         println!(
             "{:<9} {:>6} requests {:>8.1} plans/s  p50 {:>7.2} ms  p90 {:>7.2} ms  \
-             p99 {:>7.2} ms  ({} shed, {} errors)",
+             p99 {:>7.2} ms  ({} shed, {} retried, {} errors)",
             name,
             tally.latencies_us.len(),
             tally.ok as f64 / secs.max(1e-9),
@@ -219,6 +263,7 @@ fn main() -> ExitCode {
             tally.quantile_ms(0.90),
             tally.quantile_ms(0.99),
             tally.shed,
+            tally.retries,
             tally.errors,
         );
     }
@@ -239,6 +284,14 @@ fn main() -> ExitCode {
         (
             "shed_503_total".to_owned(),
             JsonValue::UInt(cold.shed + warm.shed),
+        ),
+        (
+            "retries_503_total".to_owned(),
+            JsonValue::UInt(cold.retries + warm.retries),
+        ),
+        (
+            "retry_max_attempts".to_owned(),
+            JsonValue::UInt(u64::from(MAX_RETRIES)),
         ),
         ("errors_total".to_owned(), JsonValue::UInt(errors)),
         ("server_metrics".to_owned(), metrics_doc),

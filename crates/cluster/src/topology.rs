@@ -216,6 +216,32 @@ impl ClusterSpec {
         machines.len()
     }
 
+    /// The surviving cluster after removing the given machines — the
+    /// degraded-mode shape a planner re-plans on when nodes drop.
+    ///
+    /// Duplicate and out-of-range indices in `removed` are ignored. The
+    /// per-machine [`DeviceClass`] assignment is carried over class-aware:
+    /// each surviving machine keeps its own class, in surviving order, so a
+    /// mixed fleet that loses an H100 box re-plans as the A100 boxes it
+    /// still has. Removing every machine yields an empty (0-machine)
+    /// cluster, which planners reject downstream.
+    pub fn without_machines(&self, removed: &[MachineId]) -> Self {
+        let survives = |m: usize| !removed.iter().any(|r| r.index() == m);
+        let machine_classes = if self.machine_classes.is_empty() {
+            Vec::new()
+        } else {
+            (0..self.machines)
+                .filter(|&m| survives(m))
+                .map(|m| self.class_of_machine(MachineId(m)))
+                .collect()
+        };
+        ClusterSpec {
+            machines: (0..self.machines).filter(|&m| survives(m)).count(),
+            machine_classes,
+            ..self.clone()
+        }
+    }
+
     /// The communication cost model for this topology.
     pub fn comm_model(&self) -> CommModel {
         CommModel::new(self.clone())
@@ -365,6 +391,34 @@ mod tests {
             map.min_memory(c.devices().collect::<Vec<_>>()),
             24 * (1 << 30)
         );
+    }
+
+    #[test]
+    fn without_machines_shrinks_and_keeps_classes() {
+        // Homogeneous: shape shrinks, classes stay empty.
+        let c = ClusterSpec::p4de(4).without_machines(&[MachineId(1), MachineId(3)]);
+        assert_eq!(c.machines, 2);
+        assert_eq!(c.world_size(), 16);
+        assert!(c.machine_classes.is_empty());
+        // Duplicates and out-of-range indices are ignored.
+        let same =
+            ClusterSpec::p4de(4).without_machines(&[MachineId(1), MachineId(1), MachineId(99)]);
+        assert_eq!(same.machines, 3);
+        // Class-aware: each survivor keeps its own class in order.
+        let mixed = ClusterSpec::mixed(&[(DeviceClass::a100(), 2), (DeviceClass::h100(), 2)]);
+        let survived = mixed.without_machines(&[MachineId(0), MachineId(3)]);
+        assert_eq!(survived.machines, 2);
+        assert_eq!(
+            survived
+                .machine_classes
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a100", "h100"]
+        );
+        // Removing everything leaves an empty cluster.
+        let none = ClusterSpec::p4de(2).without_machines(&[MachineId(0), MachineId(1)]);
+        assert_eq!(none.world_size(), 0);
     }
 
     #[test]

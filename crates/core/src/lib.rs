@@ -34,12 +34,20 @@ mod instructions;
 mod json;
 mod plan;
 mod planner;
+mod simulate;
 
 pub use error::PlanError;
 pub use instructions::generate_instructions;
 pub use json::plan_json;
 pub use plan::{BackbonePartition, Plan, PreprocessingReport};
 pub use planner::{PlanStats, Planner, PlannerOptions};
+pub use simulate::{
+    degraded_spec, render_sim_timeline, simulate_plan, simulation_json, stage_layouts,
+    MigrationDiff, Replan, SimReport, SimulationOutcome, SlotTimeline, StageEdit, StageLayout,
+    TimelineSpan,
+};
+// Fault-spec types, re-exported so simulate callers stay on one dependency.
+pub use dpipe_sim::{FaultSpec, LinkFault, NodeDropFault, StragglerFault};
 // The declarative spec layer, re-exported so planner callers can stay on
 // one dependency: `Planner::from_spec(&PlanSpec::from_json(text)?)`.
 pub use dpipe_spec::{ModelRef, PlanSpec, SpecError, SweepSpec};

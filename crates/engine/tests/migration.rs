@@ -1,0 +1,71 @@
+//! Migration soundness: the re-layouts the degraded-mode planner proposes
+//! after a node drop (fewer stages, fewer data-parallel replicas) are pure
+//! re-decompositions — they compute the same training math as the layout
+//! they replace. If this holds, a `MigrationDiff` can be applied to a live
+//! job without changing what the job learns.
+
+use dpipe_engine::{EngineConfig, PipelineEngine, SyntheticTask};
+
+fn max_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+fn config(stage_layers: Vec<usize>, micro_batches: usize, dp_groups: usize) -> EngineConfig {
+    EngineConfig {
+        stage_layers,
+        micro_batches,
+        dp_groups,
+        lr: 0.03,
+        optimizer: None,
+    }
+}
+
+/// Trains the same task under two configurations and asserts the losses
+/// and final parameters agree to float tolerance.
+fn assert_equivalent(task: &SyntheticTask, before: EngineConfig, after: EngineConfig) {
+    let old = PipelineEngine::train(task, &before, 3).expect("pre-migration layout trains");
+    let new = PipelineEngine::train(task, &after, 3).expect("post-migration layout trains");
+    for (a, b) in old.losses.iter().zip(&new.losses) {
+        assert!(
+            (a - b).abs() < 5e-4,
+            "losses diverged ({a} vs {b}) between {before:?} and {after:?}"
+        );
+    }
+    let diff = max_diff(&old.final_params, &new.final_params);
+    assert!(
+        diff < 5e-4,
+        "params diverged by {diff} between {before:?} and {after:?}"
+    );
+}
+
+/// Stage consolidation: a 4-stage pipeline squeezed onto fewer surviving
+/// devices as [1,1,2] or all the way down to a single stage.
+#[test]
+fn consolidating_stages_preserves_training() {
+    let task = SyntheticTask::new(1, 6, 16, 11);
+    assert_equivalent(
+        &task,
+        config(vec![1, 1, 1, 1], 2, 1),
+        config(vec![1, 1, 2], 2, 1),
+    );
+    assert_equivalent(&task, config(vec![1, 1, 1, 1], 2, 1), config(vec![4], 2, 1));
+}
+
+/// Losing a data-parallel replica: two groups collapse to one, with the
+/// micro-batch count doubled so the gradient partition is unchanged.
+#[test]
+fn collapsing_a_dp_group_preserves_training() {
+    let task = SyntheticTask::new(1, 6, 16, 23);
+    assert_equivalent(&task, config(vec![2, 2], 2, 2), config(vec![2, 2], 4, 1));
+}
+
+/// The combined event the simulator's node-drop path produces: fewer
+/// replicas *and* a different stage split at once.
+#[test]
+fn simultaneous_regroup_and_resplit_preserves_training() {
+    let task = SyntheticTask::new(1, 6, 16, 37).with_self_conditioning();
+    assert_equivalent(&task, config(vec![1, 3], 2, 2), config(vec![2, 2], 4, 1));
+}

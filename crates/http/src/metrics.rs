@@ -153,6 +153,8 @@ pub struct Metrics {
     pub plans_total: AtomicU64,
     /// Successful `POST /sweep` responses.
     pub sweeps_total: AtomicU64,
+    /// Successful `POST /simulate` responses.
+    pub simulations_total: AtomicU64,
     /// Requests currently being handled (gauge).
     pub in_flight: AtomicUsize,
     /// Connections currently open (gauge).
@@ -180,6 +182,7 @@ impl Metrics {
             rate_limited_total: AtomicU64::new(0),
             plans_total: AtomicU64::new(0),
             sweeps_total: AtomicU64::new(0),
+            simulations_total: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             open_connections: AtomicUsize::new(0),
             plan_latency: LatencyHistogram::new(),
@@ -253,6 +256,10 @@ impl Metrics {
                 JsonValue::UInt(load(&self.sweeps_total)),
             ),
             (
+                "simulations_total".to_owned(),
+                JsonValue::UInt(load(&self.simulations_total)),
+            ),
+            (
                 "plans_per_s".to_owned(),
                 JsonValue::Num(plans as f64 / uptime.max(1e-9)),
             ),
@@ -295,7 +302,7 @@ impl Metrics {
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
             ));
         };
-        let counters: [(&str, &str, u64); 9] = [
+        let counters: [(&str, &str, u64); 10] = [
             (
                 "dpipe_requests_total",
                 "Requests fully parsed off the wire.",
@@ -335,6 +342,11 @@ impl Metrics {
                 "dpipe_sweeps_total",
                 "Successful POST /sweep responses.",
                 load(&self.sweeps_total),
+            ),
+            (
+                "dpipe_simulations_total",
+                "Successful POST /simulate responses.",
+                load(&self.simulations_total),
             ),
             (
                 "dpipe_cache_evictions_total",

@@ -24,8 +24,8 @@ use crate::http1::{write_oneshot, HttpConn, HttpError, Limits, Request};
 use crate::metrics::Metrics;
 use crate::queue::{Bounded, PushError};
 use crate::ratelimit::RateLimiter;
-use diffusionpipe_core::PlanError;
-use dpipe_serve::json::{plan_response_doc, JsonValue};
+use diffusionpipe_core::{FaultSpec, PlanError};
+use dpipe_serve::json::{parse, plan_response_doc, simulate_response_doc, JsonValue};
 use dpipe_serve::{PlanRequest, PlanService, ServiceConfig, SweepGrid, TraceCtx};
 use dpipe_spec::{PlanSpec, SweepSpec};
 use dpipe_trace::{SpanId, Tracer};
@@ -59,6 +59,12 @@ pub struct ServerConfig {
     pub trace_dir: Option<PathBuf>,
     /// With `trace_dir` set, write every Nth request's trace (1 = all).
     pub trace_sample: u64,
+    /// Chaos-testing hook: a named fault armed inside a route handler
+    /// (`"simulate-panic"` panics in `POST /simulate`). `None` (the
+    /// default, and the only production setting) disables every failpoint;
+    /// the chaos tests use this to prove panics are contained as 500s
+    /// without poisoning workers or the plan cache.
+    pub failpoint: Option<String>,
     /// The planning worker pool + cache this server fronts.
     pub service: ServiceConfig,
 }
@@ -78,6 +84,7 @@ impl Default for ServerConfig {
             rate_burst: 0.0,
             trace_dir: None,
             trace_sample: 1,
+            failpoint: None,
             service: ServiceConfig::default(),
         }
     }
@@ -182,6 +189,7 @@ struct Router {
     max_in_flight_plans: usize,
     shutdown: AtomicBool,
     trace_sink: Option<TraceSink>,
+    failpoint: Option<String>,
 }
 
 impl Router {
@@ -208,6 +216,7 @@ impl Router {
                 }
             }
             ("POST", "/plan") => self.handle_plan(&request.body, peer, trace),
+            ("POST", "/simulate") => self.handle_simulate(&request.body, peer, trace),
             ("POST", "/sweep") => self.handle_sweep(&request.body, peer),
             ("POST", "/shutdown") => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -295,6 +304,106 @@ impl Router {
         reply
     }
 
+    /// `POST /simulate`: a `{"spec": PlanSpec, "faults": FaultSpec}` body
+    /// plans the spec through the cache, replays it under the fault spec,
+    /// and answers with the exact `dpipe simulate --json` document. A
+    /// degraded re-plan (node drops) routes back through the plan cache.
+    /// Error discipline matches `/plan`: malformed input is 400, a
+    /// deterministic verdict about the request is 422, and only genuine
+    /// internal failures (including a contained panic) are 500.
+    fn handle_simulate(
+        &self,
+        body: &[u8],
+        peer: Option<IpAddr>,
+        trace: &RequestTrace<'_>,
+    ) -> Reply {
+        if let Some(reply) = self.admit(peer) {
+            return reply;
+        }
+        let mut parse_span = trace.tracer.child_span("parse_simulate", trace.parent);
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return Reply::json_error(400, "request body is not UTF-8"),
+        };
+        let doc = match parse(text) {
+            Ok(d) => d,
+            Err(e) => return Reply::json_error(400, &e.to_string()),
+        };
+        let Some(spec_value) = doc.get("spec") else {
+            return Reply::json_error(
+                400,
+                "missing `spec` field (expected {\"spec\": <PlanSpec>, \"faults\": <FaultSpec>})",
+            );
+        };
+        let spec = match PlanSpec::from_json_value(spec_value) {
+            Ok(s) => s,
+            Err(e) => return Reply::json_error(400, &e.to_string()),
+        };
+        let faults = match doc.get("faults") {
+            None | Some(JsonValue::Null) => FaultSpec::none(),
+            Some(v) => match FaultSpec::from_json_value(v) {
+                Ok(f) => f,
+                Err(e) => return Reply::json_error(400, &e.to_string()),
+            },
+        };
+        let request = match PlanRequest::from_spec(spec.clone()) {
+            Ok(r) => r,
+            Err(e) => return Reply::json_error(400, &e.to_string()),
+        };
+        parse_span.set("bytes", body.len() as u64);
+        parse_span.finish();
+        let started = Instant::now();
+        // The replay is contained like the planning workers contain the
+        // planner: a panic inside (or the armed chaos failpoint) becomes a
+        // clean 500 on this request alone — the worker survives, and
+        // nothing about the panicking request enters the plan cache.
+        let armed = self.failpoint.as_deref() == Some("simulate-panic");
+        let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if armed {
+                panic!("failpoint simulate-panic armed");
+            }
+            self.service
+                .simulate_traced(&request, &faults, 1, trace.ctx())
+        })) {
+            Ok(r) => r,
+            Err(payload) => {
+                return Reply::json_error(
+                    500,
+                    &format!("simulation panicked: {}", panic_message(payload.as_ref())),
+                )
+            }
+        };
+        let sim_ms = started.elapsed().as_secs_f64() * 1e3;
+        let cache = if response.cache_hit { "hit" } else { "miss" };
+        let mut reply = match response.outcome {
+            Ok(outcome) => {
+                // The exact `dpipe simulate --json` stdout, built by the
+                // same function (`simulate_response_doc`), plus a
+                // server-only trailing `timing` field.
+                let mut doc = simulate_response_doc(&spec, &request, &faults, &outcome);
+                if let JsonValue::Object(fields) = &mut doc {
+                    let queue_ms = trace.queue_wait.map_or(0.0, |w| w.as_secs_f64() * 1e3);
+                    fields.push((
+                        "timing".to_owned(),
+                        JsonValue::Object(vec![
+                            ("queue_ms".to_owned(), JsonValue::Num(queue_ms)),
+                            ("simulate_ms".to_owned(), JsonValue::Num(sim_ms)),
+                            ("cache".to_owned(), JsonValue::Str(cache.to_owned())),
+                        ]),
+                    ));
+                }
+                self.metrics
+                    .simulations_total
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Reply::ok(format!("{doc}\n"))
+            }
+            Err(e @ PlanError::Internal(_)) => Reply::json_error(500, &e.to_string()),
+            Err(e) => Reply::json_error(422, &e.to_string()),
+        };
+        reply.cache = Some(cache);
+        reply
+    }
+
     fn handle_sweep(&self, body: &[u8], peer: Option<IpAddr>) -> Reply {
         if let Some(reply) = self.admit(peer) {
             return reply;
@@ -321,6 +430,18 @@ impl Router {
             }
             Err(e) => Reply::json_error(400, &e.to_string()),
         }
+    }
+}
+
+/// Best-effort extraction of a contained panic's message (panics carry
+/// `&str` or `String` payloads in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
     }
 }
 
@@ -361,6 +482,7 @@ impl HttpServer {
                 sample: config.trace_sample.max(1),
                 seq: AtomicU64::new(0),
             }),
+            failpoint: config.failpoint,
         });
         let queue: Arc<Bounded<Accepted>> = Arc::new(Bounded::new(config.queue_capacity));
 

@@ -29,7 +29,8 @@ fn sd_spec_text() -> String {
 }
 
 /// The committed example PlanSpec documents (sweep_mixed.json is a
-/// SweepSpec and exercised via `POST /sweep` instead).
+/// SweepSpec and exercised via `POST /sweep`; faults_*.json are FaultSpec
+/// documents for `POST /simulate`).
 fn committed_plan_specs() -> Vec<(String, String)> {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/specs");
     let mut specs: Vec<(String, String)> = std::fs::read_dir(dir)
@@ -37,8 +38,10 @@ fn committed_plan_specs() -> Vec<(String, String)> {
         .map(|e| e.expect("readable entry").path())
         .filter(|p| p.extension().is_some_and(|e| e == "json"))
         .filter(|p| {
-            !p.file_name()
-                .is_some_and(|n| n.to_string_lossy().starts_with("sweep"))
+            !p.file_name().is_some_and(|n| {
+                let name = n.to_string_lossy();
+                name.starts_with("sweep") || name.starts_with("faults")
+            })
         })
         .map(|p| {
             (

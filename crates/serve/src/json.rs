@@ -11,7 +11,7 @@ pub use diffusionpipe_core::plan_json;
 pub use dpipe_spec::json::{parse, JsonError, JsonValue};
 
 use crate::request::PlanRequest;
-use diffusionpipe_core::Plan;
+use diffusionpipe_core::{simulation_json, FaultSpec, Plan, SimulationOutcome};
 use dpipe_spec::PlanSpec;
 
 /// The self-describing response document for one planned spec — the exact
@@ -40,6 +40,47 @@ pub fn plan_response_doc(spec: &PlanSpec, request: &PlanRequest, plan: &Plan) ->
         ),
         ("spec".to_owned(), spec.to_json_value()),
         ("plan".to_owned(), plan_json(plan)),
+    ])
+}
+
+/// The self-describing response document for one fault-injected
+/// simulation — the exact payload of both `dpipe simulate --json` and
+/// `POST /simulate`, built in one place so the two surfaces are
+/// byte-identical by construction. The spec and fault spec ride along, so
+/// any emitted simulation can be replayed with
+/// `dpipe simulate --spec --faults` and correlated with serve-cache
+/// entries; the ASCII timeline is a render-side view (`--timeline`) and
+/// not part of the document.
+pub fn simulate_response_doc(
+    spec: &PlanSpec,
+    request: &PlanRequest,
+    faults: &FaultSpec,
+    outcome: &SimulationOutcome,
+) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "model".to_owned(),
+            JsonValue::Str(request.model().name.clone()),
+        ),
+        (
+            "world_size".to_owned(),
+            JsonValue::UInt(request.cluster().world_size() as u64),
+        ),
+        (
+            "global_batch".to_owned(),
+            JsonValue::UInt(u64::from(request.global_batch())),
+        ),
+        (
+            "fingerprint".to_owned(),
+            JsonValue::Str(format!("{:016x}", request.fingerprint())),
+        ),
+        (
+            "fault_fingerprint".to_owned(),
+            JsonValue::Str(format!("{:016x}", faults.fingerprint())),
+        ),
+        ("spec".to_owned(), spec.to_json_value()),
+        ("faults".to_owned(), faults.to_json_value()),
+        ("simulation".to_owned(), simulation_json(outcome)),
     ])
 }
 

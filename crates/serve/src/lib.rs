@@ -59,7 +59,8 @@ mod sweep;
 pub use cache::{CacheResolution, CacheStats, ShardedCache};
 pub use request::PlanRequest;
 pub use service::{
-    PlanOutcome, PlanResponse, PlanService, ServiceConfig, ServiceError, SubmitRejected, TraceCtx,
+    PlanOutcome, PlanResponse, PlanService, ServiceConfig, ServiceError, SimulateResponse,
+    SubmitRejected, TraceCtx,
 };
 pub use sweep::{SweepGrid, SweepPoint, SweepReport};
 // The declarative layer requests and sweeps are built on.

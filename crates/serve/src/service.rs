@@ -11,7 +11,7 @@
 use crate::cache::{CacheStats, ShardedCache};
 use crate::request::PlanRequest;
 use crossbeam::channel::{self, Sender};
-use diffusionpipe_core::{Plan, PlanError};
+use diffusionpipe_core::{simulate_plan, FaultSpec, Plan, PlanError, SimulationOutcome};
 use dpipe_trace::{Span, SpanId, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -109,6 +109,19 @@ pub struct PlanResponse {
     pub outcome: PlanOutcome,
     /// True when this response was served from the cache (including waiting
     /// on an in-flight identical request) rather than planned here.
+    pub cache_hit: bool,
+}
+
+/// The service's answer to one simulation: the replay outcome, the plan
+/// it replayed (when planning succeeded), and whether that plan came from
+/// the cache.
+#[derive(Debug)]
+pub struct SimulateResponse {
+    /// The fault-injected replay (and degraded re-plan), or why it failed.
+    pub outcome: Result<SimulationOutcome, PlanError>,
+    /// The plan that was (or would have been) replayed.
+    pub plan: Option<Arc<Plan>>,
+    /// Whether the simulated plan was a cache hit.
     pub cache_hit: bool,
 }
 
@@ -453,6 +466,46 @@ impl PlanService {
             )),
             cache_hit: false,
         })
+    }
+
+    /// Plans `request` through the cache, then replays the plan under
+    /// `faults`. When the fault spec drops machines, the degraded re-plan
+    /// is routed back through this service — a repeated simulation of the
+    /// same drop re-plans exactly once, and concurrent identical
+    /// simulations share the single-flight slot.
+    pub fn simulate_traced(
+        &self,
+        request: &PlanRequest,
+        faults: &FaultSpec,
+        parallelism: usize,
+        trace: Option<TraceCtx>,
+    ) -> SimulateResponse {
+        let planned = self.plan_one_traced(request.clone(), parallelism, trace.clone());
+        let plan = match planned.outcome {
+            Ok(plan) => plan,
+            Err(e) => {
+                return SimulateResponse {
+                    outcome: Err(e),
+                    plan: None,
+                    cache_hit: planned.cache_hit,
+                }
+            }
+        };
+        let (tracer, parent) = match &trace {
+            Some(ctx) => (ctx.tracer.clone(), ctx.parent),
+            None => (Tracer::off(), None),
+        };
+        let outcome = simulate_plan(request.spec(), &plan, faults, &tracer, parent, |degraded| {
+            let degraded_request = PlanRequest::from_spec(degraded.clone())
+                .map_err(|e| PlanError::InvalidRequest(e.to_string()))?;
+            let response = self.plan_one_traced(degraded_request, parallelism, trace.clone());
+            response.outcome.map(|p| (*p).clone())
+        });
+        SimulateResponse {
+            outcome,
+            plan: Some(plan),
+            cache_hit: planned.cache_hit,
+        }
     }
 
     /// Current plan-cache counters.

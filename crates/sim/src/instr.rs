@@ -6,7 +6,8 @@
 //! validating deadlock-freedom and producing per-device timelines that can
 //! be checked against the analytic schedule.
 
-use crate::des::EventQueue;
+use crate::des::{EventQueue, SimError};
+use crate::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
@@ -84,6 +85,15 @@ pub enum InstrError {
         /// Referenced peer.
         peer: usize,
     },
+    /// An instruction produced a poisoned event time (NaN duration or
+    /// similar) that the event queue rejected.
+    Sim(SimError),
+}
+
+impl From<SimError> for InstrError {
+    fn from(e: SimError) -> Self {
+        InstrError::Sim(e)
+    }
 }
 
 impl fmt::Display for InstrError {
@@ -98,11 +108,34 @@ impl fmt::Display for InstrError {
             InstrError::BadPeer { device, peer } => {
                 write!(f, "device {device} references invalid peer {peer}")
             }
+            InstrError::Sim(e) => write!(f, "event scheduling failed: {e}"),
         }
     }
 }
 
 impl Error for InstrError {}
+
+/// Outcome of a fault-injected run.
+///
+/// Unlike the fault-free [`InstructionSim::run`], an incomplete stream is
+/// not automatically an error: devices on dropped machines stop on purpose,
+/// and peers blocked on them are *stranded* — both are part of the degraded
+/// timeline the caller wants to inspect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedRun {
+    /// Per-instruction execution records, sorted by (device, index).
+    pub traces: Vec<InstructionTrace>,
+    /// Latest completion time across all devices.
+    pub makespan: f64,
+    /// Devices halted by a node-drop fault.
+    pub dropped_devices: Vec<usize>,
+    /// Devices blocked forever on a dropped peer (no drop of their own).
+    pub stranded_devices: Vec<usize>,
+    /// Instructions that executed.
+    pub completed_instructions: usize,
+    /// Instructions across all streams.
+    pub total_instructions: usize,
+}
 
 /// Simulates per-device instruction streams to completion.
 #[derive(Debug, Default)]
@@ -114,9 +147,48 @@ impl InstructionSim {
     ///
     /// # Errors
     ///
-    /// Returns [`InstrError::Deadlock`] when no device can progress and
-    /// [`InstrError::BadPeer`] for out-of-range device references.
+    /// Returns [`InstrError::Deadlock`] when no device can progress,
+    /// [`InstrError::BadPeer`] for out-of-range device references, and
+    /// [`InstrError::Sim`] if an instruction produced a poisoned time.
     pub fn run(streams: &[Vec<Instruction>]) -> Result<(Vec<InstructionTrace>, f64), InstrError> {
+        let run = Self::run_faulted(streams, &FaultPlan::none())?;
+        // With no faults a stalled device is a genuine deadlock.
+        if !run.stranded_devices.is_empty() || !run.dropped_devices.is_empty() {
+            let mut stuck = run.dropped_devices;
+            stuck.extend(run.stranded_devices);
+            stuck.sort_unstable();
+            return Err(InstrError::Deadlock {
+                stuck_devices: stuck,
+            });
+        }
+        Ok((run.traces, run.makespan))
+    }
+
+    /// Runs the streams under `plan`, injecting stragglers, degraded links
+    /// and node drops. Stream `s` of `streams` is queried against stream
+    /// `s` of the plan (compile the plan with the same stream order).
+    ///
+    /// Fault semantics:
+    ///
+    /// * **Straggler** — a `Compute` *starting* at time `t` runs for
+    ///   `seconds * plan.compute_scale(s, t)`.
+    /// * **Degraded link** — a `Send` starting at `t` delivers after
+    ///   `plan.transfer_seconds(..)`, which folds in scale and
+    ///   deterministic retransmits.
+    /// * **Node drop** — a device whose drop time has passed starts no
+    ///   further instruction; whatever is in flight (a transfer already
+    ///   sent, a compute already begun) completes. Peers blocked on a
+    ///   dropped device forever are reported stranded.
+    ///
+    /// # Errors
+    ///
+    /// [`InstrError::BadPeer`] for out-of-range device references and
+    /// [`InstrError::Sim`] for poisoned times; incomplete streams under
+    /// drops are a *result*, not an error.
+    pub fn run_faulted(
+        streams: &[Vec<Instruction>],
+        plan: &FaultPlan,
+    ) -> Result<FaultedRun, InstrError> {
         let n = streams.len();
         // Validate peers up front.
         for (d, stream) in streams.iter().enumerate() {
@@ -147,20 +219,30 @@ impl InstructionSim {
         // Collective: id -> (arrived devices, latest arrival)
         let mut collectives: HashMap<u64, (Vec<usize>, f64)> = HashMap::new();
 
+        // Devices that hit their drop gate (started nothing past it).
+        let mut dropped = vec![false; n];
+
         for d in 0..n {
-            queue.schedule(0.0, d);
+            queue.schedule(0.0, d)?;
         }
         // Blocked devices wait for a matching event; when the match arrives
         // we reschedule them.
         while let Some(ev) = queue.pop() {
             let d = ev.payload;
-            if pc[d] >= streams[d].len() {
+            if pc[d] >= streams[d].len() || dropped[d] {
                 continue;
             }
             let now = dev_time[d].max(ev.time);
+            // Node drop: nothing *starts* at or after the drop time; the
+            // instruction in flight when the machine died has already been
+            // traced and completes.
+            if plan.drop_at(d).is_some_and(|t| now >= t - 1e-12) {
+                dropped[d] = true;
+                continue;
+            }
             match &streams[d][pc[d]] {
                 Instruction::Compute { seconds, .. } => {
-                    let end = now + seconds;
+                    let end = now + seconds * plan.compute_scale(d, now);
                     traces.push(InstructionTrace {
                         device: d,
                         index: pc[d],
@@ -169,13 +251,14 @@ impl InstructionSim {
                     });
                     dev_time[d] = end;
                     pc[d] += 1;
-                    queue.schedule(end, d);
+                    queue.schedule(end, d)?;
                 }
                 Instruction::Send { peer, tag, seconds } => {
-                    // Eager send: enqueue the transfer; data arrives at
-                    // `now + seconds`. The sender proceeds immediately.
+                    // Eager send: enqueue the transfer; data arrives after
+                    // the (possibly degraded) transfer time. The sender
+                    // proceeds immediately.
                     let key = (d, *peer, *tag);
-                    let arrival = now + seconds;
+                    let arrival = now + plan.transfer_seconds(d, *peer, now, *seconds, *tag);
                     traces.push(InstructionTrace {
                         device: d,
                         index: pc[d],
@@ -184,7 +267,7 @@ impl InstructionSim {
                     });
                     dev_time[d] = now;
                     pc[d] += 1;
-                    queue.schedule(now, d);
+                    queue.schedule(now, d)?;
                     if let Some(recv_posted) = pending_recv.remove(&key) {
                         // The receiver is blocked at its recv; complete it.
                         let end = recv_posted.max(arrival);
@@ -196,7 +279,7 @@ impl InstructionSim {
                         });
                         dev_time[*peer] = dev_time[*peer].max(end);
                         pc[*peer] += 1;
-                        queue.schedule(end, *peer);
+                        queue.schedule(end, *peer)?;
                     } else {
                         pending_send.insert(key, arrival);
                     }
@@ -213,7 +296,7 @@ impl InstructionSim {
                         });
                         dev_time[d] = end;
                         pc[d] += 1;
-                        queue.schedule(end, d);
+                        queue.schedule(end, d)?;
                     } else {
                         pending_recv.insert(key, now);
                         // Blocked: the matching send will wake us.
@@ -238,7 +321,7 @@ impl InstructionSim {
                             });
                             dev_time[m] = dev_time[m].max(end);
                             pc[m] += 1;
-                            queue.schedule(end, m);
+                            queue.schedule(end, m)?;
                         }
                     }
                     // else: blocked until the last member arrives.
@@ -246,11 +329,20 @@ impl InstructionSim {
             }
         }
 
-        let stuck: Vec<usize> = (0..n).filter(|&d| pc[d] < streams[d].len()).collect();
-        if !stuck.is_empty() {
-            return Err(InstrError::Deadlock {
-                stuck_devices: stuck,
-            });
+        // Classify unfinished streams: a device halts *dropped* when it hit
+        // its own drop gate (or sits blocked with a drop of its own
+        // pending); otherwise it is stranded on a dead peer.
+        let mut dropped_devices = Vec::new();
+        let mut stranded_devices = Vec::new();
+        for d in 0..n {
+            if pc[d] >= streams[d].len() {
+                continue;
+            }
+            if dropped[d] || plan.drop_at(d).is_some() {
+                dropped_devices.push(d);
+            } else {
+                stranded_devices.push(d);
+            }
         }
         let makespan = dev_time.iter().copied().fold(0.0, f64::max);
         traces.sort_by(|a, b| {
@@ -258,7 +350,14 @@ impl InstructionSim {
                 .partial_cmp(&(b.device, b.index))
                 .unwrap()
         });
-        Ok((traces, makespan))
+        Ok(FaultedRun {
+            traces,
+            makespan,
+            dropped_devices,
+            stranded_devices,
+            completed_instructions: pc.iter().sum(),
+            total_instructions: streams.iter().map(Vec::len).sum(),
+        })
     }
 }
 
@@ -409,5 +508,97 @@ mod tests {
         ];
         let (_, makespan) = InstructionSim::run(&streams).unwrap();
         assert!((makespan - 3.0).abs() < 1e-12, "{makespan}");
+    }
+
+    #[test]
+    fn nan_duration_is_a_typed_error_not_a_panic() {
+        let streams = vec![vec![compute(f64::NAN)]];
+        assert!(matches!(
+            InstructionSim::run(&streams).unwrap_err(),
+            InstrError::Sim(crate::des::SimError::NonFiniteTime { .. })
+        ));
+    }
+
+    #[test]
+    fn straggler_scales_compute_from_its_start_time() {
+        use crate::fault::{FaultPlan, FaultSpec, StragglerFault};
+        let streams = vec![vec![compute(1.0), compute(1.0)]];
+        let spec = FaultSpec {
+            stragglers: vec![StragglerFault {
+                device: 0,
+                scale: 2.0,
+                from: 0.5,
+            }],
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::compile(&spec, &[vec![0]], &[0], 0);
+        let run = InstructionSim::run_faulted(&streams, &plan).unwrap();
+        // First compute starts at 0 (< from): unscaled. Second starts at
+        // 1.0 (>= from): doubled.
+        assert!((run.makespan - 3.0).abs() < 1e-12, "{}", run.makespan);
+        assert!(run.dropped_devices.is_empty() && run.stranded_devices.is_empty());
+        assert_eq!(run.completed_instructions, run.total_instructions);
+    }
+
+    #[test]
+    fn node_drop_halts_device_and_strands_blocked_peer() {
+        use crate::fault::{FaultPlan, FaultSpec, NodeDropFault};
+        // Device 0 computes then sends; device 1 waits for the message and
+        // computes. Machine of device 0 drops before the send can start.
+        let streams = vec![
+            vec![
+                compute(1.0),
+                Instruction::Send {
+                    peer: 1,
+                    tag: 3,
+                    seconds: 0.1,
+                },
+            ],
+            vec![Instruction::Recv { peer: 0, tag: 3 }, compute(1.0)],
+        ];
+        let spec = FaultSpec {
+            node_drops: vec![NodeDropFault {
+                machine: 0,
+                at: 0.5,
+            }],
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::compile(&spec, &[vec![0], vec![1]], &[0, 1], 0);
+        let run = InstructionSim::run_faulted(&streams, &plan).unwrap();
+        // The in-flight compute finishes (makespan 1.0) but the send never
+        // starts; device 1 is stranded at its recv.
+        assert_eq!(run.dropped_devices, vec![0]);
+        assert_eq!(run.stranded_devices, vec![1]);
+        assert!((run.makespan - 1.0).abs() < 1e-12, "{}", run.makespan);
+        assert_eq!(run.completed_instructions, 1);
+        assert_eq!(run.total_instructions, 4);
+    }
+
+    #[test]
+    fn degraded_link_slows_delivery_not_sender() {
+        use crate::fault::{FaultPlan, FaultSpec, LinkFault};
+        let streams = vec![
+            vec![Instruction::Send {
+                peer: 1,
+                tag: 0,
+                seconds: 0.5,
+            }],
+            vec![Instruction::Recv { peer: 0, tag: 0 }],
+        ];
+        let spec = FaultSpec {
+            links: vec![LinkFault {
+                src_machine: 0,
+                dst_machine: 1,
+                scale: 3.0,
+                loss: 0.0,
+                retransmit: 0.0,
+                from: 0.0,
+                until: None,
+            }],
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::compile(&spec, &[vec![0], vec![1]], &[0, 1], 0);
+        let run = InstructionSim::run_faulted(&streams, &plan).unwrap();
+        assert!((run.makespan - 1.5).abs() < 1e-12, "{}", run.makespan);
     }
 }

@@ -13,6 +13,12 @@
 //!   all-reduce, used to validate that generated back-end instruction
 //!   streams realise the analytic schedule (and to catch deadlocks).
 //!
+//! The [`fault`] module turns the instruction layer into a failure-mode
+//! laboratory: a seeded, JSON-round-trippable [`FaultSpec`] (stragglers,
+//! degraded/flaky links, node drops) compiles to a [`FaultPlan`] that
+//! [`InstructionSim::run_faulted`] consults per instruction, producing a
+//! reproducible degraded timeline ([`FaultedRun`]).
+//!
 //! # Example
 //!
 //! ```
@@ -45,8 +51,10 @@
 
 mod combine;
 mod des;
+pub mod fault;
 mod instr;
 
 pub use combine::CombinedIteration;
-pub use des::{Event, EventQueue};
-pub use instr::{InstrError, Instruction, InstructionSim, InstructionTrace};
+pub use des::{Event, EventQueue, SimError};
+pub use fault::{FaultPlan, FaultSpec, LinkFault, NodeDropFault, StragglerFault};
+pub use instr::{FaultedRun, InstrError, Instruction, InstructionSim, InstructionTrace};

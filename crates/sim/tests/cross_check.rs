@@ -119,3 +119,67 @@ proptest! {
         prop_assert!(makespan <= upper);
     }
 }
+
+/// Every committed golden plan spec replays, fault-free, to exactly the
+/// analytic iteration time (1e-6 absolute): the DES instruction lowering is
+/// an exact realisation of the cost model, not an approximation.
+#[test]
+fn zero_fault_replay_matches_cost_model_for_golden_specs() {
+    use diffusionpipe_core::{simulate_plan, FaultSpec, Planner, Tracer};
+    use dpipe_spec::PlanSpec;
+
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/specs");
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".json") && !n.starts_with("sweep") && !n.starts_with("faults"))
+        .collect();
+    names.sort();
+    assert!(names.len() >= 4, "expected golden specs, found {names:?}");
+    for name in names {
+        let text = std::fs::read_to_string(format!("{dir}/{name}")).unwrap();
+        let spec = PlanSpec::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let plan = Planner::plan_spec(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = simulate_plan(
+            &spec,
+            &plan,
+            &FaultSpec::none(),
+            &Tracer::off(),
+            None,
+            |_| unreachable!("fault-free simulation never re-plans"),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let replayed = out.report.simulated_iteration;
+        assert!(
+            (replayed - plan.iteration_time).abs() < 1e-6,
+            "{name}: replay {replayed} vs analytic {}",
+            plan.iteration_time
+        );
+    }
+}
+
+/// The cascaded (bidirectional-pipeline) path replays exactly too — its
+/// slot mapping and up-direction dependency edges are different code.
+#[test]
+fn zero_fault_replay_matches_cost_model_for_cascaded_model() {
+    use diffusionpipe_core::{simulate_plan, FaultSpec, Planner, Tracer};
+    use dpipe_spec::PlanSpec;
+
+    let spec = PlanSpec::zoo("cdm-lsun", ClusterSpec::p4de(2), 128);
+    let plan = Planner::plan_spec(&spec).unwrap();
+    let out = simulate_plan(
+        &spec,
+        &plan,
+        &FaultSpec::none(),
+        &Tracer::off(),
+        None,
+        |_| unreachable!("fault-free simulation never re-plans"),
+    )
+    .unwrap();
+    let replayed = out.report.simulated_iteration;
+    assert!(
+        (replayed - plan.iteration_time).abs() < 1e-6,
+        "cdm-lsun: replay {replayed} vs analytic {}",
+        plan.iteration_time
+    );
+}

@@ -45,9 +45,9 @@
 //!
 //! [`DeviceClass`]: dpipe_cluster::DeviceClass
 
+pub mod decode;
 pub mod json;
 
-mod decode;
 mod error;
 mod options;
 mod plan_spec;

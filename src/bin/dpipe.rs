@@ -16,7 +16,10 @@
 //! any flag combination, and `--spec <file|->` executes such a document.
 
 use diffusionpipe::baselines::{ddp, gpipe, spp, zero3};
-use diffusionpipe::core::{generate_instructions, BackbonePartition, Planner, PlannerOptions};
+use diffusionpipe::core::{
+    generate_instructions, render_sim_timeline, simulate_plan, BackbonePartition, FaultSpec,
+    PlanError, Planner, PlannerOptions,
+};
 use diffusionpipe::partition::SearchSpace;
 use diffusionpipe::prelude::*;
 use diffusionpipe::schedule::render_timeline;
@@ -57,6 +60,17 @@ USAGE:
   dpipe baselines --model <name> [--machines N|SPEC] [--gpus-per-machine N]
              [--batch N]
       Compare DiffusionPipe against DDP / ZeRO-3 / GPipe / SPP.
+  dpipe simulate --spec <file|-> [--faults <file|->] [--timeline] [--json]
+             [--workers N] [--trace FILE] [--trace-tree]
+      Plan the spec, then replay the plan instruction-by-instruction under
+      a fault spec (stragglers, degraded links, node drops) through the
+      discrete-event simulator. With no --faults the replay is fault-free
+      and must match the planner's predicted iteration time. The fault
+      spec is seeded JSON: the same spec + faults always produce the same
+      report, byte for byte. Node drops additionally re-plan on the
+      surviving cluster and print the stage migration diff. --timeline
+      renders the degraded per-slot Gantt chart; --json prints the exact
+      `POST /simulate` response document.
   dpipe serve --requests <file|-> [--workers N] [--json]
       Batch-serve planning requests through the worker pool + plan cache.
       One request per line: model=<name> [machines=N|SPEC] [gpus=N]
@@ -69,7 +83,9 @@ USAGE:
       Serve the planner over HTTP/1.1 (std::net, no external deps) until
       `POST /shutdown` (graceful drain). Endpoints: POST /plan (PlanSpec
       JSON in, the exact `dpipe plan --json --spec` document out),
-      POST /sweep (SweepSpec JSON), GET /metrics, GET /healthz. A full
+      POST /simulate ({\"spec\": PlanSpec, \"faults\": FaultSpec} in, the
+      exact `dpipe simulate --json` document out), POST /sweep (SweepSpec
+      JSON), GET /metrics, GET /healthz. A full
       connection queue or plan backlog sheds load as 503; bodies over
       --max-body get 413; --rate enables per-client token-bucket limiting
       (429). `--listen 127.0.0.1:0` picks an ephemeral port and prints it.
@@ -421,6 +437,163 @@ fn cmd_baselines(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `dpipe simulate`: plan a spec, replay it under a fault spec through the
+/// discrete-event simulator, and report the degraded timeline plus (on
+/// node drops) the re-plan on the surviving cluster.
+fn cmd_simulate(args: &Args) -> ExitCode {
+    let Some(source) = args.flags.get("spec") else {
+        eprintln!("missing --spec <file|-> (emit one with `dpipe plan ... --emit-spec`)");
+        return ExitCode::FAILURE;
+    };
+    let mut spec = match read_spec_source(source)
+        .and_then(|t| PlanSpec::from_json(&t).map_err(|e| e.to_string()))
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(workers) = args.flags.get("workers") {
+        let Ok(parallelism) = workers.parse() else {
+            eprintln!("bad --workers `{workers}`");
+            return ExitCode::FAILURE;
+        };
+        spec.parallelism = parallelism;
+    }
+    let faults = match args.flags.get("faults") {
+        Some(src) => match read_spec_source(src)
+            .and_then(|t| FaultSpec::from_json(&t).map_err(|e| e.to_string()))
+        {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => FaultSpec::none(),
+    };
+    let request = match PlanRequest::from_spec(spec.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace_file = args.flags.get("trace").cloned();
+    let trace_tree = args.has("trace-tree");
+    let tracer = if trace_file.is_some() || trace_tree {
+        diffusionpipe::trace::Tracer::new()
+    } else {
+        diffusionpipe::trace::Tracer::off()
+    };
+    let parallelism = spec.effective_parallelism();
+    let plan = match request.plan_traced(parallelism, &tracer, None) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match simulate_plan(&spec, &plan, &faults, &tracer, None, |degraded| {
+        PlanRequest::from_spec(degraded.clone())
+            .map_err(|e| PlanError::InvalidRequest(e.to_string()))?
+            .plan_traced(parallelism, &tracer, None)
+    }) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if tracer.is_enabled() {
+        let trace = tracer.take();
+        if let Some(path) = trace_file {
+            if let Err(e) = std::fs::write(&path, trace.to_chrome_json()) {
+                eprintln!("writing trace to {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} spans to {path} (open in Perfetto or chrome://tracing)",
+                trace.len()
+            );
+        }
+        if trace_tree {
+            eprint!("{}", trace.render_tree());
+        }
+    }
+    if args.has("json") {
+        // One shared document with `POST /simulate` over HTTP, so the two
+        // surfaces stay byte-identical (see `dpipe_serve::json`).
+        let doc =
+            diffusionpipe::serve::json::simulate_response_doc(&spec, &request, &faults, &outcome);
+        println!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+    let r = &outcome.report;
+    println!(
+        "simulated {} on {} GPUs ({} machines, {} DP groups):",
+        request.model().name,
+        r.world_size,
+        r.num_machines,
+        r.dp_groups
+    );
+    println!(
+        "  predicted iteration {:.2} ms, fault-free replay {:.2} ms",
+        r.predicted_iteration * 1e3,
+        r.simulated_iteration * 1e3
+    );
+    if faults.is_empty() {
+        println!("  no faults injected");
+    } else {
+        println!(
+            "  faults (seed {}): {} straggler(s), {} link fault(s), {} node drop(s)",
+            faults.seed,
+            faults.stragglers.len(),
+            faults.links.len(),
+            faults.node_drops.len()
+        );
+    }
+    match (r.degraded_iteration, r.degraded_throughput) {
+        (Some(iteration), Some(throughput)) => println!(
+            "  degraded iteration {:.2} ms, {:.1} samples/s ({:+.1}% vs baseline {:.1})",
+            iteration * 1e3,
+            throughput,
+            r.throughput_delta.unwrap_or(0.0) * 100.0,
+            r.baseline_throughput
+        ),
+        _ => println!(
+            "  iteration did not complete: {} device(s) dropped, {} stranded \
+             ({}/{} instructions ran, makespan {:.2} ms)",
+            r.dropped_devices.len(),
+            r.stranded_devices.len(),
+            r.completed_instructions,
+            r.total_instructions,
+            r.makespan * 1e3
+        ),
+    }
+    if let Some(rp) = &outcome.replan {
+        println!(
+            "  re-plan on {} surviving devices ({} machines): {} stage(s) moved, \
+             {} layer(s) reassigned, {} device(s) retired",
+            rp.surviving_world,
+            rp.surviving_machines,
+            rp.diff.stages_moved,
+            rp.diff.layers_reassigned,
+            rp.diff.devices_retired.len()
+        );
+        println!(
+            "  recovered throughput {:.1} samples/s ({:.0}% of baseline)",
+            rp.recovered_throughput,
+            rp.recovery_ratio * 100.0
+        );
+    }
+    if args.has("timeline") {
+        println!("\n{}", render_sim_timeline(&outcome));
+    }
+    ExitCode::SUCCESS
+}
+
 /// Parses one `serve` request line: whitespace-separated `key=value` tokens
 /// (`model=` mandatory; `machines` — a count or an `a100:4,h100:4`-style
 /// class spec — `gpus`, `batch`, `fill`, `partial` optional).
@@ -480,6 +653,7 @@ fn cmd_serve_http(args: &Args, listen: &str) -> ExitCode {
         rate_burst: args.get("burst", (2.0 * rate).max(1.0)),
         trace_dir: args.flags.get("trace-dir").map(std::path::PathBuf::from),
         trace_sample: args.get("trace-sample", defaults.trace_sample),
+        failpoint: None,
         service: ServiceConfig {
             workers: args.get("workers", ServiceConfig::default().workers),
             cache_capacity: args.get("cache-capacity", ServiceConfig::default().cache_capacity),
@@ -742,6 +916,7 @@ fn main() -> ExitCode {
         "models" => cmd_models(),
         "plan" => cmd_plan(&args),
         "baselines" => cmd_baselines(&args),
+        "simulate" => cmd_simulate(&args),
         "serve" => cmd_serve(&args),
         "sweep" => cmd_sweep(&args),
         _ => {
