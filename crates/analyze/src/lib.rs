@@ -1,0 +1,165 @@
+//! `dpipe_analyze` — the workspace invariant linter.
+//!
+//! The repo's value proposition is determinism under load: byte-identical
+//! plan documents across CLI and HTTP, a wall-clock-free simulator,
+//! panic-contained workers, and fingerprints that double as cache keys.
+//! This crate makes those invariants mechanical instead of tribal: a
+//! hand-rolled, zero-dependency token-level pass over the workspace's own
+//! sources with a small lint catalog (see `docs/lints.md`):
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | `no-panic` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code outside tests |
+//! | `no-wall-clock` | no `Instant`/`SystemTime` in the simulator |
+//! | `no-unordered-map` | no `HashMap`/`HashSet` in fingerprint/JSON-emitting modules |
+//! | `lock-unwrap` | no `.lock().unwrap()` — locks route through a poison-recovering helper |
+//! | `malformed-allow` | every suppression parses and carries a reason |
+//! | `unused-allow` | no stale suppressions |
+//!
+//! Run it with `cargo run -p dpipe_analyze -- check [--json]`; CI fails
+//! on any unallowed finding. Legitimate sites are suppressed inline
+//! with an allow comment carrying a reason (syntax in `docs/lints.md`),
+//! and every suppression is counted in the report.
+//!
+//! # Example
+//!
+//! ```
+//! use dpipe_analyze::analyze_source;
+//!
+//! // A panicking call in library code is a finding…
+//! let r = analyze_source("crates/core/src/x.rs", "fn f() { None::<u8>.unwrap(); }");
+//! assert_eq!(r.unallowed.len(), 1);
+//! assert_eq!(r.unallowed[0].lint.as_str(), "no-panic");
+//!
+//! // …but the same tokens inside a string, comment or test module are not.
+//! let r = analyze_source("crates/core/src/x.rs", "const S: &str = \".unwrap()\"; // .unwrap()");
+//! assert!(r.unallowed.is_empty());
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod scope;
+pub mod walk;
+
+pub use lints::LintId;
+pub use report::{AllowRecord, FileResult, Finding, Report};
+
+/// Errors from driving the analyzer over a directory tree.
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// Filesystem failure while walking or reading sources.
+    Io { path: String, message: String },
+}
+
+impl AnalyzeError {
+    pub(crate) fn io(path: &Path, err: std::io::Error) -> AnalyzeError {
+        AnalyzeError::Io {
+            path: path.display().to_string(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Io { path, message } => write!(f, "io error at {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Analyze one file's source text under its workspace-relative path.
+/// Pure function of its inputs; the unit the fixture corpus tests.
+pub fn analyze_source(rel: &str, src: &str) -> FileResult {
+    let toks = lexer::lex(src);
+    let sc = scope::scope_file(&toks);
+    let lines: Vec<&str> = src.lines().collect();
+    let findings = lints::scan_file(rel, &toks, &sc, &lines);
+    match_allows(rel, findings, &sc, &lines)
+}
+
+/// Match findings against allow annotations, record receipts, and
+/// surface stale suppressions as `unused-allow` findings.
+fn match_allows(
+    rel: &str,
+    findings: Vec<Finding>,
+    sc: &scope::FileScope,
+    lines: &[&str],
+) -> FileResult {
+    let mut used = vec![false; sc.allows.len()];
+    let mut unallowed = Vec::new();
+    let mut allowed = Vec::new();
+    for f in findings {
+        let slot = if f.lint.allowable() {
+            sc.allows
+                .iter()
+                .position(|a| a.lint == f.lint && a.target_line == f.line)
+        } else {
+            None
+        };
+        match slot {
+            Some(i) => {
+                used[i] = true;
+                allowed.push(f);
+            }
+            None => unallowed.push(f),
+        }
+    }
+    let mut allows = Vec::new();
+    for (i, a) in sc.allows.iter().enumerate() {
+        if !used[i] {
+            unallowed.push(Finding {
+                lint: LintId::UnusedAllow,
+                line: a.comment_line,
+                col: a.comment_col,
+                message: format!(
+                    "suppression for `{}` matched no finding on line {}; remove the stale allow",
+                    a.lint.as_str(),
+                    a.target_line
+                ),
+                snippet: lints::snippet_at(lines, a.comment_line),
+            });
+        }
+        allows.push(AllowRecord {
+            line: a.comment_line,
+            target_line: a.target_line,
+            lint: a.lint,
+            reason: a.reason.clone(),
+            used: used[i],
+        });
+    }
+    unallowed.sort_by_key(|f| (f.line, f.col, f.lint));
+    allowed.sort_by_key(|f| (f.line, f.col, f.lint));
+    FileResult {
+        rel: rel.to_string(),
+        unallowed,
+        allowed,
+        allows,
+    }
+}
+
+/// Run the full check over a workspace rooted at `root`.
+pub fn check(root: &Path) -> Result<Report, AnalyzeError> {
+    let rels = walk::workspace_files(root)?;
+    let mut report = Report {
+        files_scanned: rels.len(),
+        files: Vec::new(),
+    };
+    for rel in rels {
+        let path = root.join(&rel);
+        let src = fs::read_to_string(&path).map_err(|e| AnalyzeError::io(&path, e))?;
+        let result = analyze_source(&rel, &src);
+        if !result.unallowed.is_empty() || !result.allowed.is_empty() || !result.allows.is_empty() {
+            report.files.push(result);
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,223 @@
+//! The lint catalog and the per-file scanning pass.
+//!
+//! Each lint enforces one project invariant (see `docs/lints.md` for
+//! the full catalog with rationale and examples). Lints are pure
+//! functions over the token stream produced by [`crate::lexer`]; test
+//! code and suppressed lines are filtered by [`crate::scope`].
+
+use crate::config;
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+use crate::scope::FileScope;
+
+/// Identity of a lint in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintId {
+    /// `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library
+    /// code outside tests.
+    NoPanic,
+    /// `Instant`/`SystemTime` in the wall-clock-free simulator.
+    NoWallClock,
+    /// `HashMap`/`HashSet` in fingerprint- or JSON-emitting modules,
+    /// whose iteration order is randomized per process.
+    NoUnorderedMap,
+    /// `.lock().unwrap()`/`.lock().expect(…)` instead of the shared
+    /// poison-recovering helper.
+    LockUnwrap,
+    /// A suppression comment that does not parse or lacks a reason.
+    MalformedAllow,
+    /// A suppression that matched no finding (stale receipt).
+    UnusedAllow,
+}
+
+impl LintId {
+    /// Every lint, in catalog order.
+    pub const ALL: [LintId; 6] = [
+        LintId::NoPanic,
+        LintId::NoWallClock,
+        LintId::NoUnorderedMap,
+        LintId::LockUnwrap,
+        LintId::MalformedAllow,
+        LintId::UnusedAllow,
+    ];
+
+    /// Stable string id used in diagnostics and allow annotations.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintId::NoPanic => "no-panic",
+            LintId::NoWallClock => "no-wall-clock",
+            LintId::NoUnorderedMap => "no-unordered-map",
+            LintId::LockUnwrap => "lock-unwrap",
+            LintId::MalformedAllow => "malformed-allow",
+            LintId::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// Parse a string id back into a lint.
+    pub fn parse(s: &str) -> Option<LintId> {
+        LintId::ALL.iter().copied().find(|l| l.as_str() == s)
+    }
+
+    /// Whether an allow annotation may suppress this lint. The two
+    /// meta-lints guard the suppression mechanism itself and can only
+    /// be fixed, never allowed.
+    pub fn allowable(self) -> bool {
+        !matches!(self, LintId::MalformedAllow | LintId::UnusedAllow)
+    }
+}
+
+/// Method names that panic when called on `Option`/`Result`.
+const PANICKING_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macro names that abort the current thread.
+const PANICKING_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+/// Hash collections with per-process-randomized iteration order.
+const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Wall-clock types forbidden in the deterministic simulator.
+const WALL_CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+
+/// Scan one file's tokens for findings. `rel` is the workspace-relative
+/// path (forward slashes) used for scope decisions; `lines` are the
+/// file's source lines for snippets.
+pub fn scan_file(rel: &str, toks: &[Tok], scope: &FileScope, lines: &[&str]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
+
+    let ident = |ci: usize| -> Option<&str> {
+        code.get(ci).and_then(|&i| toks.get(i)).and_then(|t| {
+            if t.kind == TokKind::Ident {
+                Some(t.text.as_str())
+            } else {
+                None
+            }
+        })
+    };
+    let punct = |ci: usize, b: u8| -> bool {
+        // `ci` arrives pre-offset; an out-of-range index simply fails
+        // the pattern.
+        code.get(ci)
+            .and_then(|&i| toks.get(i))
+            .is_some_and(|t| t.kind == TokKind::Punct(b))
+    };
+
+    for (ci, &i) in code.iter().enumerate() {
+        if scope.test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let tok = &toks[i];
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+
+        // `.name(` — a panicking method call.
+        if PANICKING_METHODS.contains(&name) && ci > 0 && punct(ci - 1, b'.') && punct(ci + 1, b'(')
+        {
+            // `.lock().unwrap()` is its own lint: the fix is the shared
+            // poison-recovering helper, not a typed error.
+            let is_lock_chain = ci >= 5
+                && punct(ci - 2, b')')
+                && punct(ci - 3, b'(')
+                && ident(ci - 4) == Some("lock")
+                && punct(ci - 5, b'.');
+            if is_lock_chain {
+                if config::lint_applies(LintId::LockUnwrap, rel) {
+                    findings.push(finding(
+                        LintId::LockUnwrap,
+                        tok,
+                        format!("`.lock().{}()` bypasses poison recovery; use the shared poison-recovering lock helper", name),
+                        lines,
+                    ));
+                }
+            } else if config::lint_applies(LintId::NoPanic, rel) {
+                findings.push(finding(
+                    LintId::NoPanic,
+                    tok,
+                    format!("`.{}()` can panic; return a typed error instead", name),
+                    lines,
+                ));
+            }
+            continue;
+        }
+
+        // `name!` — a panicking macro invocation.
+        if PANICKING_MACROS.contains(&name)
+            && punct(ci + 1, b'!')
+            && config::lint_applies(LintId::NoPanic, rel)
+        {
+            findings.push(finding(
+                LintId::NoPanic,
+                tok,
+                format!(
+                    "`{}!` aborts the thread; return a typed error instead",
+                    name
+                ),
+                lines,
+            ));
+            continue;
+        }
+
+        if WALL_CLOCK_TYPES.contains(&name) && config::lint_applies(LintId::NoWallClock, rel) {
+            findings.push(finding(
+                LintId::NoWallClock,
+                tok,
+                format!(
+                    "`{}` reads the wall clock; the simulator must stay virtual-time only",
+                    name
+                ),
+                lines,
+            ));
+            continue;
+        }
+
+        if UNORDERED_TYPES.contains(&name) && config::lint_applies(LintId::NoUnorderedMap, rel) {
+            findings.push(finding(
+                LintId::NoUnorderedMap,
+                tok,
+                format!("`{}` iteration order is randomized per process; use BTreeMap/BTreeSet or a sorted Vec in byte-stable output paths", name),
+                lines,
+            ));
+            continue;
+        }
+    }
+
+    for bad in &scope.malformed {
+        findings.push(Finding {
+            lint: LintId::MalformedAllow,
+            line: bad.line,
+            col: bad.col,
+            message: format!("malformed suppression: {}", bad.detail),
+            snippet: snippet_at(lines, bad.line),
+        });
+    }
+
+    findings
+}
+
+fn finding(lint: LintId, tok: &Tok, message: String, lines: &[&str]) -> Finding {
+    Finding {
+        lint,
+        line: tok.line,
+        col: tok.col,
+        message,
+        snippet: snippet_at(lines, tok.line),
+    }
+}
+
+/// The trimmed source line for a diagnostic, truncated to keep reports
+/// readable and byte-stable.
+pub fn snippet_at(lines: &[&str], line: u32) -> String {
+    let idx = (line as usize).saturating_sub(1);
+    let text = lines.get(idx).copied().unwrap_or("").trim();
+    const MAX: usize = 160;
+    if text.len() <= MAX {
+        return text.to_string();
+    }
+    let mut cut = MAX;
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &text[..cut])
+}

@@ -1,0 +1,70 @@
+//! `dpipe-analyze` CLI: `cargo run -p dpipe_analyze -- check [--json]`.
+//!
+//! Exit codes: 0 = clean, 1 = unallowed findings, 2 = usage or I/O
+//! error. The JSON report is byte-stable across runs on an unchanged
+//! tree, so CI can diff it as an artifact.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dpipe_analyze::check;
+
+const USAGE: &str = "usage: dpipe_analyze check [--json] [--root DIR]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next();
+    if cmd.as_deref() != Some("check") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut explicit_root = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => {
+                    root = PathBuf::from(dir);
+                    explicit_root = true;
+                }
+                None => {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Bare `cargo run -p dpipe_analyze` runs from the workspace root; if
+    // invoked from elsewhere fall back to the crate's own manifest
+    // location two levels up. An explicit --root is never overridden.
+    if !explicit_root && !root.join("Cargo.toml").is_file() {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        if let Some(ws) = manifest.parent().and_then(|p| p.parent()) {
+            root = ws.to_path_buf();
+        }
+    }
+    match check(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+            }
+            if report.unallowed_count() > 0 {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(err) => {
+            eprintln!("dpipe-analyze: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Findings, per-file results and the aggregate report, with text and
+//! byte-stable JSON rendering.
+//!
+//! Determinism contract: the same tree produces the same bytes. Files
+//! are sorted by relative path, findings by (line, col, lint id),
+//! allows by comment line; no timestamps, no absolute paths, no map
+//! iteration anywhere in the rendering path.
+
+use crate::lints::LintId;
+
+/// One diagnostic at a source position.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub lint: LintId,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    pub snippet: String,
+}
+
+/// An allow annotation after matching: `used` records whether it
+/// suppressed at least one finding.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    pub line: u32,
+    pub target_line: u32,
+    pub lint: LintId,
+    pub reason: String,
+    pub used: bool,
+}
+
+/// Results for one scanned file.
+#[derive(Debug, Clone, Default)]
+pub struct FileResult {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// Findings still standing after suppression matching.
+    pub unallowed: Vec<Finding>,
+    /// Findings suppressed by a valid allow (kept as receipts).
+    pub allowed: Vec<Finding>,
+    pub allows: Vec<AllowRecord>,
+}
+
+/// Aggregate report over the workspace.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    /// Only files with at least one finding or allow; sorted by path.
+    pub files: Vec<FileResult>,
+}
+
+impl Report {
+    pub fn unallowed_count(&self) -> usize {
+        self.files.iter().map(|f| f.unallowed.len()).sum()
+    }
+
+    pub fn allowed_count(&self) -> usize {
+        self.files.iter().map(|f| f.allowed.len()).sum()
+    }
+
+    pub fn allows_total(&self) -> usize {
+        self.files.iter().map(|f| f.allows.len()).sum()
+    }
+
+    pub fn allows_used(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| &f.allows)
+            .filter(|a| a.used)
+            .count()
+    }
+
+    /// Human-readable rendering: one block per finding, then a summary
+    /// line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for file in &self.files {
+            for f in &file.unallowed {
+                out.push_str(&format!(
+                    "{}:{}:{}: {}: {}\n",
+                    file.rel,
+                    f.line,
+                    f.col,
+                    f.lint.as_str(),
+                    f.message
+                ));
+                if !f.snippet.is_empty() {
+                    out.push_str(&format!("    {}\n", f.snippet));
+                }
+            }
+        }
+        let unallowed = self.unallowed_count();
+        let total = unallowed + self.allowed_count();
+        out.push_str(&format!(
+            "dpipe-analyze: {} files scanned, {} finding{} ({} unallowed), {} allow{} ({} used)\n",
+            self.files_scanned,
+            total,
+            if total == 1 { "" } else { "s" },
+            unallowed,
+            self.allows_total(),
+            if self.allows_total() == 1 { "" } else { "s" },
+            self.allows_used(),
+        ));
+        out
+    }
+
+    /// Byte-stable JSON rendering (fixed field order, sorted entries,
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"summary\": {{\"findings_total\": {}, \"unallowed\": {}, \"allowed\": {}, \"allows_total\": {}, \"allows_used\": {}, \"allows_unused\": {}}},\n",
+            self.unallowed_count() + self.allowed_count(),
+            self.unallowed_count(),
+            self.allowed_count(),
+            self.allows_total(),
+            self.allows_used(),
+            self.allows_total() - self.allows_used(),
+        ));
+        out.push_str("  \"findings\": [");
+        let mut first = true;
+        for file in &self.files {
+            let both = file
+                .unallowed
+                .iter()
+                .map(|f| (f, false))
+                .chain(file.allowed.iter().map(|f| (f, true)));
+            let mut entries: Vec<(&Finding, bool)> = both.collect();
+            entries.sort_by_key(|(f, _)| (f.line, f.col, f.lint));
+            for (f, allowed) in entries {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"lint\": {}, \"allowed\": {}, \"message\": {}, \"snippet\": {}}}",
+                    json_str(&file.rel),
+                    f.line,
+                    f.col,
+                    json_str(f.lint.as_str()),
+                    allowed,
+                    json_str(&f.message),
+                    json_str(&f.snippet),
+                ));
+            }
+        }
+        out.push_str(if first { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"allows\": [");
+        let mut first = true;
+        for file in &self.files {
+            for a in &file.allows {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\n    {{\"file\": {}, \"line\": {}, \"target_line\": {}, \"lint\": {}, \"used\": {}, \"reason\": {}}}",
+                    json_str(&file.rel),
+                    a.line,
+                    a.target_line,
+                    json_str(a.lint.as_str()),
+                    a.used,
+                    json_str(&a.reason),
+                ));
+            }
+        }
+        out.push_str(if first { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

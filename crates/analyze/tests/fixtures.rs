@@ -1,0 +1,180 @@
+//! Fixture-corpus tests: every lint has a positive and a negative
+//! committed fixture, the suppression machinery has receipts, and the
+//! CI gate catches a seeded violation planted in a scratch tree.
+
+use dpipe_analyze::{analyze_source, check, FileResult, LintId};
+
+fn lint_counts(r: &FileResult, lint: LintId) -> usize {
+    r.unallowed.iter().filter(|f| f.lint == lint).count()
+}
+
+#[test]
+fn no_panic_positive_fixture_hits_every_marked_line() {
+    let src = include_str!("fixtures/no_panic_positive.rs");
+    let r = analyze_source("crates/demo/src/lib.rs", src);
+    assert_eq!(lint_counts(&r, LintId::NoPanic), 8, "{:#?}", r.unallowed);
+    assert_eq!(r.unallowed.len(), 8);
+    assert!(r.allows.is_empty());
+    // Diagnostics are positioned and carry the offending source line.
+    for f in &r.unallowed {
+        assert!(f.line > 0 && f.col > 0);
+        assert!(!f.snippet.is_empty());
+    }
+}
+
+#[test]
+fn no_panic_negative_fixture_is_silent() {
+    let src = include_str!("fixtures/no_panic_negative.rs");
+    let r = analyze_source("crates/demo/src/lib.rs", src);
+    assert!(r.unallowed.is_empty(), "{:#?}", r.unallowed);
+    assert!(r.allowed.is_empty());
+}
+
+#[test]
+fn allows_fixture_suppresses_with_receipts() {
+    let src = include_str!("fixtures/allows.rs");
+    let r = analyze_source("crates/demo/src/lib.rs", src);
+    assert!(r.unallowed.is_empty(), "{:#?}", r.unallowed);
+    // Both findings are retained as receipts, not dropped.
+    assert_eq!(r.allowed.len(), 2);
+    assert_eq!(r.allows.len(), 2);
+    assert!(r.allows.iter().all(|a| a.used));
+    assert!(r.allows.iter().all(|a| !a.reason.is_empty()));
+}
+
+#[test]
+fn stale_allow_surfaces_as_unused_allow() {
+    let src = include_str!("fixtures/allow_unused.rs");
+    let r = analyze_source("crates/demo/src/lib.rs", src);
+    assert_eq!(
+        lint_counts(&r, LintId::UnusedAllow),
+        1,
+        "{:#?}",
+        r.unallowed
+    );
+    assert_eq!(r.unallowed.len(), 1);
+    assert_eq!(r.allows.len(), 1);
+    assert!(!r.allows[0].used);
+}
+
+#[test]
+fn malformed_allows_each_surface() {
+    let src = include_str!("fixtures/allow_malformed.rs");
+    let r = analyze_source("crates/demo/src/lib.rs", src);
+    assert_eq!(
+        lint_counts(&r, LintId::MalformedAllow),
+        6,
+        "{:#?}",
+        r.unallowed
+    );
+    assert_eq!(r.unallowed.len(), 6);
+}
+
+#[test]
+fn wall_clock_fixture_scoped_to_simulator_paths() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let sim = analyze_source("crates/sim/src/wall_clock.rs", src);
+    assert_eq!(
+        lint_counts(&sim, LintId::NoWallClock),
+        6,
+        "{:#?}",
+        sim.unallowed
+    );
+    let http = analyze_source("crates/http/src/wall_clock.rs", src);
+    assert_eq!(
+        lint_counts(&http, LintId::NoWallClock),
+        0,
+        "{:#?}",
+        http.unallowed
+    );
+}
+
+#[test]
+fn unordered_map_fixture_scoped_to_fingerprint_paths() {
+    let src = include_str!("fixtures/unordered_map.rs");
+    let hashed = analyze_source("crates/stablehash/src/demo.rs", src);
+    assert_eq!(
+        lint_counts(&hashed, LintId::NoUnorderedMap),
+        6,
+        "{:#?}",
+        hashed.unallowed
+    );
+    let engine = analyze_source("crates/engine/src/demo.rs", src);
+    assert_eq!(
+        lint_counts(&engine, LintId::NoUnorderedMap),
+        0,
+        "{:#?}",
+        engine.unallowed
+    );
+}
+
+#[test]
+fn lock_unwrap_fixture_routes_to_its_own_lint() {
+    let src = include_str!("fixtures/lock_unwrap.rs");
+    let r = analyze_source("crates/demo/src/lib.rs", src);
+    assert_eq!(lint_counts(&r, LintId::LockUnwrap), 2, "{:#?}", r.unallowed);
+    // The chain is never double-reported as no-panic.
+    assert_eq!(lint_counts(&r, LintId::NoPanic), 0, "{:#?}", r.unallowed);
+    assert_eq!(r.unallowed.len(), 2);
+}
+
+#[test]
+fn bench_crates_are_exempt_from_no_panic() {
+    let src = include_str!("fixtures/seeded_violation.rs");
+    let r = analyze_source("crates/bench/src/lib.rs", src);
+    assert!(r.unallowed.is_empty(), "{:#?}", r.unallowed);
+}
+
+/// The CI-gate canary: plant the seeded fixture into a scratch tree and
+/// assert the full `check` walk reports it as unallowed (the CLI maps
+/// that to exit code 1, which fails the CI job).
+#[test]
+fn check_fails_a_seeded_violation() {
+    let root = std::env::temp_dir().join(format!("dpipe-analyze-gate-{}", std::process::id()));
+    let src_dir = root.join("crates/seeded/src");
+    std::fs::create_dir_all(&src_dir).expect("create scratch tree");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        include_str!("fixtures/seeded_violation.rs"),
+    )
+    .expect("write seeded fixture");
+
+    let report = check(&root).expect("check runs");
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.unallowed_count(), 1, "{}", report.to_text());
+    assert!(report.to_text().contains("no-panic"));
+    assert!(report.to_json().contains("\"crates/seeded/src/lib.rs\""));
+
+    std::fs::remove_dir_all(&root).expect("clean scratch tree");
+}
+
+/// Acceptance: the workspace itself is clean — zero unallowed findings,
+/// every suppression used and carrying a reason — and the JSON report is
+/// byte-stable across two walks of the same tree.
+#[test]
+fn workspace_is_clean_and_report_is_byte_stable() {
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let ws = manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let a = check(ws).expect("first walk");
+    let b = check(ws).expect("second walk");
+    assert_eq!(a.unallowed_count(), 0, "{}", a.to_text());
+    assert_eq!(
+        a.allows_total(),
+        a.allows_used(),
+        "stale allows:\n{}",
+        a.to_text()
+    );
+    for file in &a.files {
+        for allow in &file.allows {
+            assert!(
+                !allow.reason.is_empty(),
+                "{}: allow without a reason",
+                file.rel
+            );
+        }
+    }
+    assert_eq!(a.to_json(), b.to_json());
+}

@@ -1,0 +1,12 @@
+//! Fixture: each marker comment below is broken in a distinct way and
+//! must surface as a `malformed-allow` finding.
+
+pub fn f(x: Option<u8>) -> u8 {
+    // dpipe-analyze allow(no-panic) -- missing the colon
+    // dpipe-analyze: disallow(no-panic) -- not the allow keyword
+    // dpipe-analyze: allow(no-such-lint) -- unknown lint id
+    // dpipe-analyze: allow(unused-allow) -- meta-lints cannot be allowed
+    // dpipe-analyze: allow(no-panic)
+    // dpipe-analyze: allow(no-panic) --
+    x.map(|v| v + 1).unwrap_or(0)
+}

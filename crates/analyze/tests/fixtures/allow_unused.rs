@@ -1,0 +1,7 @@
+//! Fixture: a stale suppression over clean code must surface as an
+//! `unused-allow` finding (which itself cannot be allowed).
+
+pub fn clean(x: u8) -> u8 {
+    // dpipe-analyze: allow(no-panic) -- stale: the unwrap below was removed
+    x + 1
+}

@@ -1,0 +1,11 @@
+//! Fixture: both findings here are suppressed with receipts; the file
+//! must report zero unallowed findings and two used allows.
+
+pub fn own_line_allow(x: Option<u8>) -> u8 {
+    // dpipe-analyze: allow(no-panic) -- fixture: the invariant is documented here
+    x.unwrap()
+}
+
+pub fn trailing_allow(x: Option<u8>) -> u8 {
+    x.expect("present") // dpipe-analyze: allow(no-panic) -- fixture: trailing form
+}

@@ -1,0 +1,15 @@
+//! Fixture: panicking lock acquisition is `lock-unwrap` (not
+//! `no-panic`); the recovering helper is clean.
+
+use std::sync::Mutex;
+
+pub fn bad(m: &Mutex<u8>) -> u8 {
+    let a = *m.lock().unwrap(); // HIT: lock-unwrap
+    let b = *m.lock().expect("poisoned"); // HIT: lock-unwrap
+    a + b
+}
+
+pub fn good(m: &Mutex<u8>) -> u8 {
+    use dpipe_sync::LockRecover;
+    *m.lock_recover()
+}

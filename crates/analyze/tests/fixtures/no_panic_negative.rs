@@ -1,0 +1,47 @@
+//! Fixture: nothing in this file may produce a finding.
+//! Panic-shaped tokens appear only in comments, strings, raw strings,
+//! char/lifetime positions, item definitions, and test code.
+
+// A comment saying .unwrap() or panic!("x") is not a call.
+/* Block comments too: .unwrap() /* nested .expect("x") */ still a comment. */
+
+/// Doc comments mentioning .unwrap() and panic!() are prose, not code.
+pub const IN_STRING: &str = "calling .unwrap() or panic!(\"boom\") in a string";
+pub const IN_RAW: &str = r#"raw: .unwrap() and .expect("x") and "quotes""#;
+pub const IN_BYTES: &[u8] = b".unwrap()";
+pub const A_CHAR: char = 'u';
+
+// A method *definition* named unwrap is not a call site.
+pub struct W;
+impl W {
+    pub fn unwrap(&self) -> u8 {
+        0
+    }
+}
+
+// Lifetimes must not be confused with char literals.
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    x
+}
+
+#[test]
+fn a_test_may_unwrap() {
+    let v: Option<u8> = Some(1);
+    assert_eq!(v.unwrap(), 1);
+    None::<u8>.expect("tests may panic");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_modules_may_panic() {
+        panic!("fine in tests");
+    }
+}
+
+#[cfg(all(test, feature = "x"))]
+mod more_tests {
+    pub fn helper(x: Option<u8>) -> u8 {
+        x.unwrap()
+    }
+}

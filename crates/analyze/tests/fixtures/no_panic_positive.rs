@@ -1,0 +1,24 @@
+//! Fixture: every line marked HIT below must produce a `no-panic` finding.
+
+pub fn unwraps(x: Option<u8>, r: Result<u8, ()>) -> u8 {
+    let a = x.unwrap(); // HIT
+    let b = r.expect("boom"); // HIT
+    let c = r.unwrap_err(); // HIT (on the Ok side this panics)
+    let d = r.expect_err("boom"); // HIT
+    a + b + c as u8 + d as u8
+}
+
+pub fn macros(n: u8) {
+    match n {
+        0 => panic!("zero"),    // HIT
+        1 => todo!(),           // HIT
+        2 => unimplemented!(),  // HIT
+        _ => {}
+    }
+}
+
+// `cfg(not(test))` is production code: still linted.
+#[cfg(not(test))]
+pub fn not_test_is_still_linted(x: Option<u8>) -> u8 {
+    x.unwrap() // HIT
+}

@@ -1,0 +1,7 @@
+//! Fixture: the CI-gate canary. A workspace containing this file must
+//! fail `dpipe_analyze check` (exit 1); the gate test seeds it into a
+//! scratch tree and asserts the report counts it as unallowed.
+
+pub fn seeded(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

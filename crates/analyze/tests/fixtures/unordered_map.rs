@@ -1,0 +1,14 @@
+//! Fixture: under a fingerprint/JSON path every marked line is a
+//! `no-unordered-map` finding; elsewhere none are.
+
+use std::collections::{HashMap, HashSet}; // HIT x2 under crates/stablehash/
+
+pub fn build() -> (HashMap<u8, u8>, HashSet<u8>) {
+    // HIT x2 under crates/stablehash/ (the type names above)
+    (HashMap::new(), HashSet::new()) // HIT x2 under crates/stablehash/
+}
+
+// BTreeMap is the ordered replacement and never flagged.
+pub fn ordered() -> std::collections::BTreeMap<u8, u8> {
+    std::collections::BTreeMap::new()
+}

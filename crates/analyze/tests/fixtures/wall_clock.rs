@@ -1,0 +1,13 @@
+//! Fixture: under a simulator path every marked line is a
+//! `no-wall-clock` finding; under a non-simulator path none are.
+
+use std::time::{Instant, SystemTime};
+
+pub fn now_pair() -> (Instant, SystemTime) {
+    let a = Instant::now(); // HIT under crates/sim/
+    let b = SystemTime::now(); // HIT under crates/sim/
+    (a, b)
+}
+
+// Mentions in comments or strings never count: Instant::now()
+pub const DOC: &str = "SystemTime::now() in a string";

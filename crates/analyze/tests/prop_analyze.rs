@@ -1,0 +1,91 @@
+//! Property tests: panic-shaped text inside strings, raw strings,
+//! comments, and char literals never triggers a finding, and the JSON
+//! report is a pure, byte-stable function of the source.
+
+use dpipe_analyze::{analyze_source, Report};
+use proptest::prelude::*;
+
+/// Panic-shaped fragments that must only count when they are code.
+const SCARY: [&str; 8] = [
+    ".unwrap()",
+    ".expect(\\\"gone\\\")",
+    "panic!(\\\"boom\\\")",
+    "todo!()",
+    "unimplemented!()",
+    ".lock().unwrap()",
+    "HashMap::new()",
+    "Instant::now()",
+];
+
+/// Characters safe inside a normal string literal without escaping.
+const STRING_CHARS: [char; 16] = [
+    'a', 'z', 'A', '0', '9', ' ', '.', '(', ')', '!', '{', '}', '#', '\'', '/', '*',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A scary fragment wrapped in any non-code context is invisible,
+    /// even on a path where every lint is active.
+    #[test]
+    fn non_code_contexts_never_trigger(which in 0usize..8, wrapper in 0usize..5) {
+        let scary = SCARY[which];
+        let line = match wrapper {
+            0 => format!("// comment: {scary}"),
+            1 => format!("/* block {scary} */ pub const A: u8 = 0;"),
+            2 => format!("pub const S: &str = \"{scary}\";"),
+            3 => format!("pub const R: &str = r#\"{}\"#;", scary.replace("\\\"", "\"")),
+            _ => format!("/// doc prose about {scary}"),
+        };
+        let src = format!("{line}\npub fn f() -> u8 {{ 0 }}\n");
+        let r = analyze_source("crates/sim/src/demo.rs", &src);
+        prop_assert!(r.unallowed.is_empty(), "{line} -> {:#?}", r.unallowed);
+    }
+
+    /// Random string-literal contents never produce findings, whatever
+    /// panic-shaped substrings they happen to spell.
+    #[test]
+    fn random_string_literals_are_silent(
+        chars in proptest::collection::vec(0usize..16, 0..40),
+    ) {
+        let body: String = chars.iter().map(|&i| STRING_CHARS[i]).collect();
+        let src = format!("pub const S: &str = \"{body}\";\npub fn f() -> u8 {{ 0 }}\n");
+        let r = analyze_source("crates/stablehash/src/demo.rs", &src);
+        prop_assert!(r.unallowed.is_empty(), "{body:?} -> {:#?}", r.unallowed);
+    }
+
+    /// Char literals and lifetimes are disambiguated: neither turns the
+    /// rest of the file into a string and hides real findings, nor
+    /// produces findings of its own.
+    #[test]
+    fn char_literals_and_lifetimes_keep_the_lexer_in_sync(
+        c in 0usize..16,
+        seed_violation in any::<bool>(),
+    ) {
+        let ch = STRING_CHARS[c];
+        let lit = if ch == '\'' { '_' } else { ch };
+        let tail = if seed_violation { "None::<u8>.unwrap()" } else { "0" };
+        let src = format!(
+            "pub fn f<'a>(x: &'a str) -> char {{ let _ = x; '{lit}' }}\n\
+             pub fn g() -> u8 {{ {tail} }}\n"
+        );
+        let r = analyze_source("crates/core/src/demo.rs", &src);
+        let expected = usize::from(seed_violation);
+        prop_assert!(r.unallowed.len() == expected, "{src} -> {:#?}", r.unallowed);
+    }
+
+    /// The JSON report is byte-stable: analyzing identical input twice
+    /// yields identical bytes (no timestamps, maps, or absolute paths).
+    #[test]
+    fn json_report_is_byte_stable(which in 0usize..8, pad in 0usize..6) {
+        let scary = SCARY[which].replace("\\\"", "\"");
+        let blanks = "\n".repeat(pad);
+        let src = format!("{blanks}pub fn f() {{ let x: Option<u8> = None; x{scary}; }}\n");
+        let one = analyze_source("crates/core/src/demo.rs", &src);
+        let two = analyze_source("crates/core/src/demo.rs", &src);
+        let ra = Report { files_scanned: 1, files: vec![one] };
+        let rb = Report { files_scanned: 1, files: vec![two] };
+        prop_assert_eq!(ra.to_json(), rb.to_json());
+        prop_assert_eq!(ra.to_text(), rb.to_text());
+    }
+}

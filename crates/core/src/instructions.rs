@@ -36,7 +36,7 @@ pub fn generate_instructions(plan: &Plan) -> Vec<Vec<Instruction>> {
         per_slot[op.op.slot].push(op);
     }
     for list in &mut per_slot {
-        list.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        list.sort_by(|a, b| a.start.total_cmp(&b.start));
     }
     // Slot of each (direction, stage).
     let slot_of = |direction: PipelineDirection, stage: usize| -> Option<usize> {
@@ -78,14 +78,16 @@ pub fn generate_instructions(plan: &Plan) -> Vec<Vec<Instruction>> {
         let mut prog: Vec<Instruction> = Vec::new();
         let mut fill_iter = {
             let mut f = std::mem::take(&mut fills[slot]);
-            f.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            f.sort_by(|a, b| a.0.total_cmp(&b.0));
             f.into_iter().peekable()
         };
         for op in &per_slot[slot] {
             // Emit any fill work scheduled before this op starts.
             while let Some(&(t, dur, _)) = fill_iter.peek() {
                 if t < op.start - 1e-12 {
-                    let (_, _, label) = fill_iter.next().expect("peeked");
+                    let Some((_, _, label)) = fill_iter.next() else {
+                        break;
+                    };
                     prog.push(Instruction::Compute {
                         label,
                         seconds: dur,

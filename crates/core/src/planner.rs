@@ -363,7 +363,7 @@ impl Planner {
             .iter()
             .map(|&b| self.model.component(b).num_layers())
             .min()
-            .expect("validated model has a backbone");
+            .ok_or_else(|| PlanError::InvalidRequest("model has no backbone component".into()))?;
         let configs = enumerate_configs(&self.cluster, global_batch, min_layers, &self.search)
             .map_err(|e| PlanError::InvalidRequest(e.to_string()))?;
         enumerate_span.set("configs", configs.len());
@@ -455,7 +455,10 @@ impl Planner {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("planner worker panicked"))
+                    .map(|h| match h.join() {
+                        Ok(partial) => partial,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect::<Vec<_>>()
             });
             for partial in partials {
@@ -705,7 +708,7 @@ impl Planner {
             .iter()
             .map(|&b| self.model.component(b).num_layers())
             .min()
-            .expect("validated model has a backbone");
+            .ok_or_else(|| PlanError::InvalidRequest("model has no backbone component".into()))?;
         let configs = enumerate_configs(&self.cluster, global_batch, min_layers, &self.search)
             .map_err(|e| PlanError::InvalidRequest(e.to_string()))?;
 

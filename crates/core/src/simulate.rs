@@ -123,11 +123,7 @@ fn lower_plan(plan: &Plan) -> Lowered {
         }
     }
     for list in &mut items {
-        list.sort_by(|a, b| {
-            (a.0, a.1, a.2)
-                .partial_cmp(&(b.0, b.1, b.2))
-                .expect("schedule times are finite")
-        });
+        list.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     }
 
     let mut streams: Vec<Vec<Instruction>> = (0..num_slots).map(|_| Vec::new()).collect();

@@ -15,17 +15,54 @@ pub enum EngineError {
     /// Configuration inconsistent with the task (bad stage split, zero
     /// micro-batches, batch not divisible by groups, …).
     BadConfig(String),
+    /// A device or coordinator thread failed mid-run (disconnected peer,
+    /// protocol violation, or a contained panic). The run's partial
+    /// results are discarded.
+    Worker(String),
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::BadConfig(msg) => write!(f, "bad engine config: {msg}"),
+            EngineError::Worker(msg) => write!(f, "engine worker failed: {msg}"),
         }
     }
 }
 
 impl Error for EngineError {}
+
+/// Why one device thread stopped. Mapped into [`EngineError::Worker`]
+/// (with the device's group/stage coordinates) when the run is joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeviceError {
+    /// A peer's end of a channel closed mid-iteration: that peer failed
+    /// first; this device shuts down cleanly instead of cascading.
+    Disconnected(&'static str),
+    /// The instruction stream referenced wiring or in-flight state this
+    /// device does not hold — a program/wiring construction bug.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Disconnected(what) => write!(f, "{what} channel disconnected"),
+            DeviceError::Protocol(what) => write!(f, "protocol violation: expected {what}"),
+        }
+    }
+}
+
+/// Best-effort readable payload from a joined panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Result of a training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,8 +88,10 @@ struct Wiring {
     feedback_out: Option<Sender<Matrix>>,
     /// To the all-reduce coordinator: (group, grads).
     reduce_tx: Sender<(usize, Vec<f32>)>,
-    /// Summed gradients back from the coordinator.
-    reduced_rx: Receiver<Vec<f32>>,
+    /// Summed gradients back from the coordinator. Always `Some` by
+    /// construction; `Option` so a wiring bug surfaces as a typed
+    /// protocol error on the device instead of a panic in `train`.
+    reduced_rx: Option<Receiver<Vec<f32>>>,
     /// Loss reporting (last stage): (iteration, squared-error sum).
     loss_tx: Sender<(usize, f32)>,
 }
@@ -133,6 +172,7 @@ impl PipelineEngine {
         let (loss_tx, loss_rx) = unbounded::<(usize, f32)>();
 
         let mut result_stages: Vec<Option<Mlp>> = Vec::new();
+        let mut worker_error: Option<EngineError> = None;
         std::thread::scope(|scope| {
             // Coordinator threads.
             for s in 0..s_count {
@@ -143,7 +183,13 @@ impl PipelineEngine {
                     for _ in 0..iterations {
                         let mut sum: Option<Vec<f32>> = None;
                         for _ in 0..g_count {
-                            let (_, grads) = rx.recv().expect("reduce channel closed");
+                            // A closed channel means a device failed; exit
+                            // cleanly so its error (not a cascade of
+                            // panics) reaches the caller.
+                            let grads = match rx.recv() {
+                                Ok((_, grads)) => grads,
+                                Err(_) => return,
+                            };
                             sum = Some(match sum {
                                 None => grads,
                                 Some(mut acc) => {
@@ -154,9 +200,11 @@ impl PipelineEngine {
                                 }
                             });
                         }
-                        let sum = sum.expect("at least one group");
+                        let Some(sum) = sum else { return };
                         for tx in &back {
-                            tx.send(sum.clone()).expect("reduced channel closed");
+                            // Best-effort fan-out: keep serving surviving
+                            // groups even if one receiver is gone.
+                            let _ = tx.send(sum.clone());
                         }
                     }
                 });
@@ -178,7 +226,10 @@ impl PipelineEngine {
                             None
                         },
                         reduce_tx: reduce_txs[s].clone(),
-                        reduced_rx: reduced_rxs.remove(&(g, s)).expect("wired"),
+                        // Every (g, s) receiver was inserted by the wiring
+                        // loop above; a vacancy is a construction bug the
+                        // device reports as a protocol error.
+                        reduced_rx: reduced_rxs.remove(&(g, s)),
                         loss_tx: loss_tx.clone(),
                     };
                     let program = programs[s].clone();
@@ -197,13 +248,36 @@ impl PipelineEngine {
             }
             drop(loss_tx);
 
-            // Collect stages back (group 0 in stage order).
+            // Collect stages back (group 0 in stage order), folding any
+            // thread failure into the first worker error.
             let mut collected: HashMap<(usize, usize), Mlp> = HashMap::new();
             for ((g, s), h) in handles {
-                collected.insert((g, s), h.join().expect("device thread panicked"));
+                match h.join() {
+                    Ok(Ok(stage)) => {
+                        collected.insert((g, s), stage);
+                    }
+                    Ok(Err(e)) => {
+                        if worker_error.is_none() {
+                            worker_error = Some(EngineError::Worker(format!(
+                                "device (group {g}, stage {s}): {e}"
+                            )));
+                        }
+                    }
+                    Err(payload) => {
+                        if worker_error.is_none() {
+                            worker_error = Some(EngineError::Worker(format!(
+                                "device (group {g}, stage {s}) panicked: {}",
+                                panic_message(payload.as_ref())
+                            )));
+                        }
+                    }
+                }
             }
             result_stages = (0..s_count).map(|s| collected.remove(&(0, s))).collect();
         });
+        if let Some(err) = worker_error {
+            return Err(err);
+        }
 
         // Aggregate losses.
         let elems = (task.batch * task.dim) as f32;
@@ -212,10 +286,17 @@ impl PipelineEngine {
             loss_acc[iter] += sq;
         }
         let losses = loss_acc.into_iter().map(|s| s / elems).collect();
-        let final_params = result_stages
-            .into_iter()
-            .flat_map(|s| s.expect("stage returned").params())
-            .collect();
+        let mut final_params = Vec::new();
+        for (s, stage) in result_stages.into_iter().enumerate() {
+            match stage {
+                Some(stage) => final_params.extend(stage.params()),
+                None => {
+                    return Err(EngineError::Worker(format!(
+                        "stage {s} of group 0 returned no result"
+                    )))
+                }
+            }
+        }
         Ok(TrainStats {
             losses,
             final_params,
@@ -224,7 +305,9 @@ impl PipelineEngine {
 }
 
 /// One simulated device: interprets its instruction stream for every
-/// iteration, then returns its stage (with final weights).
+/// iteration, then returns its stage (with final weights). Any missing
+/// wiring/state or disconnected peer stops the device with a typed
+/// error instead of a panic, so one failure can't cascade.
 #[allow(clippy::too_many_arguments)]
 fn run_device(
     task: &SyntheticTask,
@@ -237,7 +320,7 @@ fn run_device(
     program: &[EngineInstr],
     wiring: Wiring,
     iterations: usize,
-) -> Mlp {
+) -> Result<Mlp, DeviceError> {
     let shard_rows = task.batch / cfg.dp_groups;
     let global_elems = task.batch * task.dim;
     let mut optimizer = OptimizerState::new(cfg.effective_optimizer(), stage.params().len());
@@ -256,7 +339,9 @@ fn run_device(
         // (prefetched last iteration, or computed now on iteration 0).
         let mut micro_inputs: Vec<Matrix> = Vec::new();
         if stage_idx == 0 {
-            let frozen_net = frozen.as_ref().expect("stage 0 holds the frozen part");
+            let frozen_net = frozen
+                .as_ref()
+                .ok_or(DeviceError::Protocol("stage 0 holds the frozen part"))?;
             let encoded = enc_next
                 .take()
                 .unwrap_or_else(|| frozen_net.forward_inference(&shard(&task.batch_for(iter).0)));
@@ -294,28 +379,34 @@ fn run_device(
                     let m = wiring
                         .act_in
                         .as_ref()
-                        .expect("non-first stage has act_in")
+                        .ok_or(DeviceError::Protocol("non-first stage has act_in"))?
                         .recv()
-                        .expect("activation channel closed");
+                        .map_err(|_| DeviceError::Disconnected("activation"))?;
                     inputs.insert(*mb, m);
                 }
                 EngineInstr::StageForward { mb } => {
-                    let x = inputs.get(mb).expect("input present before forward");
+                    let x = inputs
+                        .get(mb)
+                        .ok_or(DeviceError::Protocol("input present before forward"))?;
                     let (y, cache) = stage.forward_cached(x);
                     caches.insert(*mb, cache);
                     outputs.insert(*mb, y);
                 }
                 EngineInstr::SendActivation { mb } => {
-                    let y = outputs.remove(mb).expect("output present before send");
+                    let y = outputs
+                        .remove(mb)
+                        .ok_or(DeviceError::Protocol("output present before send"))?;
                     wiring
                         .act_out
                         .as_ref()
-                        .expect("non-last stage has act_out")
+                        .ok_or(DeviceError::Protocol("non-last stage has act_out"))?
                         .send(y)
-                        .expect("activation channel closed");
+                        .map_err(|_| DeviceError::Disconnected("activation"))?;
                 }
                 EngineInstr::ComputeLossGrad { mb } => {
-                    let pred = outputs.remove(mb).expect("prediction present");
+                    let pred = outputs
+                        .remove(mb)
+                        .ok_or(DeviceError::Protocol("prediction present"))?;
                     let target = &micro_targets[*mb];
                     let sq: f32 = pred
                         .data()
@@ -326,59 +417,78 @@ fn run_device(
                     wiring
                         .loss_tx
                         .send((iter, sq))
-                        .expect("loss channel closed");
+                        .map_err(|_| DeviceError::Disconnected("loss"))?;
                     grads_out.insert(*mb, mse_grad_scaled(&pred, target, global_elems));
                 }
                 EngineInstr::RecvGradient { mb } => {
                     let m = wiring
                         .grad_in
                         .as_ref()
-                        .expect("non-last stage has grad_in")
+                        .ok_or(DeviceError::Protocol("non-last stage has grad_in"))?
                         .recv()
-                        .expect("gradient channel closed");
+                        .map_err(|_| DeviceError::Disconnected("gradient"))?;
                     grads_out.insert(*mb, m);
                 }
                 EngineInstr::StageBackward { mb } => {
-                    let cache = caches.remove(mb).expect("cache present before backward");
-                    let g = grads_out.remove(mb).expect("output grad present");
+                    let cache = caches
+                        .remove(mb)
+                        .ok_or(DeviceError::Protocol("cache present before backward"))?;
+                    let g = grads_out
+                        .remove(mb)
+                        .ok_or(DeviceError::Protocol("output grad present"))?;
                     let gin = stage.backward_cached(&cache, &g);
                     grads_in.insert(*mb, gin);
                     inputs.remove(mb);
                 }
                 EngineInstr::SendGradient { mb } => {
-                    let g = grads_in.remove(mb).expect("input grad present");
+                    let g = grads_in
+                        .remove(mb)
+                        .ok_or(DeviceError::Protocol("input grad present"))?;
                     wiring
                         .grad_out
                         .as_ref()
-                        .expect("non-first stage has grad_out")
+                        .ok_or(DeviceError::Protocol("non-first stage has grad_out"))?
                         .send(g)
-                        .expect("gradient channel closed");
+                        .map_err(|_| DeviceError::Disconnected("gradient"))?;
                 }
                 EngineInstr::AllReduceGrads => {
                     wiring
                         .reduce_tx
                         .send((group, stage.grads()))
-                        .expect("reduce channel closed");
-                    let summed = wiring.reduced_rx.recv().expect("reduced channel closed");
+                        .map_err(|_| DeviceError::Disconnected("reduce"))?;
+                    let summed = wiring
+                        .reduced_rx
+                        .as_ref()
+                        .ok_or(DeviceError::Protocol("reduced channel wired"))?
+                        .recv()
+                        .map_err(|_| DeviceError::Disconnected("reduced"))?;
                     stage.set_grads(&summed);
                 }
                 EngineInstr::OptimizerStep => {
                     optimizer.step(&mut stage);
                 }
                 EngineInstr::FrozenForwardNext => {
-                    let frozen_net = frozen.as_ref().expect("stage 0 holds the frozen part");
+                    let frozen_net = frozen
+                        .as_ref()
+                        .ok_or(DeviceError::Protocol("stage 0 holds the frozen part"))?;
                     let (x_next, _) = task.batch_for(iter + 1);
                     enc_next = Some(frozen_net.forward_inference(&shard(&x_next)));
                 }
                 EngineInstr::ScForward { mb } => {
                     // Detached forward: no cache, no gradients.
-                    let x = inputs.remove(mb).expect("input present before sc forward");
+                    let x = inputs
+                        .remove(mb)
+                        .ok_or(DeviceError::Protocol("input present before sc forward"))?;
                     outputs.insert(*mb, stage.forward_inference(&x));
                 }
                 EngineInstr::SendScFeedback { mb } => {
-                    let y = outputs.remove(mb).expect("sc output present");
+                    let y = outputs
+                        .remove(mb)
+                        .ok_or(DeviceError::Protocol("sc output present"))?;
                     match &wiring.feedback_out {
-                        Some(tx) => tx.send(y).expect("feedback channel closed"),
+                        Some(tx) => tx
+                            .send(y)
+                            .map_err(|_| DeviceError::Disconnected("feedback"))?,
                         // Single-stage pipelines keep the feedback local.
                         None => {
                             sc_feedback.insert(*mb, y);
@@ -387,14 +497,17 @@ fn run_device(
                 }
                 EngineInstr::RecvScFeedback { mb } => {
                     if let Some(rx) = &wiring.feedback_in {
-                        sc_feedback.insert(*mb, rx.recv().expect("feedback channel closed"));
+                        let fb = rx
+                            .recv()
+                            .map_err(|_| DeviceError::Disconnected("feedback"))?;
+                        sc_feedback.insert(*mb, fb);
                     }
                     // else: single stage, already stored by SendScFeedback.
                 }
             }
         }
     }
-    stage
+    Ok(stage)
 }
 
 #[cfg(test)]

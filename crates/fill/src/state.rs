@@ -47,6 +47,7 @@ impl FrozenState {
     pub fn new(model: &ModelSpec, batch: f64) -> Self {
         let order = model
             .frozen_topological_order()
+            // dpipe-analyze: allow(no-panic) -- documented "# Panics" contract: callers validate the model first
             .expect("validated model has acyclic frozen graph");
         let progress = order
             .iter()

@@ -3,6 +3,8 @@
 //! never blocks: a full queue hands the item straight back so the acceptor
 //! can answer 503 instead of letting connections pile up invisibly.
 
+use dpipe_sync::{LockRecover, WaitRecover};
+
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -42,7 +44,7 @@ impl<T> Bounded<T> {
 
     /// Enqueues without blocking, or returns the item with the reason.
     pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock_recover();
         if state.closed {
             return Err((item, PushError::Closed));
         }
@@ -58,7 +60,7 @@ impl<T> Bounded<T> {
     /// Blocks for the next item; `None` once the queue is closed *and*
     /// drained (closing never discards queued items).
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock_recover();
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -66,13 +68,13 @@ impl<T> Bounded<T> {
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue poisoned");
+            state = self.ready.wait_recover(state);
         }
     }
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.state.lock_recover().items.len()
     }
 
     /// True when nothing is queued.
@@ -82,7 +84,7 @@ impl<T> Bounded<T> {
 
     /// Closes the queue: future pushes fail, poppers drain then get `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.state.lock_recover().closed = true;
         self.ready.notify_all();
     }
 }

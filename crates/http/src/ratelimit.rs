@@ -6,6 +6,8 @@
 //! to have fully refilled are dropped (they are indistinguishable from
 //! fresh ones), so an address-spoofing client cannot leak memory here.
 
+use dpipe_sync::LockRecover;
+
 use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::Mutex;
@@ -49,7 +51,7 @@ impl RateLimiter {
             return true;
         }
         let now = Instant::now();
-        let mut state = self.state.lock().expect("rate limiter poisoned");
+        let mut state = self.state.lock_recover();
         if state.len() >= self.max_clients && !state.contains_key(&ip) {
             // Drop buckets that have refilled completely: forgetting them
             // is observationally identical to keeping them.

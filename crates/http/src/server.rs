@@ -360,6 +360,7 @@ impl Router {
         let armed = self.failpoint.as_deref() == Some("simulate-panic");
         let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if armed {
+                // dpipe-analyze: allow(no-panic) -- the chaos failpoint exists to panic; catch_unwind right here contains it
                 panic!("failpoint simulate-panic armed");
             }
             self.service
@@ -531,7 +532,7 @@ impl HttpServer {
                     // Stop feeding workers; queued connections still drain.
                     queue.close();
                 })
-                .expect("failed to spawn acceptor")
+?
         };
 
         let limits = config.limits;
@@ -546,9 +547,8 @@ impl HttpServer {
                             handle_connection(&router, accepted, &limits);
                         }
                     })
-                    .expect("failed to spawn http worker")
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
 
         Ok(HttpServer {
             addr,

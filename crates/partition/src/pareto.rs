@@ -56,7 +56,7 @@ impl<T: Clone> ParetoFront<T> {
         self.points.iter().min_by(|a, b| {
             let ca = coeff * a.0 + a.1;
             let cb = coeff * b.0 + b.1;
-            ca.partial_cmp(&cb).unwrap()
+            ca.total_cmp(&cb)
         })
     }
 }

@@ -204,6 +204,7 @@ impl<'a> Partitioner<'a> {
         let view_for = |class: usize, r: usize| -> &BatchCosts<'_> {
             views[class.min(num_classes - 1)][r]
                 .as_ref()
+                // dpipe-analyze: allow(no-panic) -- the loop above fills a view for every replication reachable through max_r
                 .expect("replication view present")
         };
         let mut shapes: Vec<Option<(SyncShape, usize)>> =
@@ -358,6 +359,7 @@ impl<'a> Partitioner<'a> {
         }
         stages_rev.reverse();
 
+        // dpipe-analyze: allow(no-panic) -- the backtrack loop pushes one stage per s in 1..=s_total, and s_total >= 1
         let r_last = stages_rev.last().expect("at least one stage").replication;
         let feedback = if sc_prob > 0.0 {
             sc_prob * self.cost.feedback_time(backbone, micro / r_last as f64)

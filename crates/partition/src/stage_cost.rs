@@ -419,6 +419,7 @@ impl<'a> StageCost<'a> {
     pub fn feedback_time(&self, comp: ComponentId, micro_batch: f64) -> f64 {
         let group0 = &self.layout.groups[0];
         let first = group0.devices[0];
+        // dpipe-analyze: allow(no-panic) -- DeviceGroup is never built empty; devices[0] above leans on the same invariant
         let last = *group0.devices.last().expect("group is non-empty");
         if first == last {
             return 0.0;

@@ -195,6 +195,7 @@ impl CostPrefix {
             .iter()
             .find(|r| r.batch_bits == bits)
             .unwrap_or_else(|| {
+                // dpipe-analyze: allow(no-panic) -- documented "# Panics" contract: ensure_batch must precede queries; a silent fallback would corrupt cost lookups
                 panic!(
                     "CostPrefix row for batch {batch} missing; call ensure_batch before querying"
                 )

@@ -50,7 +50,7 @@ pub fn extract_bubbles(
             bounds.push(e.clamp(0.0, window_end));
         }
     }
-    bounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    bounds.sort_by(f64::total_cmp);
     bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
     // For each elementary interval, the set of idle slots.

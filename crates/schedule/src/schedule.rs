@@ -77,7 +77,7 @@ impl PipelineSchedule {
             busy[o.op.slot].push((o.start, o.end));
         }
         for list in &mut busy {
-            list.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            list.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         }
         busy
     }

@@ -72,7 +72,7 @@ pub(crate) fn simulate(
                     .min_by(|a, b| {
                         let ka = (a.1.max(device_free[ops[a.0].slot]), ops[a.0].priority);
                         let kb = (b.1.max(device_free[ops[b.0].slot]), ops[b.0].priority);
-                        ka.partial_cmp(&kb).unwrap()
+                        ka.0.total_cmp(&kb.0).then(ka.1.cmp(&kb.1))
                     }),
             };
             if let Some((i, rt)) = candidate {
@@ -103,6 +103,7 @@ pub(crate) fn simulate(
         .map(|(i, op)| ScheduledOp {
             op: op.clone(),
             start: start[i],
+            // dpipe-analyze: allow(no-panic) -- the loop above only returns Ok once every op has an end time; stalls exit via NoProgress
             end: end[i].expect("all ops scheduled"),
         })
         .collect())

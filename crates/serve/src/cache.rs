@@ -23,6 +23,8 @@
 //!
 //! [`PlanRequest`]: crate::PlanRequest
 
+use dpipe_sync::{LockRecover, WaitRecover};
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -151,7 +153,7 @@ impl<V: Clone> ShardedCache<V> {
     /// entries read as absent. Does not touch the hit/miss counters.
     pub fn get(&self, key: u64) -> Option<V> {
         let stamp = self.tick();
-        let mut map = self.shard(key).map.lock().expect("cache shard poisoned");
+        let mut map = self.shard(key).map.lock_recover();
         match map.get_mut(&key) {
             Some(Slot::Ready(v, touched)) => {
                 *touched = stamp;
@@ -202,7 +204,7 @@ impl<V: Clone> ShardedCache<V> {
     ) -> (V, CacheResolution) {
         let shard = self.shard(key);
         let mut wait_started: Option<std::time::Instant> = None;
-        let mut map = shard.map.lock().expect("cache shard poisoned");
+        let mut map = shard.map.lock_recover();
         loop {
             match map.get_mut(&key) {
                 Some(Slot::Ready(v, touched)) => {
@@ -220,7 +222,7 @@ impl<V: Clone> ShardedCache<V> {
                 }
                 Some(Slot::InFlight) => {
                     wait_started.get_or_insert_with(std::time::Instant::now);
-                    map = shard.ready.wait(map).expect("cache shard poisoned");
+                    map = shard.ready.wait_recover(map);
                 }
                 None => break,
             }
@@ -235,11 +237,9 @@ impl<V: Clone> ShardedCache<V> {
         impl<V> Drop for Unpublish<'_, V> {
             fn drop(&mut self) {
                 // Only reached on unwind out of `compute`: clear the marker
-                // (ignoring a poisoned lock — the panic is already in
-                // progress) and wake waiters so they can retry.
-                if let Ok(mut map) = self.shard.map.lock() {
-                    map.remove(&self.key);
-                }
+                // (recovering the lock even mid-panic — the in-flight slot
+                // must go away) and wake waiters so they can retry.
+                self.shard.map.lock_recover().remove(&self.key);
                 self.shard.ready.notify_all();
             }
         }
@@ -248,7 +248,7 @@ impl<V: Clone> ShardedCache<V> {
         let value = compute();
         std::mem::forget(guard);
 
-        let mut map = shard.map.lock().expect("cache shard poisoned");
+        let mut map = shard.map.lock_recover();
         let mut evicted = 0u64;
         if retain(&value) {
             map.insert(key, Slot::Ready(value.clone(), self.tick()));
@@ -299,10 +299,7 @@ impl<V: Clone> ShardedCache<V> {
 
     /// Number of distinct keys resident (finished or in-flight).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.map.lock().expect("cache shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| s.map.lock_recover().len()).sum()
     }
 
     /// True when no key is resident.
@@ -325,8 +322,7 @@ impl<V: Clone> ShardedCache<V> {
     /// right now are unaffected: their publish re-inserts them).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut map: MutexGuard<'_, HashMap<u64, Slot<V>>> =
-                shard.map.lock().expect("cache shard poisoned");
+            let mut map: MutexGuard<'_, HashMap<u64, Slot<V>>> = shard.map.lock_recover();
             map.retain(|_, slot| matches!(slot, Slot::InFlight));
         }
         self.hits.store(0, Ordering::Relaxed);

@@ -273,6 +273,7 @@ impl PlanService {
                             });
                         }
                     })
+                    // dpipe-analyze: allow(no-panic) -- spawn fails only on OS thread exhaustion at startup; PlanService::new stays infallible by design
                     .expect("failed to spawn planning worker")
             })
             .collect();

@@ -56,7 +56,7 @@ impl CombinedIteration {
             }
         }
         for slot_busy in &mut busy {
-            slot_busy.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            slot_busy.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         }
         CombinedIteration {
             busy,

@@ -345,11 +345,7 @@ impl InstructionSim {
             }
         }
         let makespan = dev_time.iter().copied().fold(0.0, f64::max);
-        traces.sort_by(|a, b| {
-            (a.device, a.index)
-                .partial_cmp(&(b.device, b.index))
-                .unwrap()
-        });
+        traces.sort_by_key(|t| (t.device, t.index));
         Ok(FaultedRun {
             traces,
             makespan,

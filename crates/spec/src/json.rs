@@ -240,7 +240,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -288,7 +288,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
@@ -316,7 +316,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
@@ -333,7 +333,7 @@ impl<'a> Parser<'a> {
             }
             let key = self.string()?;
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.value(depth + 1)?;
             fields.push((key, value));
@@ -355,7 +355,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -369,7 +369,10 @@ impl<'a> Parser<'a> {
             if self.pos > start {
                 // The input is valid UTF-8 and the run stops at an ASCII
                 // boundary byte, so the slice is valid UTF-8 too.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8 run"));
+                match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                    Ok(run) => out.push_str(run),
+                    Err(_) => return Err(self.error("invalid utf-8 inside string")),
+                }
             }
             match self.peek() {
                 None => return Err(self.error("unterminated string (truncated document)")),
@@ -489,7 +492,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        let text = match std::str::from_utf8(&self.bytes[start..self.pos]) {
+            Ok(text) => text,
+            Err(_) => return Err(self.error("malformed number (non-ascii byte)")),
+        };
         if !fractional {
             if let Ok(n) = text.parse::<u64>() {
                 return Ok(JsonValue::UInt(n));

@@ -1,0 +1,111 @@
+//! Poison-recovering lock primitives.
+//!
+//! The serving stack contains panics on purpose: worker threads wrap
+//! caller-supplied work in `catch_unwind` so one bad request can never
+//! take the process down. But a panic that unwinds *while holding a
+//! mutex* poisons it, and `.lock().unwrap()` then converts every later
+//! access — the plan cache, the metrics registry, the accept queue —
+//! into a cascading panic long after the original fault was contained.
+//!
+//! The guarded structures in this workspace are all plain data
+//! (counters, `VecDeque`s, cache maps) whose methods uphold their
+//! invariants even when interrupted by unwinding, so the right response
+//! to poisoning is to take the guard and keep serving. These extension
+//! traits make that the one-line default, and the `lock-unwrap` lint
+//! (`cargo run -p dpipe_analyze -- check`) forbids the panicking form
+//! workspace-wide.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Mutex;
+//! use dpipe_sync::LockRecover;
+//!
+//! let m = Mutex::new(0u32);
+//! *m.lock_recover() += 1;
+//! assert_eq!(*m.lock_recover(), 1);
+//! ```
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Poison-recovering [`Mutex::lock`].
+pub trait LockRecover<T> {
+    /// Acquire the guard, recovering it from a poisoned lock instead of
+    /// panicking. Callers must only guard data whose invariants survive
+    /// an unwind mid-critical-section (true of every lock in this
+    /// workspace: counters, queues, cache maps).
+    fn lock_recover(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockRecover<T> for Mutex<T> {
+    fn lock_recover(&self) -> MutexGuard<'_, T> {
+        match self.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Poison-recovering [`Condvar::wait`].
+pub trait WaitRecover {
+    /// Block on the condvar, recovering the reacquired guard from a
+    /// poisoned lock instead of panicking.
+    fn wait_recover<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T>;
+}
+
+impl WaitRecover for Condvar {
+    fn wait_recover<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        match self.wait(guard) {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recover_plain() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock_recover().push(3);
+        assert_eq!(*m.lock_recover(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lock_recover_after_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        // The data is still intact and usable.
+        *m.lock_recover() += 1;
+        assert_eq!(*m.lock_recover(), 8);
+    }
+
+    #[test]
+    fn wait_recover_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut ready = lock.lock_recover();
+            while !*ready {
+                ready = cvar.wait_recover(ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock_recover() = true;
+            cvar.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -83,6 +83,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        // dpipe-analyze: allow(no-panic) -- Layer contract: backward without a prior forward is a caller bug worth a loud stop
         let x = self.cache_x.take().expect("backward called before forward");
         self.backward_from(&x, grad_out)
     }
@@ -167,6 +168,7 @@ impl Layer for Silu {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        // dpipe-analyze: allow(no-panic) -- Layer contract: backward without a prior forward is a caller bug worth a loud stop
         let x = self.cache_x.take().expect("backward called before forward");
         self.backward_from(&x, grad_out)
     }

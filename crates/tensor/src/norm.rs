@@ -65,6 +65,7 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        // dpipe-analyze: allow(no-panic) -- Layer contract: backward without a prior forward is a caller bug worth a loud stop
         let x = self.cache_x.take().expect("backward called before forward");
         self.backward_from(&x, grad_out)
     }

@@ -22,6 +22,8 @@
 mod chrome;
 mod tree;
 
+use dpipe_sync::LockRecover;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -245,14 +247,14 @@ impl Tracer {
             thread: thread_label(),
             attrs: Vec::new(),
         };
-        collector.finished.lock().unwrap().push(record);
+        collector.finished.lock_recover().push(record);
         Some(SpanId(id))
     }
 
     /// Copies out everything recorded so far.
     pub fn snapshot(&self) -> Trace {
         let spans = match &self.inner {
-            Some(collector) => collector.finished.lock().unwrap().clone(),
+            Some(collector) => collector.finished.lock_recover().clone(),
             None => Vec::new(),
         };
         Trace::from_spans(spans)
@@ -261,7 +263,7 @@ impl Tracer {
     /// Drains the collector, leaving it empty (and still enabled).
     pub fn take(&self) -> Trace {
         let spans = match &self.inner {
-            Some(collector) => std::mem::take(&mut *collector.finished.lock().unwrap()),
+            Some(collector) => std::mem::take(&mut *collector.finished.lock_recover()),
             None => Vec::new(),
         };
         Trace::from_spans(spans)
@@ -321,7 +323,7 @@ impl Drop for Span {
             thread: thread_label(),
             attrs: active.attrs,
         };
-        active.collector.finished.lock().unwrap().push(record);
+        active.collector.finished.lock_recover().push(record);
     }
 }
 
