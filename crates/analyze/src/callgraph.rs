@@ -1,0 +1,224 @@
+//! Intra-workspace call-edge resolution and the held-set fixpoint.
+//!
+//! Call edges are resolved by name over the items the parse layer
+//! recovered, with three deliberately conservative rules:
+//!
+//! - `self.method(…)` resolves against the enclosing `impl` type;
+//! - `Type::method(…)` resolves against `Type` by name, workspace-wide;
+//! - `receiver.method(…)` and free `name(…)` calls resolve only when
+//!   exactly one workspace function bears that name — a shared name
+//!   like `len` or `push` produces no edge rather than a wrong one.
+//!
+//! Unresolved calls (std, closures, trait objects) simply contribute
+//! nothing, which keeps the analysis under-approximate: it can miss a
+//! propagated lock acquisition, never invent one.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+use crate::locks::LockKey;
+
+/// A function in the workspace model, flattened across files.
+pub struct FnNode {
+    pub file: usize,
+    pub name: String,
+    pub self_type: Option<String>,
+    pub body: (usize, usize),
+    /// Resolved callees (indices into the workspace fn table).
+    pub calls: Vec<usize>,
+    /// Keyed locks this fn acquires directly.
+    pub direct_acquires: BTreeSet<LockKey>,
+    /// Whether the body directly calls a blocking operation.
+    pub direct_blocking: bool,
+    /// Transitive closure over `calls` of `direct_acquires`.
+    pub acquires_star: BTreeSet<LockKey>,
+    /// Transitive closure over `calls` of `direct_blocking`.
+    pub blocking_star: bool,
+}
+
+/// Name-resolution tables over the flattened fn list.
+pub struct Resolver {
+    /// `(self_type, name)` → fn index, when unambiguous.
+    by_type_method: BTreeMap<(String, String), Option<usize>>,
+    /// method name → fn index, when exactly one method bears it.
+    by_method_name: BTreeMap<String, Option<usize>>,
+    /// free-fn name → fn index, when exactly one free fn bears it.
+    by_free_name: BTreeMap<String, Option<usize>>,
+}
+
+impl Resolver {
+    pub fn build(fns: &[FnNode]) -> Resolver {
+        let mut by_type_method: BTreeMap<(String, String), Option<usize>> = BTreeMap::new();
+        let mut by_method_name: BTreeMap<String, Option<usize>> = BTreeMap::new();
+        let mut by_free_name: BTreeMap<String, Option<usize>> = BTreeMap::new();
+        for (idx, f) in fns.iter().enumerate() {
+            match &f.self_type {
+                Some(ty) => {
+                    insert_unique(&mut by_type_method, (ty.clone(), f.name.clone()), idx);
+                    insert_unique(&mut by_method_name, f.name.clone(), idx);
+                }
+                None => {
+                    insert_unique(&mut by_free_name, f.name.clone(), idx);
+                }
+            }
+        }
+        Resolver {
+            by_type_method,
+            by_method_name,
+            by_free_name,
+        }
+    }
+
+    /// `self.name(…)` inside `impl ty`.
+    pub fn resolve_self_method(&self, ty: &str, name: &str) -> Option<usize> {
+        self.by_type_method
+            .get(&(ty.to_string(), name.to_string()))
+            .copied()
+            .flatten()
+    }
+
+    /// `Type::name(…)`.
+    pub fn resolve_path(&self, ty: &str, name: &str) -> Option<usize> {
+        self.resolve_self_method(ty, name)
+    }
+
+    /// `receiver.name(…)` with an untyped receiver.
+    pub fn resolve_method(&self, name: &str) -> Option<usize> {
+        self.by_method_name.get(name).copied().flatten()
+    }
+
+    /// Free `name(…)`.
+    pub fn resolve_free(&self, name: &str) -> Option<usize> {
+        self.by_free_name.get(name).copied().flatten()
+    }
+}
+
+/// Insert, demoting to `None` on collision: an ambiguous name resolves
+/// to nothing rather than to an arbitrary winner.
+fn insert_unique<K: Ord>(map: &mut BTreeMap<K, Option<usize>>, key: K, idx: usize) {
+    map.entry(key)
+        .and_modify(|slot| *slot = None)
+        .or_insert(Some(idx));
+}
+
+/// One syntactic call site inside a fn body.
+pub struct CallSite<'t> {
+    /// Code index of the callee name token.
+    pub ci: usize,
+    pub name: &'t str,
+    /// `Some(fn index)` when the callee resolved to a workspace fn.
+    pub target: Option<usize>,
+    /// True for `recv.name(…)` method calls (vs free/path calls).
+    pub is_method: bool,
+}
+
+/// Extract the call sites of one fn body. `code` maps code indices to
+/// raw token indices for the whole file.
+pub fn call_sites<'t>(
+    toks: &'t [Tok],
+    code: &[usize],
+    body: (usize, usize),
+    self_type: Option<&str>,
+    resolver: &Resolver,
+) -> Vec<CallSite<'t>> {
+    let ident = |ci: usize| -> Option<&str> {
+        code.get(ci).and_then(|&i| toks.get(i)).and_then(|t| {
+            if t.kind == TokKind::Ident {
+                Some(t.text.as_str())
+            } else {
+                None
+            }
+        })
+    };
+    let punct = |ci: usize, b: u8| -> bool {
+        code.get(ci)
+            .and_then(|&i| toks.get(i))
+            .is_some_and(|t| t.kind == TokKind::Punct(b))
+    };
+    let mut sites = Vec::new();
+    for ci in body.0..body.1.min(code.len()) {
+        let Some(name) = ident(ci) else { continue };
+        if !punct(ci + 1, b'(') {
+            continue;
+        }
+        // `name!(…)` macros never resolve; `name(…)` after `fn` is a
+        // nested definition, not a call.
+        if ident(ci.wrapping_sub(1)) == Some("fn") {
+            continue;
+        }
+        if punct(ci - 1, b'.') {
+            // Method call. `self.name(…)` resolves by impl type; any
+            // other receiver resolves only by globally unique name.
+            let target =
+                if ident(ci.wrapping_sub(2)) == Some("self") && !punct(ci.wrapping_sub(3), b'.') {
+                    self_type.and_then(|ty| resolver.resolve_self_method(ty, name))
+                } else {
+                    resolver.resolve_method(name)
+                };
+            sites.push(CallSite {
+                ci,
+                name,
+                target,
+                is_method: true,
+            });
+        } else if punct(ci - 1, b':') && punct(ci.wrapping_sub(2), b':') {
+            // `Type::name(…)`. Resolution is strictly by type name
+            // (with `Self` mapped to the impl type): a std path like
+            // `thread::spawn(…)` must not capture a workspace free fn.
+            let target = ident(ci.wrapping_sub(3)).and_then(|ty| {
+                let ty = if ty == "Self" {
+                    self_type.unwrap_or(ty)
+                } else {
+                    ty
+                };
+                resolver.resolve_path(ty, name)
+            });
+            sites.push(CallSite {
+                ci,
+                name,
+                target,
+                is_method: false,
+            });
+        } else {
+            sites.push(CallSite {
+                ci,
+                name,
+                target: resolver.resolve_free(name),
+                is_method: false,
+            });
+        }
+    }
+    sites
+}
+
+/// Propagate `direct_acquires`/`direct_blocking` over the call graph to
+/// a fixpoint, filling `acquires_star`/`blocking_star`.
+pub fn propagate(fns: &mut [FnNode]) {
+    for f in fns.iter_mut() {
+        f.acquires_star = f.direct_acquires.clone();
+        f.blocking_star = f.direct_blocking;
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            let callees = fns[i].calls.clone();
+            let mut acq = fns[i].acquires_star.clone();
+            let mut blk = fns[i].blocking_star;
+            for c in callees {
+                blk |= fns[c].blocking_star;
+                for k in fns[c].acquires_star.iter() {
+                    acq.insert(k.clone());
+                }
+            }
+            if blk != fns[i].blocking_star || acq.len() != fns[i].acquires_star.len() {
+                fns[i].blocking_star = blk;
+                fns[i].acquires_star = acq;
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}

@@ -39,8 +39,13 @@ pub fn lint_applies(lint: LintId, rel: &str) -> bool {
         LintId::NoPanic => !NO_PANIC_EXEMPT.iter().any(|p| rel.starts_with(p)),
         LintId::NoWallClock => WALL_CLOCK_SCOPE.iter().any(|p| rel.starts_with(p)),
         LintId::NoUnorderedMap => UNORDERED_MAP_SCOPE.iter().any(|p| rel.starts_with(p)),
-        // The lock discipline and the suppression meta-lints hold
-        // everywhere, bench harnesses included.
-        LintId::LockUnwrap | LintId::MalformedAllow | LintId::UnusedAllow => true,
+        // The lock discipline (including the concurrency passes) and
+        // the suppression meta-lints hold everywhere, bench harnesses
+        // included.
+        LintId::LockUnwrap
+        | LintId::LockOrder
+        | LintId::GuardAcrossBlocking
+        | LintId::MalformedAllow
+        | LintId::UnusedAllow => true,
     }
 }

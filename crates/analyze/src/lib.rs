@@ -13,8 +13,15 @@
 //! | `no-wall-clock` | no `Instant`/`SystemTime` in the simulator |
 //! | `no-unordered-map` | no `HashMap`/`HashSet` in fingerprint/JSON-emitting modules |
 //! | `lock-unwrap` | no `.lock().unwrap()` — locks route through a poison-recovering helper |
+//! | `lock-order` | no cycles in the global lock-order graph (potential deadlocks) |
+//! | `guard-across-blocking` | no guard held across channel/condvar/join/socket blocking |
 //! | `malformed-allow` | every suppression parses and carries a reason |
 //! | `unused-allow` | no stale suppressions |
+//!
+//! The two concurrency passes run on an item-level parse of the whole
+//! workspace at once (fn boundaries, guard scopes, call edges) rather
+//! than file-at-a-time token matching; see [`locks`] for the model and
+//! `docs/lints.md` for the lock-key naming scheme.
 //!
 //! Run it with `cargo run -p dpipe_analyze -- check [--json]`; CI fails
 //! on any unallowed finding. Legitimate sites are suppressed inline
@@ -35,19 +42,39 @@
 //! let r = analyze_source("crates/core/src/x.rs", "const S: &str = \".unwrap()\"; // .unwrap()");
 //! assert!(r.unallowed.is_empty());
 //! ```
+//!
+//! Two functions taking two locks in opposite orders close a cycle in
+//! the lock-order graph and are flagged as potential deadlocks:
+//!
+//! ```
+//! use dpipe_analyze::analyze_source;
+//!
+//! let src = "
+//!     struct A { m: std::sync::Mutex<u32> }
+//!     struct B { n: std::sync::Mutex<u32> }
+//!     fn fwd(a: &A, b: &B) { let g = a.m.lock_recover(); let h = b.n.lock_recover(); }
+//!     fn rev(a: &A, b: &B) { let h = b.n.lock_recover(); let g = a.m.lock_recover(); }
+//! ";
+//! let r = analyze_source("crates/core/src/x.rs", src);
+//! assert!(r.unallowed.iter().any(|f| f.lint.as_str() == "lock-order"));
+//! ```
 
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod lints;
+pub mod locks;
+pub mod parse;
 pub mod report;
 pub mod scope;
 pub mod walk;
 
 pub use lints::LintId;
+pub use locks::{LockEdge, LockGraph};
 pub use report::{AllowRecord, FileResult, Finding, Report};
 
 /// Errors from driving the analyzer over a directory tree.
@@ -78,12 +105,79 @@ impl std::error::Error for AnalyzeError {}
 
 /// Analyze one file's source text under its workspace-relative path.
 /// Pure function of its inputs; the unit the fixture corpus tests.
+/// The concurrency passes run too, scoped to this one file.
 pub fn analyze_source(rel: &str, src: &str) -> FileResult {
-    let toks = lexer::lex(src);
-    let sc = scope::scope_file(&toks);
-    let lines: Vec<&str> = src.lines().collect();
-    let findings = lints::scan_file(rel, &toks, &sc, &lines);
-    match_allows(rel, findings, &sc, &lines)
+    analyze_sources(&[(rel, src)])
+        .files
+        .into_iter()
+        .next()
+        .unwrap_or_default()
+}
+
+/// Results of analyzing a set of files together: per-file results plus
+/// the global lock-order graph.
+#[derive(Debug, Default)]
+pub struct WorkspaceResult {
+    pub files: Vec<FileResult>,
+    pub graph: LockGraph,
+}
+
+/// Analyze a set of sources as one workspace: the per-file lints run
+/// file-at-a-time, then the concurrency passes (`lock-order`,
+/// `guard-across-blocking`) run over the item model of all files at
+/// once, so held-lock sets propagate across intra-workspace calls.
+/// `sources` are `(workspace-relative path, text)` pairs; results come
+/// back in the same order.
+pub fn analyze_sources(sources: &[(&str, &str)]) -> WorkspaceResult {
+    struct Parsed {
+        toks: Vec<lexer::Tok>,
+        sc: scope::FileScope,
+        items: parse::FileItems,
+    }
+    let parsed: Vec<Parsed> = sources
+        .iter()
+        .map(|(_, src)| {
+            let toks = lexer::lex(src);
+            let sc = scope::scope_file(&toks);
+            let items = parse::parse_file(&toks, &sc);
+            Parsed { toks, sc, items }
+        })
+        .collect();
+    let codes: Vec<Vec<usize>> = parsed
+        .iter()
+        .map(|p| (0..p.toks.len()).filter(|&i| p.toks[i].is_code()).collect())
+        .collect();
+    let line_sets: Vec<Vec<&str>> = sources
+        .iter()
+        .map(|(_, src)| src.lines().collect())
+        .collect();
+
+    let file_data: Vec<locks::FileData> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, (rel, _))| locks::FileData {
+            index: i,
+            rel,
+            toks: &parsed[i].toks,
+            code: &codes[i],
+            scope: &parsed[i].sc,
+            lines: &line_sets[i],
+            items: &parsed[i].items,
+        })
+        .collect();
+    let (mut lock_findings, graph) = locks::analyze_workspace(&file_data);
+
+    let mut files = Vec::new();
+    for (i, (rel, _)) in sources.iter().enumerate() {
+        let mut findings = lints::scan_file(rel, &parsed[i].toks, &parsed[i].sc, &line_sets[i]);
+        for f in std::mem::take(&mut lock_findings[i]) {
+            if config::lint_applies(f.lint, rel) {
+                findings.push(f);
+            }
+        }
+        files.push(match_allows(rel, findings, &parsed[i].sc, &line_sets[i]));
+    }
+    WorkspaceResult { files, graph }
 }
 
 /// Match findings against allow annotations, record receipts, and
@@ -149,17 +243,32 @@ fn match_allows(
 /// Run the full check over a workspace rooted at `root`.
 pub fn check(root: &Path) -> Result<Report, AnalyzeError> {
     let rels = walk::workspace_files(root)?;
+    let mut sources = Vec::new();
+    for rel in &rels {
+        let path = root.join(rel);
+        let src = fs::read_to_string(&path).map_err(|e| AnalyzeError::io(&path, e))?;
+        sources.push((rel.clone(), src));
+    }
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(rel, src)| (rel.as_str(), src.as_str()))
+        .collect();
+    let outcome = analyze_sources(&refs);
     let mut report = Report {
         files_scanned: rels.len(),
         files: Vec::new(),
+        graph: outcome.graph,
     };
-    for rel in rels {
-        let path = root.join(&rel);
-        let src = fs::read_to_string(&path).map_err(|e| AnalyzeError::io(&path, e))?;
-        let result = analyze_source(&rel, &src);
+    for result in outcome.files {
         if !result.unallowed.is_empty() || !result.allowed.is_empty() || !result.allows.is_empty() {
             report.files.push(result);
         }
     }
     Ok(report)
+}
+
+/// The lock-order graph for a workspace rooted at `root` (the `graph`
+/// subcommand and the witness subgraph tests).
+pub fn lock_graph(root: &Path) -> Result<LockGraph, AnalyzeError> {
+    check(root).map(|r| r.graph)
 }

@@ -24,6 +24,12 @@ pub enum LintId {
     /// `.lock().unwrap()`/`.lock().expect(…)` instead of the shared
     /// poison-recovering helper.
     LockUnwrap,
+    /// An acquisition that closes a cycle in the global lock-order
+    /// graph (potential deadlock).
+    LockOrder,
+    /// A lock guard held across a blocking call (channel send/recv,
+    /// condvar wait, thread join, socket I/O).
+    GuardAcrossBlocking,
     /// A suppression comment that does not parse or lacks a reason.
     MalformedAllow,
     /// A suppression that matched no finding (stale receipt).
@@ -32,11 +38,13 @@ pub enum LintId {
 
 impl LintId {
     /// Every lint, in catalog order.
-    pub const ALL: [LintId; 6] = [
+    pub const ALL: [LintId; 8] = [
         LintId::NoPanic,
         LintId::NoWallClock,
         LintId::NoUnorderedMap,
         LintId::LockUnwrap,
+        LintId::LockOrder,
+        LintId::GuardAcrossBlocking,
         LintId::MalformedAllow,
         LintId::UnusedAllow,
     ];
@@ -48,6 +56,8 @@ impl LintId {
             LintId::NoWallClock => "no-wall-clock",
             LintId::NoUnorderedMap => "no-unordered-map",
             LintId::LockUnwrap => "lock-unwrap",
+            LintId::LockOrder => "lock-order",
+            LintId::GuardAcrossBlocking => "guard-across-blocking",
             LintId::MalformedAllow => "malformed-allow",
             LintId::UnusedAllow => "unused-allow",
         }

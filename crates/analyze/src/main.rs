@@ -1,29 +1,35 @@
-//! `dpipe-analyze` CLI: `cargo run -p dpipe_analyze -- check [--json]`.
+//! `dpipe-analyze` CLI: `cargo run -p dpipe_analyze -- check [--json]`
+//! and `cargo run -p dpipe_analyze -- graph [--dot]`.
 //!
-//! Exit codes: 0 = clean, 1 = unallowed findings, 2 = usage or I/O
-//! error. The JSON report is byte-stable across runs on an unchanged
-//! tree, so CI can diff it as an artifact.
+//! Exit codes: 0 = clean, 1 = unallowed findings (`check` only),
+//! 2 = usage or I/O error. Both the JSON report and the DOT graph are
+//! byte-stable across runs on an unchanged tree, so CI can diff them
+//! as artifacts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dpipe_analyze::check;
+use dpipe_analyze::{check, lock_graph};
 
-const USAGE: &str = "usage: dpipe_analyze check [--json] [--root DIR]";
+const USAGE: &str = "usage: dpipe_analyze check [--json] [--root DIR]\n       dpipe_analyze graph [--dot] [--root DIR]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let cmd = args.next();
-    if cmd.as_deref() != Some("check") {
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
-    }
+    let cmd = match args.next() {
+        Some(c) if c == "check" || c == "graph" => c,
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let mut json = false;
+    let mut dot = false;
     let mut root = PathBuf::from(".");
     let mut explicit_root = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" if cmd == "check" => json = true,
+            "--dot" if cmd == "graph" => dot = true,
             "--root" => match args.next() {
                 Some(dir) => {
                     root = PathBuf::from(dir);
@@ -48,6 +54,22 @@ fn main() -> ExitCode {
         if let Some(ws) = manifest.parent().and_then(|p| p.parent()) {
             root = ws.to_path_buf();
         }
+    }
+    if cmd == "graph" {
+        return match lock_graph(&root) {
+            Ok(graph) => {
+                if dot {
+                    print!("{}", graph.to_dot());
+                } else {
+                    print!("{}", graph.to_text());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("dpipe-analyze: {err}");
+                ExitCode::from(2)
+            }
+        };
     }
     match check(&root) {
         Ok(report) => {

@@ -7,6 +7,7 @@
 //! iteration anywhere in the rendering path.
 
 use crate::lints::LintId;
+use crate::locks::LockGraph;
 
 /// One diagnostic at a source position.
 #[derive(Debug, Clone)]
@@ -47,6 +48,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Only files with at least one finding or allow; sorted by path.
     pub files: Vec<FileResult>,
+    /// The global lock-order graph assembled by the concurrency passes.
+    pub graph: LockGraph,
 }
 
 impl Report {
@@ -106,10 +109,17 @@ impl Report {
 
     /// Byte-stable JSON rendering (fixed field order, sorted entries,
     /// trailing newline).
+    ///
+    /// Schema changelog:
+    /// - v1: `files_scanned`, `summary`, `findings`, `allows`.
+    /// - v2: adds the `lock_graph` object (`nodes`, `edges` with
+    ///   `from`/`to`/`file`/`line`/`cyclic`) emitted by the
+    ///   `lock-order` pass; the lint catalog gains `lock-order` and
+    ///   `guard-across-blocking`.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str("  \"schema_version\": 2,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!(
             "  \"summary\": {{\"findings_total\": {}, \"unallowed\": {}, \"allowed\": {}, \"allows_total\": {}, \"allows_used\": {}, \"allows_unused\": {}}},\n",
@@ -167,7 +177,31 @@ impl Report {
                 ));
             }
         }
-        out.push_str(if first { "]\n" } else { "\n  ]\n" });
+        out.push_str(if first { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"lock_graph\": {\"nodes\": [");
+        for (i, n) in self.graph.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(n));
+        }
+        out.push_str("], \"edges\": [");
+        let mut first = true;
+        for e in &self.graph.edges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"from\": {}, \"to\": {}, \"file\": {}, \"line\": {}, \"cyclic\": {}}}",
+                json_str(&e.from),
+                json_str(&e.to),
+                json_str(&e.file),
+                e.line,
+                e.cyclic,
+            ));
+        }
+        out.push_str(if first { "]}\n" } else { "\n  ]}\n" });
         out.push_str("}\n");
         out
     }

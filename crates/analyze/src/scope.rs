@@ -157,7 +157,13 @@ fn mark_range(code: &[usize], from: usize, to: usize, mask: &mut [bool]) {
 
 /// Given the code index of an opening delimiter, return the code index
 /// of its matching closer.
-fn match_delim(toks: &[Tok], code: &[usize], open_ci: usize, open: u8, close: u8) -> Option<usize> {
+pub(crate) fn match_delim(
+    toks: &[Tok],
+    code: &[usize],
+    open_ci: usize,
+    open: u8,
+    close: u8,
+) -> Option<usize> {
     let mut depth = 0usize;
     for ci in open_ci..code.len() {
         match toks[code[ci]].kind {

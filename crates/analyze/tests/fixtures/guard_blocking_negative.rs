@@ -1,0 +1,37 @@
+//! Negative fixture for `guard-across-blocking`: every blocking call
+//! happens after the guard is released — by scope, by `drop`, or by
+//! handing the guard to the blocking call itself (the condvar wait
+//! pattern, which releases the lock while parked).
+
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+pub struct Outbox {
+    pub staged: Mutex<Vec<u64>>,
+    pub ready: Condvar,
+}
+
+pub fn snapshot_then_send(outbox: &Outbox, tx: &Sender<u64>) {
+    let pending = {
+        let staged = outbox.staged.lock_recover();
+        staged.len() as u64
+    };
+    tx.send(pending).ok();
+}
+
+pub fn drop_then_join(outbox: &Outbox, worker: JoinHandle<u64>) {
+    let staged = outbox.staged.lock_recover();
+    let count = staged.len();
+    drop(staged);
+    worker.join().ok();
+    let _ = count;
+}
+
+pub fn wait_with_own_guard(outbox: &Outbox) {
+    let mut staged = outbox.staged.lock_recover();
+    while staged.is_empty() {
+        // Not flagged: the wait consumes (and releases) this very guard.
+        staged = outbox.ready.wait_recover(staged);
+    }
+}

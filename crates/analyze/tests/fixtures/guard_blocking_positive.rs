@@ -1,0 +1,28 @@
+//! Positive fixture for `guard-across-blocking`: guards held across a
+//! channel send, a channel recv, and a thread join. Each blocks for an
+//! unbounded time while every other accessor of the lock spins.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub struct Outbox {
+    pub staged: Mutex<Vec<u64>>,
+}
+
+pub fn send_while_holding(outbox: &Outbox, tx: &Sender<u64>) {
+    let staged = outbox.staged.lock_recover();
+    tx.send(staged.len() as u64).ok(); // flagged: send with `staged` held
+}
+
+pub fn recv_while_holding(outbox: &Outbox, rx: &Receiver<u64>) {
+    let mut staged = outbox.staged.lock_recover();
+    let next = rx.recv().unwrap_or_default(); // flagged: recv with `staged` held
+    staged.push(next);
+}
+
+pub fn join_while_holding(outbox: &Outbox, worker: JoinHandle<u64>) {
+    let mut staged = outbox.staged.lock_recover();
+    let done = worker.join().unwrap_or_default(); // flagged: join with `staged` held
+    staged.push(done);
+}

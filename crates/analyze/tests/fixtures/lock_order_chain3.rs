@@ -1,0 +1,34 @@
+//! Positive fixture for `lock-order`: a 3-edge cycle a → b → c → a
+//! where no single function sees more than two locks, and the c → a
+//! edge only exists through the call graph (`close_cycle` calls
+//! `touch_a` while holding `c`). Pairwise review of any one function
+//! finds nothing; only the global graph shows the cycle.
+
+use std::sync::Mutex;
+
+pub struct Stages {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+    pub c: Mutex<u32>,
+}
+
+pub fn a_then_b(s: &Stages) {
+    let a = s.a.lock_recover();
+    let mut b = s.b.lock_recover(); // flagged: on the a → b → c → a cycle
+    *b += *a;
+}
+
+pub fn b_then_c(s: &Stages) {
+    let b = s.b.lock_recover();
+    let mut c = s.c.lock_recover(); // flagged: on the a → b → c → a cycle
+    *c += *b;
+}
+
+pub fn touch_a(s: &Stages) {
+    *s.a.lock_recover() += 1;
+}
+
+pub fn close_cycle(s: &Stages) {
+    let _c = s.c.lock_recover();
+    touch_a(s); // flagged: acquires `a` via the call graph while `c` is held
+}

@@ -1,0 +1,25 @@
+//! Positive fixture for `lock-order`: two locks acquired in opposite
+//! orders on two paths. Either path alone is fine; together they close
+//! a 2-cycle in the lock-order graph, the classic AB/BA deadlock.
+
+use std::sync::Mutex;
+
+pub struct Ledger {
+    pub entries: Mutex<Vec<u64>>,
+}
+
+pub struct Audit {
+    pub trail: Mutex<Vec<u64>>,
+}
+
+pub fn forward(ledger: &Ledger, audit: &Audit) {
+    let entries = ledger.entries.lock_recover();
+    let mut trail = audit.trail.lock_recover(); // flagged: closes the cycle
+    trail.push(entries.len() as u64);
+}
+
+pub fn reverse(ledger: &Ledger, audit: &Audit) {
+    let trail = audit.trail.lock_recover();
+    let mut entries = ledger.entries.lock_recover(); // flagged: closes the cycle
+    entries.push(trail.len() as u64);
+}

@@ -1,0 +1,32 @@
+//! Negative fixture for `lock-order`: the same locks as the positive
+//! fixtures, but every path acquires them in one consistent order
+//! (entries before trail). The graph has edges and no cycle, so the
+//! pass stays silent.
+
+use std::sync::Mutex;
+
+pub struct Ledger {
+    pub entries: Mutex<Vec<u64>>,
+}
+
+pub struct Audit {
+    pub trail: Mutex<Vec<u64>>,
+}
+
+pub fn post(ledger: &Ledger, audit: &Audit) {
+    let entries = ledger.entries.lock_recover();
+    let mut trail = audit.trail.lock_recover();
+    trail.push(entries.len() as u64);
+}
+
+pub fn settle(ledger: &Ledger, audit: &Audit) {
+    let mut entries = ledger.entries.lock_recover();
+    entries.push(7);
+    // Still the consistent order: `entries` first, then `trail`.
+    audit.trail.lock_recover().push(entries.len() as u64);
+}
+
+pub fn trail_alone(audit: &Audit) {
+    // A single lock with nothing held is never an edge.
+    audit.trail.lock_recover().clear();
+}

@@ -1,0 +1,48 @@
+//! Guard-lifetime fixture: nested blocks, early returns, temporary
+//! guards, and match scrutinees. The first three functions are silent —
+//! the guard model must see each release. `match_scrutinee_extends`
+//! is the one positive case: a guard created in a match scrutinee
+//! lives to the end of the whole match (Rust's extended-temporary
+//! rule), so the send inside an arm still runs with the lock held.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct State {
+    pub inner: Mutex<Vec<u64>>,
+}
+
+pub fn nested_block_releases(state: &State, tx: &Sender<u64>) {
+    let mut total = 0u64;
+    {
+        let inner = state.inner.lock_recover();
+        {
+            total += inner.len() as u64;
+        }
+    }
+    tx.send(total).ok();
+}
+
+pub fn early_return_releases(state: &State, tx: &Sender<u64>) {
+    {
+        let inner = state.inner.lock_recover();
+        if inner.is_empty() {
+            return;
+        }
+    }
+    tx.send(1).ok();
+}
+
+pub fn temporary_guard_dies_at_semicolon(state: &State, tx: &Sender<u64>) {
+    let count = state.inner.lock_recover().len() as u64;
+    tx.send(count).ok();
+}
+
+pub fn match_scrutinee_extends(state: &State, tx: &Sender<u64>) {
+    match state.inner.lock_recover().first().copied() {
+        Some(head) => {
+            tx.send(head).ok(); // flagged: the scrutinee guard is still held
+        }
+        None => {}
+    }
+}

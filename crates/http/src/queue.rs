@@ -3,7 +3,7 @@
 //! never blocks: a full queue hands the item straight back so the acceptor
 //! can answer 503 instead of letting connections pile up invisibly.
 
-use dpipe_sync::{LockRecover, WaitRecover};
+use dpipe_sync::{LockRecoverTagged, WaitRecoverTagged};
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -12,6 +12,9 @@ struct State<T> {
     items: VecDeque<T>,
     closed: bool,
 }
+
+/// Lock-order witness tag for [`Bounded::state`] (static key form).
+const BOUNDED_STATE_TAG: &str = "http::Bounded::state";
 
 /// A bounded blocking-pop / non-blocking-push queue.
 pub struct Bounded<T> {
@@ -44,7 +47,7 @@ impl<T> Bounded<T> {
 
     /// Enqueues without blocking, or returns the item with the reason.
     pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
-        let mut state = self.state.lock_recover();
+        let mut state = self.state.lock_recover_tagged(BOUNDED_STATE_TAG);
         if state.closed {
             return Err((item, PushError::Closed));
         }
@@ -60,7 +63,7 @@ impl<T> Bounded<T> {
     /// Blocks for the next item; `None` once the queue is closed *and*
     /// drained (closing never discards queued items).
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock_recover();
+        let mut state = self.state.lock_recover_tagged(BOUNDED_STATE_TAG);
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -68,13 +71,16 @@ impl<T> Bounded<T> {
             if state.closed {
                 return None;
             }
-            state = self.ready.wait_recover(state);
+            state = self.ready.wait_recover_tagged(state);
         }
     }
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock_recover().items.len()
+        self.state
+            .lock_recover_tagged(BOUNDED_STATE_TAG)
+            .items
+            .len()
     }
 
     /// True when nothing is queued.
@@ -84,7 +90,7 @@ impl<T> Bounded<T> {
 
     /// Closes the queue: future pushes fail, poppers drain then get `None`.
     pub fn close(&self) {
-        self.state.lock_recover().closed = true;
+        self.state.lock_recover_tagged(BOUNDED_STATE_TAG).closed = true;
         self.ready.notify_all();
     }
 }

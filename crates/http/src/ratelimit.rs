@@ -6,7 +6,7 @@
 //! to have fully refilled are dropped (they are indistinguishable from
 //! fresh ones), so an address-spoofing client cannot leak memory here.
 
-use dpipe_sync::LockRecover;
+use dpipe_sync::LockRecoverTagged;
 
 use std::collections::HashMap;
 use std::net::IpAddr;
@@ -27,6 +27,9 @@ pub struct RateLimiter {
     max_clients: usize,
     state: Mutex<HashMap<IpAddr, Bucket>>,
 }
+
+/// Lock-order witness tag for [`RateLimiter::state`] (static key form).
+const LIMITER_STATE_TAG: &str = "http::RateLimiter::state";
 
 impl RateLimiter {
     /// A limiter allowing `rate_per_s` sustained requests per second per
@@ -51,7 +54,7 @@ impl RateLimiter {
             return true;
         }
         let now = Instant::now();
-        let mut state = self.state.lock_recover();
+        let mut state = self.state.lock_recover_tagged(LIMITER_STATE_TAG);
         if state.len() >= self.max_clients && !state.contains_key(&ip) {
             // Drop buckets that have refilled completely: forgetting them
             // is observationally identical to keeping them.

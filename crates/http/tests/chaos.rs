@@ -174,6 +174,108 @@ fn simulate_failpoint_panic_is_a_contained_500_and_spares_the_cache() {
     );
 }
 
+/// Lock-order witness under fire: concurrent plan/simulate/metrics
+/// load plus a server torn down mid-flight, with every production lock
+/// acquisition registered with [`dpipe_sync::witness`] (debug builds).
+/// Two invariants:
+///
+/// - zero lock-order inversions observed across the whole suite (the
+///   witness panics at the proving acquisition, so a violation also
+///   fails whichever request tripped it);
+/// - the observed graph is a subgraph of the one `dpipe_analyze`
+///   derives statically — every runtime lock and ordering was already
+///   known to the `lock-order` pass. An observed node or edge missing
+///   from the static graph means the static analysis has a blind spot.
+#[test]
+fn concurrent_load_and_shutdown_observe_no_lock_inversions() {
+    // Phase 1: strict concurrent load, every response checked.
+    let server = small_server(4, Duration::from_secs(5), None);
+    let addr = server.local_addr();
+    let plan_body = sd_spec_text();
+    let sim_body = simulate_body();
+    let mut clients = Vec::new();
+    for t in 0..4usize {
+        let plan = plan_body.clone();
+        let sim = sim_body.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            for i in 0..6usize {
+                let (method, path, body) = match (t + i) % 4 {
+                    0 => ("POST", "/plan", plan.as_bytes()),
+                    1 => ("POST", "/simulate", sim.as_bytes()),
+                    2 => ("GET", "/metrics", &b""[..]),
+                    _ => ("GET", "/healthz", &b""[..]),
+                };
+                let response = client.request(method, path, body).unwrap();
+                assert_eq!(response.status, 200, "{method} {path}: {}", response.text());
+            }
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+    drop(server);
+
+    // Phase 2: shutdown races live traffic. Requests may fail (the
+    // server is going away) but every lock taken on the way down is
+    // still witnessed.
+    let server = small_server(2, Duration::from_secs(5), None);
+    let addr = server.local_addr();
+    let mut stragglers = Vec::new();
+    for _ in 0..2 {
+        let plan = plan_body.clone();
+        stragglers.push(std::thread::spawn(move || {
+            while let Ok(mut client) = HttpClient::connect(addr) {
+                if client.request("POST", "/plan", plan.as_bytes()).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    drop(server);
+    for s in stragglers {
+        s.join().unwrap();
+    }
+
+    assert_eq!(
+        dpipe_sync::witness::inversions(),
+        0,
+        "lock-order inversions observed:\n{}",
+        dpipe_sync::witness::dump_dot()
+    );
+    let ws_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let static_graph = dpipe_analyze::lock_graph(&ws_root).expect("static lock graph");
+    for node in dpipe_sync::witness::observed_nodes() {
+        assert!(
+            static_graph.nodes.iter().any(|n| n == node),
+            "observed lock `{node}` is unknown to the static lock-order pass"
+        );
+    }
+    for (from, to) in dpipe_sync::witness::observed_edges() {
+        assert!(
+            static_graph
+                .edges
+                .iter()
+                .any(|e| e.from == from && e.to == to),
+            "observed order `{from}` -> `{to}` is missing from the static graph:\n{}",
+            static_graph.to_text()
+        );
+    }
+    // In debug builds the witness is armed and must have actually seen
+    // the serving stack's locks — the subgraph check above is vacuous
+    // otherwise.
+    if cfg!(debug_assertions) {
+        let nodes = dpipe_sync::witness::observed_nodes();
+        for expected in ["http::Bounded::state", "serve::Shard::map"] {
+            assert!(
+                nodes.contains(&expected),
+                "witness never saw `{expected}`; observed: {nodes:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn bad_fault_spec_is_422_not_500() {
     let server = small_server(2, Duration::from_secs(5), None);

@@ -23,11 +23,11 @@
 //!
 //! [`PlanRequest`]: crate::PlanRequest
 
-use dpipe_sync::{LockRecover, WaitRecover};
+use dpipe_sync::{LockRecoverTagged, TaggedGuard, WaitRecoverTagged};
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex};
 
 /// One cached entry: either being computed by some caller, or done.
 enum Slot<V> {
@@ -35,6 +35,11 @@ enum Slot<V> {
     /// A finished value plus its last-touched stamp (for LRU eviction).
     Ready(V, u64),
 }
+
+/// Lock-order witness tag for [`Shard::map`]; must match the static
+/// pass's `crate::Type::field` key so observed orders check against
+/// the derived graph.
+const SHARD_MAP_TAG: &str = "serve::Shard::map";
 
 struct Shard<V> {
     map: Mutex<HashMap<u64, Slot<V>>>,
@@ -153,7 +158,7 @@ impl<V: Clone> ShardedCache<V> {
     /// entries read as absent. Does not touch the hit/miss counters.
     pub fn get(&self, key: u64) -> Option<V> {
         let stamp = self.tick();
-        let mut map = self.shard(key).map.lock_recover();
+        let mut map = self.shard(key).map.lock_recover_tagged(SHARD_MAP_TAG);
         match map.get_mut(&key) {
             Some(Slot::Ready(v, touched)) => {
                 *touched = stamp;
@@ -204,7 +209,7 @@ impl<V: Clone> ShardedCache<V> {
     ) -> (V, CacheResolution) {
         let shard = self.shard(key);
         let mut wait_started: Option<std::time::Instant> = None;
-        let mut map = shard.map.lock_recover();
+        let mut map = shard.map.lock_recover_tagged(SHARD_MAP_TAG);
         loop {
             match map.get_mut(&key) {
                 Some(Slot::Ready(v, touched)) => {
@@ -222,7 +227,7 @@ impl<V: Clone> ShardedCache<V> {
                 }
                 Some(Slot::InFlight) => {
                     wait_started.get_or_insert_with(std::time::Instant::now);
-                    map = shard.ready.wait_recover(map);
+                    map = shard.ready.wait_recover_tagged(map);
                 }
                 None => break,
             }
@@ -239,7 +244,10 @@ impl<V: Clone> ShardedCache<V> {
                 // Only reached on unwind out of `compute`: clear the marker
                 // (recovering the lock even mid-panic — the in-flight slot
                 // must go away) and wake waiters so they can retry.
-                self.shard.map.lock_recover().remove(&self.key);
+                self.shard
+                    .map
+                    .lock_recover_tagged(SHARD_MAP_TAG)
+                    .remove(&self.key);
                 self.shard.ready.notify_all();
             }
         }
@@ -248,7 +256,7 @@ impl<V: Clone> ShardedCache<V> {
         let value = compute();
         std::mem::forget(guard);
 
-        let mut map = shard.map.lock_recover();
+        let mut map = shard.map.lock_recover_tagged(SHARD_MAP_TAG);
         let mut evicted = 0u64;
         if retain(&value) {
             map.insert(key, Slot::Ready(value.clone(), self.tick()));
@@ -299,7 +307,10 @@ impl<V: Clone> ShardedCache<V> {
 
     /// Number of distinct keys resident (finished or in-flight).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.map.lock_recover().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.map.lock_recover_tagged(SHARD_MAP_TAG).len())
+            .sum()
     }
 
     /// True when no key is resident.
@@ -322,7 +333,8 @@ impl<V: Clone> ShardedCache<V> {
     /// right now are unaffected: their publish re-inserts them).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut map: MutexGuard<'_, HashMap<u64, Slot<V>>> = shard.map.lock_recover();
+            let mut map: TaggedGuard<'_, HashMap<u64, Slot<V>>> =
+                shard.map.lock_recover_tagged(SHARD_MAP_TAG);
             map.retain(|_, slot| matches!(slot, Slot::InFlight));
         }
         self.hits.store(0, Ordering::Relaxed);

@@ -26,7 +26,10 @@
 //! assert_eq!(*m.lock_recover(), 1);
 //! ```
 
+use std::ops::{Deref, DerefMut};
 use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub mod witness;
 
 /// Poison-recovering [`Mutex::lock`].
 pub trait LockRecover<T> {
@@ -62,6 +65,74 @@ impl WaitRecover for Condvar {
     }
 }
 
+/// A [`MutexGuard`] registered with the lock-order [`witness`] under a
+/// `crate::Type::field` tag. Dereferences like the plain guard; in
+/// release builds the registration compiles away and this is exactly a
+/// `MutexGuard` plus one `&'static str`.
+#[derive(Debug)]
+pub struct TaggedGuard<'a, T: ?Sized> {
+    // Declaration order is drop order: release the mutex first, then
+    // pop the witness registration. The witness stack is thread-local,
+    // so the brief overlap is invisible to other threads.
+    guard: MutexGuard<'a, T>,
+    token: witness::Token,
+}
+
+impl<T: ?Sized> Deref for TaggedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for TaggedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Poison-recovering, witness-registered [`Mutex::lock`].
+///
+/// The tag names the lock with the same `crate::Type::field` key the
+/// static `lock-order` pass uses, so observed orders can be checked
+/// against the statically derived graph at test time.
+pub trait LockRecoverTagged<T> {
+    fn lock_recover_tagged(&self, tag: &'static str) -> TaggedGuard<'_, T>;
+}
+
+impl<T> LockRecoverTagged<T> for Mutex<T> {
+    fn lock_recover_tagged(&self, tag: &'static str) -> TaggedGuard<'_, T> {
+        // Register the intent *before* blocking on the lock: a real
+        // deadlock would otherwise block forever without ever being
+        // witnessed.
+        let token = witness::Token::acquire(tag);
+        TaggedGuard {
+            guard: self.lock_recover(),
+            token,
+        }
+    }
+}
+
+/// Poison-recovering [`Condvar::wait`] for tagged guards: the witness
+/// registration is released for the duration of the wait (the mutex
+/// is) and re-recorded on wakeup.
+pub trait WaitRecoverTagged {
+    fn wait_recover_tagged<'a, T>(&self, guard: TaggedGuard<'a, T>) -> TaggedGuard<'a, T>;
+}
+
+impl WaitRecoverTagged for Condvar {
+    fn wait_recover_tagged<'a, T>(&self, guard: TaggedGuard<'a, T>) -> TaggedGuard<'a, T> {
+        let TaggedGuard { guard, token } = guard;
+        let tag = token.tag;
+        drop(token);
+        let guard = self.wait_recover(guard);
+        TaggedGuard {
+            guard,
+            token: witness::Token::acquire(tag),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +158,98 @@ mod tests {
         // The data is still intact and usable.
         *m.lock_recover() += 1;
         assert_eq!(*m.lock_recover(), 8);
+    }
+
+    #[test]
+    fn tagged_guard_locks_and_derefs() {
+        let m = Mutex::new(vec![1]);
+        m.lock_recover_tagged("synctest::Deref::v").push(2);
+        assert_eq!(*m.lock_recover_tagged("synctest::Deref::v"), vec![1, 2]);
+        assert!(witness::observed_nodes().contains(&"synctest::Deref::v"));
+    }
+
+    #[test]
+    fn nested_tagged_locks_record_an_edge() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        let ga = a.lock_recover_tagged("synctest::Edge::a");
+        let gb = b.lock_recover_tagged("synctest::Edge::b");
+        drop(gb);
+        drop(ga);
+        assert!(witness::observed_edges().contains(&("synctest::Edge::a", "synctest::Edge::b")));
+        assert_eq!(
+            witness::observed_edges()
+                .iter()
+                .filter(|(f, t)| *f == "synctest::Edge::b" && *t == "synctest::Edge::a")
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn inversion_panics_in_debug_builds() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        {
+            let _ga = a.lock_recover_tagged("synctest::Inv::a");
+            let _gb = b.lock_recover_tagged("synctest::Inv::b");
+        }
+        let before = witness::inversions();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gb = b.lock_recover_tagged("synctest::Inv::b");
+            let _ga = a.lock_recover_tagged("synctest::Inv::a");
+        }));
+        if cfg!(debug_assertions) {
+            assert!(caught.is_err(), "inversion must panic in debug builds");
+            assert!(witness::inversions() > before);
+        } else {
+            assert!(caught.is_ok());
+        }
+    }
+
+    #[test]
+    fn self_nesting_panics_in_debug_builds() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        let _ga = a.lock_recover_tagged("synctest::Nest::a");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Same *tag* on a different mutex still counts: the tag is
+            // the lock's identity in the order graph.
+            let _gb = b.lock_recover_tagged("synctest::Nest::a");
+        }));
+        assert_eq!(caught.is_err(), cfg!(debug_assertions));
+    }
+
+    #[test]
+    fn dump_dot_is_well_formed() {
+        let m = Mutex::new(0u32);
+        drop(m.lock_recover_tagged("synctest::Dot::m"));
+        let dot = witness::dump_dot();
+        assert!(dot.starts_with("digraph observed_lock_order {"));
+        assert!(dot.ends_with("}\n"));
+        if cfg!(debug_assertions) {
+            assert!(dot.contains("\"synctest::Dot::m\";"));
+        }
+    }
+
+    #[test]
+    fn tagged_wait_recover_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut ready = lock.lock_recover_tagged("synctest::Wait::ready");
+            while !*ready {
+                ready = cvar.wait_recover_tagged(ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock_recover_tagged("synctest::Wait::ready") = true;
+            cvar.notify_all();
+        }
+        assert!(waiter.join().unwrap());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 mod chrome;
 mod tree;
 
-use dpipe_sync::LockRecover;
+use dpipe_sync::LockRecoverTagged;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -111,6 +111,9 @@ impl SpanRecord {
         self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 }
+
+/// Lock-order witness tag for [`Collector::finished`] (static key form).
+const COLLECTOR_FINISHED_TAG: &str = "trace::Collector::finished";
 
 struct Collector {
     enabled: AtomicBool,
@@ -247,14 +250,20 @@ impl Tracer {
             thread: thread_label(),
             attrs: Vec::new(),
         };
-        collector.finished.lock_recover().push(record);
+        collector
+            .finished
+            .lock_recover_tagged(COLLECTOR_FINISHED_TAG)
+            .push(record);
         Some(SpanId(id))
     }
 
     /// Copies out everything recorded so far.
     pub fn snapshot(&self) -> Trace {
         let spans = match &self.inner {
-            Some(collector) => collector.finished.lock_recover().clone(),
+            Some(collector) => collector
+                .finished
+                .lock_recover_tagged(COLLECTOR_FINISHED_TAG)
+                .clone(),
             None => Vec::new(),
         };
         Trace::from_spans(spans)
@@ -263,7 +272,11 @@ impl Tracer {
     /// Drains the collector, leaving it empty (and still enabled).
     pub fn take(&self) -> Trace {
         let spans = match &self.inner {
-            Some(collector) => std::mem::take(&mut *collector.finished.lock_recover()),
+            Some(collector) => std::mem::take(
+                &mut *collector
+                    .finished
+                    .lock_recover_tagged(COLLECTOR_FINISHED_TAG),
+            ),
             None => Vec::new(),
         };
         Trace::from_spans(spans)
@@ -323,7 +336,11 @@ impl Drop for Span {
             thread: thread_label(),
             attrs: active.attrs,
         };
-        active.collector.finished.lock_recover().push(record);
+        active
+            .collector
+            .finished
+            .lock_recover_tagged(COLLECTOR_FINISHED_TAG)
+            .push(record);
     }
 }
 
